@@ -1,0 +1,386 @@
+// Benchmarks regenerating the paper's evaluation (§IV), one per table and
+// figure, plus ablations of the DBIM-on-ADG design choices called out in
+// DESIGN.md. The adgbench command runs the full closed-loop experiments with
+// live OLTP; these benchmarks isolate the steady-state costs so `go test
+// -bench` gives stable, comparable numbers.
+package dbimadg_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dbimadg"
+	"dbimadg/internal/core"
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/workload"
+)
+
+// benchRows sizes the benchmark fixtures (the paper uses 6M; this keeps
+// go test -bench runs minutes, not hours — ratios are what matter).
+const benchRows = 40000
+
+// fixture is a deployed cluster with the wide table loaded and synced.
+type fixture struct {
+	c    *dbimadg.Cluster
+	tbl  *dbimadg.Table
+	sTbl *dbimadg.Table
+}
+
+var (
+	fixtures   = map[string]*fixture{}
+	fixtureMu  sync.Mutex
+	fixtureRNG = rand.New(rand.NewSource(42))
+)
+
+// getFixture builds (once per config) a deployment with the wide table
+// loaded. service selects IMCS placement ("" = no DBIM). churn applies a
+// burst of updates after population so scans pay the SMU-reconcile cost, and
+// tail additionally inserts rows after population (the Fig. 10 edge effect).
+func getFixture(b *testing.B, key, service string, churn, tail bool) *fixture {
+	b.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtures[key]; ok {
+		return f
+	}
+	c, err := dbimadg.Open(dbimadg.Config{
+		CheckpointInterval: time.Millisecond,
+		PopulationInterval: 2 * time.Millisecond,
+		BlocksPerIMCU:      16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.WideTableSpec("C101", 1)
+	tbl, err := c.Primary().Instance(0).CreateTable(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if service != "" {
+		if err := c.AlterInMemory(1, "C101", "", dbimadg.InMemoryAttr{Enabled: true, Service: service}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	loadRows(b, c, tbl, 0, benchRows)
+	if !c.WaitStandbyCaughtUp(120 * time.Second) {
+		b.Fatal("standby lagging during fixture build")
+	}
+	if service != "" && !c.WaitPopulated(120*time.Second) {
+		b.Fatal("population did not settle")
+	}
+	if churn {
+		// Update 2% of rows (n1 and c1), then let invalidations flush.
+		sess := c.PrimarySession(0)
+		s := tbl.Schema()
+		n1, c1 := s.ColIndex("n1"), s.ColIndex("c1")
+		tx, _ := sess.Begin()
+		for k := 0; k < benchRows/50; k++ {
+			id := fixtureRNG.Int63n(benchRows)
+			_ = tx.UpdateByID(tbl, id, []uint16{uint16(n1)}, func(r *dbimadg.Row) {
+				r.Nums[s.Col(n1).Slot()] = fixtureRNG.Int63n(workload.NumDomain)
+			})
+			id = fixtureRNG.Int63n(benchRows)
+			_ = tx.UpdateByID(tbl, id, []uint16{uint16(c1)}, func(r *dbimadg.Row) {
+				r.Strs[s.Col(c1).Slot()] = fmt.Sprintf("val_%04d", fixtureRNG.Int63n(workload.StrDomain))
+			})
+		}
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if !c.WaitStandbyCaughtUp(60 * time.Second) {
+			b.Fatal("standby lagging after churn")
+		}
+	}
+	if tail {
+		// Insert 10% more rows after population: the edge-IMCU effect.
+		loadRows(b, c, tbl, benchRows, benchRows+benchRows/10)
+		if !c.WaitStandbyCaughtUp(60 * time.Second) {
+			b.Fatal("standby lagging after tail inserts")
+		}
+	}
+	sTbl, err := c.StandbyTable(1, "C101")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{c: c, tbl: tbl, sTbl: sTbl}
+	fixtures[key] = f
+	return f
+}
+
+func loadRows(b *testing.B, c *dbimadg.Cluster, tbl *dbimadg.Table, from, to int64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	sess := c.PrimarySession(0)
+	s := tbl.Schema()
+	const batch = 512
+	for lo := from; lo < to; lo += batch {
+		tx, err := sess.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id := lo; id < lo+batch && id < to; id++ {
+			if _, err := tx.Insert(tbl, workload.FillRow(s, id, rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runQ1 executes the paper's Q1 (SELECT * WHERE n1 = :v) b.N times.
+func runQ1(b *testing.B, sess *dbimadg.Session, tbl *dbimadg.Table) {
+	n1 := tbl.Schema().ColIndex("n1")
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Query(&dbimadg.Query{
+			Table:   tbl,
+			Filters: []dbimadg.Filter{dbimadg.EqNum(n1, rng.Int63n(workload.NumDomain))},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// runQ2 executes Q2 (SELECT * WHERE c1 = :v) b.N times.
+func runQ2(b *testing.B, sess *dbimadg.Session, tbl *dbimadg.Table) {
+	c1 := tbl.Schema().ColIndex("c1")
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Query(&dbimadg.Query{
+			Table:   tbl,
+			Filters: []dbimadg.Filter{dbimadg.EqStr(c1, fmt.Sprintf("val_%04d", rng.Int63n(workload.StrDomain)))},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// --- Fig. 9: update-only workload, standby scans with vs without DBIM ------
+
+func BenchmarkFig9_Q1_StandbyRowStore(b *testing.B) {
+	f := getFixture(b, "nodbim-churn", "", true, false)
+	runQ1(b, f.c.StandbySession(), f.sTbl)
+}
+
+func BenchmarkFig9_Q1_StandbyIMCS(b *testing.B) {
+	f := getFixture(b, "standby-churn", dbimadg.ServiceStandbyOnly, true, false)
+	runQ1(b, f.c.StandbySession(), f.sTbl)
+}
+
+func BenchmarkFig9_Q2_StandbyRowStore(b *testing.B) {
+	f := getFixture(b, "nodbim-churn", "", true, false)
+	runQ2(b, f.c.StandbySession(), f.sTbl)
+}
+
+func BenchmarkFig9_Q2_StandbyIMCS(b *testing.B) {
+	f := getFixture(b, "standby-churn", dbimadg.ServiceStandbyOnly, true, false)
+	runQ2(b, f.c.StandbySession(), f.sTbl)
+}
+
+// --- Fig. 10: update+insert workload (edge-IMCU tail rows) ------------------
+
+func BenchmarkFig10_Q1_StandbyRowStore(b *testing.B) {
+	f := getFixture(b, "nodbim-tail", "", true, true)
+	runQ1(b, f.c.StandbySession(), f.sTbl)
+}
+
+func BenchmarkFig10_Q1_StandbyIMCS(b *testing.B) {
+	f := getFixture(b, "standby-tail", dbimadg.ServiceStandbyOnly, true, true)
+	runQ1(b, f.c.StandbySession(), f.sTbl)
+}
+
+func BenchmarkFig10_Q2_StandbyIMCS(b *testing.B) {
+	f := getFixture(b, "standby-tail", dbimadg.ServiceStandbyOnly, true, true)
+	runQ2(b, f.c.StandbySession(), f.sTbl)
+}
+
+// --- Table 2: scan-only workload, primary vs standby with DBIM both ---------
+
+func BenchmarkTable2_Q1_Primary(b *testing.B) {
+	f := getFixture(b, "both-clean", dbimadg.ServicePrimaryAndStandby, false, false)
+	runQ1(b, f.c.PrimarySession(0), f.tbl)
+}
+
+func BenchmarkTable2_Q1_Standby(b *testing.B) {
+	f := getFixture(b, "both-clean", dbimadg.ServicePrimaryAndStandby, false, false)
+	runQ1(b, f.c.StandbySession(), f.sTbl)
+}
+
+// --- Fig. 11: redo apply throughput with DBIM-on-ADG enabled ----------------
+
+// benchmarkRedoApply measures end-to-end replication of b.N update
+// transactions (generate redo, ship, parallel apply, mine, flush, advance
+// QuerySCN) with the given flush mode.
+func benchmarkRedoApply(b *testing.B, disableCoop bool) {
+	c, err := dbimadg.Open(dbimadg.Config{
+		CheckpointInterval: time.Millisecond,
+		PopulationInterval: 2 * time.Millisecond,
+		BlocksPerIMCU:      16,
+		DisableCoopFlush:   disableCoop,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	tbl, err := c.Primary().Instance(0).CreateTable(workload.WideTableSpec("C101", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AlterInMemory(1, "C101", "", dbimadg.InMemoryAttr{Enabled: true, Service: dbimadg.ServiceStandbyOnly}); err != nil {
+		b.Fatal(err)
+	}
+	loadRows(b, c, tbl, 0, 4000)
+	if !c.WaitStandbyCaughtUp(60*time.Second) || !c.WaitPopulated(60*time.Second) {
+		b.Fatal("fixture sync failed")
+	}
+	sess := c.PrimarySession(0)
+	s := tbl.Schema()
+	n1 := s.ColIndex("n1")
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, _ := sess.Begin()
+		id := rng.Int63n(4000)
+		if err := tx.UpdateByID(tbl, id, []uint16{uint16(n1)}, func(r *dbimadg.Row) {
+			r.Nums[s.Col(n1).Slot()] = rng.Int63n(1000)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !c.WaitStandbyCaughtUp(120 * time.Second) {
+		b.Fatal("standby never caught up")
+	}
+	b.StopTimer()
+	st := c.Stats()
+	b.ReportMetric(float64(st.Standby.CVsApplied)/b.Elapsed().Seconds(), "cvs/s")
+}
+
+func BenchmarkFig11_RedoApplyWithDBIM(b *testing.B) {
+	benchmarkRedoApply(b, false)
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// Serial (coordinator-only) flush vs cooperative flush (§III.D.2).
+func BenchmarkAblationFlushSerial(b *testing.B) {
+	benchmarkRedoApply(b, true)
+}
+
+// Partitioned vs single-list IM-ADG Commit Table (§III.D.1).
+func benchmarkCommitTable(b *testing.B, parts int) {
+	ct := core.NewCommitTable(parts)
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(9))
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			ct.Insert(&core.CommitNode{Txn: scn.TxnID(rng.Uint64()), CommitSCN: scn.SCN(i)})
+			if i%1024 == 0 {
+				ct.Chop(scn.SCN(i))
+			}
+		}
+	})
+}
+
+func BenchmarkAblationCommitTable1Part(b *testing.B)  { benchmarkCommitTable(b, 1) }
+func BenchmarkAblationCommitTable8Parts(b *testing.B) { benchmarkCommitTable(b, 8) }
+
+// IM-ADG Journal: concurrent recovery workers mining records for overlapping
+// transactions (per-worker anchor areas, §III.C).
+func BenchmarkAblationJournalMining(b *testing.B) {
+	const workers = 4
+	j := core.NewJournal(0, workers)
+	var w sync.Mutex
+	next := 0
+	b.RunParallel(func(pb *testing.PB) {
+		w.Lock()
+		me := next % workers
+		next++
+		w.Unlock()
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			j.Add(me, scn.TxnID(i%512+1), 1, core.InvalRecord{Obj: 1, Blk: rowstore.BlockNo(i), Slot: uint16(i)})
+		}
+	})
+}
+
+// --- Micro-benchmarks of the substrates --------------------------------------
+
+func BenchmarkMicroRedoCodecEncode(b *testing.B) {
+	rec := benchRecord()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := redo.AppendRecord(nil, rec)
+		_ = buf
+	}
+}
+
+func BenchmarkMicroRedoCodecDecode(b *testing.B) {
+	buf := redo.AppendRecord(nil, benchRecord())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redo.DecodeRecord(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecord() *redo.Record {
+	row := rowstore.Row{Nums: make([]int64, 51), Strs: make([]string, 50)}
+	for i := range row.Nums {
+		row.Nums[i] = int64(i * 997)
+	}
+	for i := range row.Strs {
+		row.Strs[i] = "val_0042"
+	}
+	return &redo.Record{SCN: 12345, Thread: 1, CVs: []redo.CV{{
+		Kind: redo.CVUpdate, Txn: 7, Tenant: 1,
+		DBA: rowstore.MakeDBA(3, 9), Slot: 17, Row: row, ChangedCols: []uint16{1},
+	}}}
+}
+
+func BenchmarkMicroColumnEncodeNums(b *testing.B) {
+	vals := make([]int64, 8192)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = imcs.EncodeNums(vals)
+	}
+}
+
+func BenchmarkMicroColumnDecodeNums(b *testing.B) {
+	vals := make([]int64, 8192)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	col := imcs.EncodeNums(vals)
+	dst := make([]int64, 1024)
+	b.SetBytes(int64(len(dst) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.Decode(dst, (i*1024)%(len(vals)-1024))
+	}
+}

@@ -1,0 +1,333 @@
+// Package dbimadg is a from-scratch reproduction of "Oracle Database
+// In-Memory on Active Data Guard: Real-time Analytics on a Standby Database"
+// (Pendse et al., ICDE 2020).
+//
+// It provides a dual-format database: a multi-versioned row store on a
+// primary cluster processing OLTP, replicated to a physical standby via
+// SCN-ordered redo and massively parallel redo apply, with In-Memory Column
+// Stores (IMCS) maintainable on either side. On the standby, the DBIM-on-ADG
+// infrastructure — a mining component piggybacked on the recovery workers, an
+// in-memory journal of invalidation records, a commitSCN-ordered commit
+// table, and a cooperative invalidation flush tied to QuerySCN advancement —
+// keeps the column store transactionally consistent with the primary's OLTP
+// stream, so analytic queries offloaded to the standby run against
+// compressed, vectorizable columnar data at the published consistency point.
+//
+// Typical use:
+//
+//	c, _ := dbimadg.Open(dbimadg.Config{})
+//	defer c.Close()
+//	tbl, _ := c.CreateTable(&dbimadg.TableSpec{...})
+//	_ = c.AlterInMemory(tenant, "SALES", "", dbimadg.InMemoryAttr{Enabled: true, Service: dbimadg.ServiceStandbyOnly})
+//	tx := c.PrimarySession(0).Begin()
+//	... DML ...
+//	tx.Commit()
+//	c.WaitStandbyCaughtUp(time.Second)
+//	res, _ := c.StandbySession().Query(&dbimadg.Query{Table: standbyTbl, ...})
+package dbimadg
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/standby"
+	"dbimadg/internal/transport"
+	"dbimadg/internal/txn"
+)
+
+// Config describes a deployment: a primary cluster and one standby database
+// (optionally a standby RAC), connected by a redo transport.
+type Config struct {
+	// PrimaryInstances is the primary RAC size (default 1).
+	PrimaryInstances int
+	// StandbyReaders is the number of non-master standby RAC instances
+	// (default 0 = single-instance standby).
+	StandbyReaders int
+	// RowsPerBlock is the data block row capacity (default 128).
+	RowsPerBlock int
+	// BlocksPerIMCU is the population chunk size (default 64).
+	BlocksPerIMCU int
+	// ApplyWorkers is the standby's recovery parallelism (default 4).
+	ApplyWorkers int
+	// CheckpointInterval is the QuerySCN advancement period (default 2ms).
+	CheckpointInterval time.Duration
+	// PopulationWorkers / PopulationInterval tune background population.
+	PopulationWorkers  int
+	PopulationInterval time.Duration
+	// RepopThreshold is the invalid fraction that triggers repopulation.
+	RepopThreshold float64
+	// MemLimitBytes caps each column store's footprint (0 = unlimited).
+	MemLimitBytes int
+	// DisableCoopFlush switches the invalidation flush to coordinator-only
+	// (the serial ablation).
+	DisableCoopFlush bool
+	// CommitTableParts partitions the IM-ADG commit table (default 4).
+	CommitTableParts int
+	// UseTCP ships redo over a loopback TCP connection with the binary wire
+	// codec instead of handing streams over in-process.
+	UseTCP bool
+	// HeartbeatInterval enables primary redo heartbeats (required for
+	// multi-instance primaries; default 1ms when PrimaryInstances > 1).
+	HeartbeatInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PrimaryInstances <= 0 {
+		c.PrimaryInstances = 1
+	}
+	if c.HeartbeatInterval <= 0 && c.PrimaryInstances > 1 {
+		c.HeartbeatInterval = time.Millisecond
+	}
+	return c
+}
+
+// Default service names (re-exported from the service registry).
+const (
+	// ServicePrimaryOnly routes IMCS population to the primary only.
+	ServicePrimaryOnly = "primary"
+	// ServiceStandbyOnly routes IMCS population to the standby only.
+	ServiceStandbyOnly = "standby"
+	// ServicePrimaryAndStandby populates both sides.
+	ServicePrimaryAndStandby = "both"
+)
+
+// Cluster is an open deployment.
+type Cluster struct {
+	cfg Config
+
+	pri      *primary.Cluster
+	sc       *rac.StandbyCluster
+	priStore *imcs.Store
+	priEng   *imcs.Engine
+
+	tcpServer   *transport.Server
+	tcpReceiver *transport.Receiver
+}
+
+// Open builds and starts a deployment.
+func Open(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg}
+	c.pri = primary.NewCluster(cfg.PrimaryInstances, cfg.RowsPerBlock)
+
+	// Primary-side DBIM: column store + population engine + commit hook.
+	c.priStore = imcs.NewStore()
+	c.priEng = imcs.NewEngine(c.priStore, c.pri.Txns(), primarySnapshotter{c.pri},
+		func() []imcs.Target { return primaryTargets(c.pri) },
+		imcs.Config{
+			BlocksPerIMCU:  cfg.BlocksPerIMCU,
+			Workers:        cfg.PopulationWorkers,
+			Interval:       cfg.PopulationInterval,
+			RepopThreshold: cfg.RepopThreshold,
+			MemLimitBytes:  cfg.MemLimitBytes,
+		})
+	c.pri.SetDBIMHook(&primaryHook{store: c.priStore})
+	c.priEng.Start()
+
+	sbyCfg := standby.Config{
+		ApplyWorkers:       cfg.ApplyWorkers,
+		CheckpointInterval: cfg.CheckpointInterval,
+		CommitTableParts:   cfg.CommitTableParts,
+		DisableCoopFlush:   cfg.DisableCoopFlush,
+		RowsPerBlock:       cfg.RowsPerBlock,
+		BlocksPerIMCU:      cfg.BlocksPerIMCU,
+		PopulationWorkers:  cfg.PopulationWorkers,
+		PopulationInterval: cfg.PopulationInterval,
+		RepopThreshold:     cfg.RepopThreshold,
+		MemLimitBytes:      cfg.MemLimitBytes,
+	}
+	c.sc = rac.NewStandbyCluster(sbyCfg, cfg.StandbyReaders)
+
+	src, err := c.buildTransport()
+	if err != nil {
+		c.priEng.Stop()
+		return nil, err
+	}
+	c.sc.Attach(src)
+	c.sc.Start()
+	if cfg.HeartbeatInterval > 0 {
+		c.pri.StartHeartbeats(cfg.HeartbeatInterval)
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildTransport() (transport.Source, error) {
+	var streams []*redo.Stream
+	var threads []uint16
+	for _, inst := range c.pri.Instances() {
+		streams = append(streams, inst.Stream())
+		threads = append(threads, inst.Thread())
+	}
+	if !c.cfg.UseTCP {
+		return transport.NewInProc(streams...), nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dbimadg: tcp transport: %w", err)
+	}
+	c.tcpServer = transport.NewServer(ln, streams...)
+	rcv, err := transport.Connect(c.tcpServer.Addr(), threads, 0)
+	if err != nil {
+		c.tcpServer.Close()
+		return nil, err
+	}
+	c.tcpReceiver = rcv
+	return rcv, nil
+}
+
+// Close shuts the deployment down.
+func (c *Cluster) Close() {
+	c.pri.Close()
+	c.sc.Stop()
+	c.priEng.Stop()
+	if c.tcpReceiver != nil {
+		c.tcpReceiver.Close()
+	}
+	if c.tcpServer != nil {
+		c.tcpServer.Close()
+	}
+}
+
+// Primary exposes the primary cluster (advanced use).
+func (c *Cluster) Primary() *primary.Cluster { return c.pri }
+
+// StandbyMaster exposes the standby apply instance (advanced use).
+func (c *Cluster) StandbyMaster() *standby.Instance { return c.sc.Master }
+
+// StandbyReaders exposes the standby RAC readers.
+func (c *Cluster) StandbyReaders() []*rac.Reader { return c.sc.Readers() }
+
+// PrimaryStore exposes the primary-side column store.
+func (c *Cluster) PrimaryStore() *imcs.Store { return c.priStore }
+
+// PrimaryPopulation exposes the primary-side population engine.
+func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }
+
+// --- DDL --------------------------------------------------------------------
+
+// CreateTable executes a CREATE TABLE on the primary; the definition (with
+// assigned object ids) replicates to the standby through a redo marker.
+func (c *Cluster) CreateTable(spec *TableSpec) (*Table, error) {
+	return c.pri.Instance(0).CreateTable(spec)
+}
+
+// AlterInMemory sets INMEMORY attributes on a table or partition; the policy
+// replicates to the standby. The attribute's Service decides placement:
+// ServicePrimaryOnly, ServiceStandbyOnly or ServicePrimaryAndStandby.
+func (c *Cluster) AlterInMemory(tenant TenantID, table, partition string, attr InMemoryAttr) error {
+	return c.pri.Instance(0).AlterInMemory(tenant, table, partition, attr)
+}
+
+// Truncate truncates a table (or one partition of an unindexed table).
+func (c *Cluster) Truncate(tenant TenantID, table, partition string) error {
+	return c.pri.Instance(0).Truncate(tenant, table, partition)
+}
+
+// DropColumn performs a dictionary-level DROP COLUMN.
+func (c *Cluster) DropColumn(tenant TenantID, table, column string) error {
+	return c.pri.Instance(0).DropColumn(tenant, table, column)
+}
+
+// StandbyTable resolves a table in the standby's replicated catalog.
+func (c *Cluster) StandbyTable(tenant TenantID, name string) (*Table, error) {
+	return c.sc.Master.DB().Table(tenant, name)
+}
+
+// --- synchronization --------------------------------------------------------
+
+// WaitStandbyCaughtUp blocks until the standby QuerySCN reaches the primary's
+// current SCN (sub-second in steady state, per the paper's ADG lag).
+func (c *Cluster) WaitStandbyCaughtUp(timeout time.Duration) bool {
+	return c.sc.Master.WaitForSCN(c.pri.Snapshot(), timeout)
+}
+
+// WaitPopulated blocks until background population settles on both sides.
+func (c *Cluster) WaitPopulated(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	ok := c.priEng.WaitIdle(time.Until(deadline))
+	ok = c.sc.Master.Engine().WaitIdle(time.Until(deadline)) && ok
+	for _, r := range c.sc.Readers() {
+		ok = r.Engine().WaitIdle(time.Until(deadline)) && ok
+	}
+	return ok
+}
+
+// Vacuum prunes primary row versions up to the standby's applied watermark
+// (safe: the standby re-reads redo, not row versions) and the standby's
+// replica up to its QuerySCN. Long-running deployments call this
+// periodically.
+func (c *Cluster) Vacuum() {
+	q := c.sc.Master.QuerySCN()
+	if q == 0 {
+		return
+	}
+	c.pri.Vacuum(q)
+	c.sc.Master.DB().Vacuum(q, c.sc.Master.Txns())
+}
+
+// ClusterStats aggregates deployment statistics.
+type ClusterStats struct {
+	PrimarySCN       SCN
+	Standby          standby.Stats
+	PrimaryStore     imcs.StoreStats
+	StandbyStore     imcs.StoreStats
+	ReaderStores     []imcs.StoreStats
+	RedoBytesPerInst []int64
+}
+
+// Stats returns a snapshot of deployment statistics.
+func (c *Cluster) Stats() ClusterStats {
+	st := ClusterStats{
+		PrimarySCN:   c.pri.Clock().Current(),
+		Standby:      c.sc.Master.Stats(),
+		PrimaryStore: c.priStore.Stats(),
+		StandbyStore: c.sc.Master.Store().Stats(),
+	}
+	for _, r := range c.sc.Readers() {
+		st.ReaderStores = append(st.ReaderStores, r.Store().Stats())
+	}
+	for _, inst := range c.pri.Instances() {
+		st.RedoBytesPerInst = append(st.RedoBytesPerInst, inst.Stream().Bytes())
+	}
+	return st
+}
+
+// --- primary-side DBIM glue --------------------------------------------------
+
+// primarySnapshotter: any primary snapshot is a consistency point.
+type primarySnapshotter struct{ c *primary.Cluster }
+
+func (p primarySnapshotter) CaptureSnapshot() scn.SCN { return p.c.Snapshot() }
+
+// primaryHook invalidates the primary column store at commit (the DBIM
+// Transaction Manager's job, §II.B). It runs under the commit gate.
+type primaryHook struct {
+	store *imcs.Store
+}
+
+func (h *primaryHook) OnCommit(_ rowstore.TenantID, changes []txn.RowChange, _ scn.SCN) {
+	for _, ch := range changes {
+		h.store.InvalidateRows(ch.Obj, ch.DBA.Block(), []uint16{ch.Slot})
+	}
+}
+
+// primaryTargets lists primary-enabled segments.
+func primaryTargets(c *primary.Cluster) []imcs.Target {
+	var out []imcs.Target
+	for _, tbl := range c.DB().Tables() {
+		for _, part := range tbl.Partitions() {
+			attr := part.InMemory()
+			if attr.Enabled && c.Services().RunsOn(attr.Service, rolePrimary) {
+				out = append(out, imcs.Target{Seg: part.Seg, Table: tbl, Priority: attr.Priority})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module dbimadg
+
+go 1.22

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+func TestJournalAnchorsAndAreas(t *testing.T) {
+	j := NewJournal(0, 4)
+	a := j.EnsureAnchor(1, 7, true)
+	if !a.Began() {
+		t.Fatal("began not set")
+	}
+	// Different workers append without stepping on each other.
+	j.Add(0, 1, 7, InvalRecord{Obj: 1, Blk: 0, Slot: 0})
+	j.Add(3, 1, 7, InvalRecord{Obj: 1, Blk: 1, Slot: 2})
+	j.Add(3, 1, 7, InvalRecord{Obj: 1, Blk: 1, Slot: 3})
+	got, ok := j.Get(1)
+	if !ok || got != a {
+		t.Fatal("anchor identity broken")
+	}
+	if a.RecordCount() != 3 {
+		t.Fatalf("RecordCount = %d", a.RecordCount())
+	}
+	seen := 0
+	a.Records(func(r InvalRecord) { seen++ })
+	if seen != 3 {
+		t.Fatalf("Records visited %d", seen)
+	}
+	// Adding without a begin creates an unbegun anchor (restart scenario).
+	j.Add(1, 2, 7, InvalRecord{Obj: 1})
+	if a2, _ := j.Get(2); a2.Began() {
+		t.Fatal("anchor began without begin record")
+	}
+	j.Remove(1)
+	if _, ok := j.Get(1); ok {
+		t.Fatal("removed anchor still present")
+	}
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	j.Reset()
+	if j.Len() != 0 {
+		t.Fatal("reset left anchors")
+	}
+}
+
+func TestJournalConcurrentWorkers(t *testing.T) {
+	const workers = 8
+	j := NewJournal(0, workers)
+	var wg sync.WaitGroup
+	// All workers mine records for an overlapping set of transactions — the
+	// common case the per-worker areas are designed for.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				txn := scn.TxnID(i%10 + 1)
+				j.Add(w, txn, 1, InvalRecord{Obj: 1, Blk: rowstore.BlockNo(i), Slot: uint16(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for id := scn.TxnID(1); id <= 10; id++ {
+		a, ok := j.Get(id)
+		if !ok {
+			t.Fatalf("txn %d lost", id)
+		}
+		total += a.RecordCount()
+	}
+	if total != workers*1000 {
+		t.Fatalf("records = %d, want %d", total, workers*1000)
+	}
+}
+
+func TestCommitTableSortedChop(t *testing.T) {
+	ct := NewCommitTable(1)
+	// Insert out of order; the list must stay sorted.
+	for _, s := range []scn.SCN{50, 10, 30, 20, 40} {
+		ct.Insert(&CommitNode{Txn: scn.TxnID(s), CommitSCN: s})
+	}
+	if ct.Len() != 5 {
+		t.Fatalf("Len = %d", ct.Len())
+	}
+	w := ct.Chop(30)
+	if w.Len() != 3 {
+		t.Fatalf("chopped %d, want 3", w.Len())
+	}
+	prev := scn.SCN(0)
+	for _, n := range w.nodes {
+		if n.CommitSCN > 30 {
+			t.Fatalf("node %d beyond chop point", n.CommitSCN)
+		}
+		if n.CommitSCN < prev {
+			t.Fatal("worklink not sorted within partition")
+		}
+		prev = n.CommitSCN
+	}
+	if ct.Len() != 2 {
+		t.Fatalf("remaining = %d", ct.Len())
+	}
+	// Chop is exclusive of later commits, inclusive of the boundary.
+	w2 := ct.Chop(50)
+	if w2.Len() != 2 {
+		t.Fatalf("second chop = %d", w2.Len())
+	}
+	if ct.Chop(100).Len() != 0 {
+		t.Fatal("third chop should be empty")
+	}
+}
+
+func TestCommitTablePartitioned(t *testing.T) {
+	ct := NewCommitTable(4)
+	for i := 1; i <= 100; i++ {
+		ct.Insert(&CommitNode{Txn: scn.TxnID(i), CommitSCN: scn.SCN(i)})
+	}
+	w := ct.Chop(60)
+	if w.Len() != 60 {
+		t.Fatalf("chopped %d, want 60", w.Len())
+	}
+	seen := map[scn.TxnID]bool{}
+	for _, n := range w.nodes {
+		if seen[n.Txn] {
+			t.Fatal("duplicate node in worklink")
+		}
+		seen[n.Txn] = true
+	}
+}
+
+func TestWorklinkCooperativeDrain(t *testing.T) {
+	w := &Worklink{}
+	for i := 0; i < 1000; i++ {
+		w.nodes = append(w.nodes, &CommitNode{Txn: scn.TxnID(i + 1)})
+	}
+	var (
+		mu      sync.Mutex
+		claimed = map[scn.TxnID]int{}
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				batch := w.NextBatch(7)
+				if batch == nil {
+					return
+				}
+				mu.Lock()
+				for _, n := range batch {
+					claimed[n.Txn]++
+				}
+				mu.Unlock()
+				w.MarkDone(len(batch))
+			}
+		}()
+	}
+	wg.Wait()
+	if len(claimed) != 1000 {
+		t.Fatalf("claimed %d distinct nodes", len(claimed))
+	}
+	for txn, c := range claimed {
+		if c != 1 {
+			t.Fatalf("node %d claimed %d times", txn, c)
+		}
+	}
+	if !w.Drained() {
+		t.Fatal("worklink not drained")
+	}
+}
+
+type allowAll struct{}
+
+func (allowAll) Enabled(rowstore.ObjID) bool { return true }
+
+type allowNone struct{}
+
+func (allowNone) Enabled(rowstore.ObjID) bool { return false }
+
+func TestMinerRoutesCVs(t *testing.T) {
+	j := NewJournal(0, 2)
+	ct := NewCommitTable(2)
+	ddl := NewDDLTable()
+	m := NewMiner(j, ct, ddl, allowAll{})
+
+	m.MineCV(0, 10, &redo.CV{Kind: redo.CVBegin, Txn: 1, Tenant: 5})
+	m.MineCV(0, 11, &redo.CV{Kind: redo.CVUpdate, Txn: 1, Tenant: 5, DBA: rowstore.MakeDBA(9, 3), Slot: 4})
+	m.MineCV(1, 12, &redo.CV{Kind: redo.CVInsert, Txn: 1, Tenant: 5, DBA: rowstore.MakeDBA(9, 7), Slot: 0})
+	m.MineCV(1, 20, &redo.CV{Kind: redo.CVCommit, Txn: 1, Tenant: 5, HasIMCS: true})
+
+	a, ok := j.Get(1)
+	if !ok || a.RecordCount() != 2 || !a.Began() {
+		t.Fatalf("journal state wrong: ok=%v records=%d", ok, a.RecordCount())
+	}
+	w := ct.Chop(20)
+	if w.Len() != 1 {
+		t.Fatal("commit not in table")
+	}
+	n := w.nodes[0]
+	if n.CommitSCN != 20 || !n.HasIMCS || n.Anchor != a {
+		t.Fatalf("commit node wrong: %+v", n)
+	}
+	if m.MinedRecords() != 2 || m.MinedCommits() != 1 {
+		t.Fatalf("counters: %d %d", m.MinedRecords(), m.MinedCommits())
+	}
+
+	// Markers land in the DDL table.
+	m.MineCV(0, 30, &redo.CV{Kind: redo.CVMarker, Marker: &redo.Marker{Kind: redo.MarkerTruncate, Obj: 9}})
+	if ddl.Len() != 1 {
+		t.Fatal("marker not buffered")
+	}
+	got := ddl.Collect(30)
+	if len(got) != 1 || got[0].Kind != redo.MarkerTruncate {
+		t.Fatal("marker not collected")
+	}
+	if ddl.Len() != 0 {
+		t.Fatal("collected marker not removed")
+	}
+}
+
+func TestMinerRespectsPolicy(t *testing.T) {
+	j := NewJournal(0, 1)
+	m := NewMiner(j, NewCommitTable(1), NewDDLTable(), allowNone{})
+	m.MineCV(0, 11, &redo.CV{Kind: redo.CVUpdate, Txn: 1, DBA: rowstore.MakeDBA(9, 3)})
+	if j.Len() != 0 {
+		t.Fatal("disabled object mined")
+	}
+}
+
+func TestMinerAbortDiscards(t *testing.T) {
+	j := NewJournal(0, 1)
+	m := NewMiner(j, NewCommitTable(1), NewDDLTable(), allowAll{})
+	m.MineCV(0, 10, &redo.CV{Kind: redo.CVBegin, Txn: 1})
+	m.MineCV(0, 11, &redo.CV{Kind: redo.CVUpdate, Txn: 1, DBA: rowstore.MakeDBA(9, 3)})
+	m.MineCV(0, 12, &redo.CV{Kind: redo.CVAbort, Txn: 1})
+	if j.Len() != 0 {
+		t.Fatal("aborted txn's records not discarded")
+	}
+}
+
+// flushFixture builds a store with populated units over a tiny segment.
+func flushFixture(t *testing.T) (*imcs.Store, *rowstore.Segment, *Journal, *Flusher) {
+	t.Helper()
+	store := imcs.NewStore()
+	seg := rowstore.NewSegment(9, 5, "T", "", 8)
+	schema := rowstore.MustSchema([]rowstore.Column{{Name: "id", Kind: rowstore.KindNumber}})
+	// 4 blocks of 8 rows, all committed by a frozen writer.
+	for b := 0; b < 4; b++ {
+		for s := 0; s < 8; s++ {
+			rid := seg.AllocRowSlot()
+			row := rowstore.NewRow(schema)
+			row.Nums[0] = int64(b*8 + s)
+			_ = seg.Block(rid.DBA.Block()).Insert(rid.Slot, scn.FrozenTxn, row)
+		}
+	}
+	unit, err := store.CreateUnit(9, 5, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := imcs.NewBuilder(9, 5, schema, 100, 0, 4)
+	for blk := rowstore.BlockNo(0); blk < 4; blk++ {
+		b.BeginBlock(8)
+		for s := 0; s < 8; s++ {
+			row := rowstore.NewRow(schema)
+			row.Nums[0] = int64(int(blk)*8 + s)
+			b.AddRow(row, true)
+		}
+	}
+	unit.Attach(b.Build())
+	j := NewJournal(0, 2)
+	f := NewFlusher(j, store, imcs.HomeMap{Instances: 1}, 0, 64, nil)
+	return store, seg, j, f
+}
+
+func TestFlushNodeInvalidatesSMU(t *testing.T) {
+	store, _, j, f := flushFixture(t)
+	j.EnsureAnchor(1, 5, true)
+	j.Add(0, 1, 5, InvalRecord{Obj: 9, Blk: 1, Slot: 2})
+	j.Add(1, 1, 5, InvalRecord{Obj: 9, Blk: 3, Slot: 7})
+	a, _ := j.Get(1)
+	f.FlushNode(&CommitNode{Txn: 1, CommitSCN: 50, Tenant: 5, HasIMCS: true, Anchor: a})
+
+	u, _ := store.UnitForBlock(9, 0)
+	imcu, invalid, ok := u.ScanView()
+	if !ok {
+		t.Fatal("unit unusable")
+	}
+	for _, want := range []struct {
+		blk  rowstore.BlockNo
+		slot uint16
+	}{{1, 2}, {3, 7}} {
+		idx, _ := imcu.RowIndexOf(want.blk, want.slot)
+		if invalid[idx/64]&(1<<(idx%64)) == 0 {
+			t.Fatalf("row %d.%d not invalidated", want.blk, want.slot)
+		}
+	}
+	if u.Stats().InvalidRows != 2 {
+		t.Fatalf("InvalidRows = %d", u.Stats().InvalidRows)
+	}
+	if _, ok := j.Get(1); ok {
+		t.Fatal("anchor not released after flush")
+	}
+	if f.FlushedRecords() != 2 {
+		t.Fatalf("FlushedRecords = %d", f.FlushedRecords())
+	}
+}
+
+func TestFlushNodeLateAnchorResolution(t *testing.T) {
+	// Commit mined before any data CV: node.Anchor is nil, but the anchor
+	// exists by flush time and must be found.
+	store, _, j, f := flushFixture(t)
+	node := &CommitNode{Txn: 1, CommitSCN: 50, Tenant: 5, HasIMCS: true, Anchor: nil}
+	j.EnsureAnchor(1, 5, true)
+	j.Add(0, 1, 5, InvalRecord{Obj: 9, Blk: 0, Slot: 0})
+	f.FlushNode(node)
+	u, _ := store.UnitForBlock(9, 0)
+	if u.Stats().InvalidRows != 1 {
+		t.Fatal("late-resolved anchor not flushed")
+	}
+	if f.CoarseInvalidations() != 0 {
+		t.Fatal("coarse invalidation fired spuriously")
+	}
+}
+
+func TestFlushCoarseInvalidationOnMissingBegin(t *testing.T) {
+	store, _, j, f := flushFixture(t)
+	// Partial mining: records exist but no begin control record (restart).
+	j.Add(0, 1, 5, InvalRecord{Obj: 9, Blk: 0, Slot: 0})
+	a, _ := j.Get(1)
+	f.FlushNode(&CommitNode{Txn: 1, CommitSCN: 50, Tenant: 5, HasIMCS: true, Anchor: a})
+	if f.CoarseInvalidations() != 1 {
+		t.Fatal("coarse invalidation did not fire")
+	}
+	u, _ := store.UnitForBlock(9, 0)
+	if _, _, ok := u.ScanView(); ok {
+		t.Fatal("unit scannable after coarse invalidation")
+	}
+	// Missing anchor entirely, flagged commit → also coarse.
+	f.FlushNode(&CommitNode{Txn: 2, CommitSCN: 51, Tenant: 5, HasIMCS: true})
+	if f.CoarseInvalidations() != 2 {
+		t.Fatal("missing-anchor coarse invalidation did not fire")
+	}
+	// Unflagged commit without anchor: nothing to do, no coarse.
+	f.FlushNode(&CommitNode{Txn: 3, CommitSCN: 52, Tenant: 5, HasIMCS: false})
+	if f.CoarseInvalidations() != 2 {
+		t.Fatal("unflagged commit triggered coarse invalidation")
+	}
+}
+
+type captureSink struct {
+	mu     sync.Mutex
+	sent   map[int][]Group
+	coarse []rowstore.TenantID
+}
+
+func (c *captureSink) SendGroups(inst int, groups []Group) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sent == nil {
+		c.sent = map[int][]Group{}
+	}
+	c.sent[inst] = append(c.sent[inst], groups...)
+}
+
+func (c *captureSink) Barrier() {}
+
+func (c *captureSink) CoarseInvalidate(tenant rowstore.TenantID) {
+	c.mu.Lock()
+	c.coarse = append(c.coarse, tenant)
+	c.mu.Unlock()
+}
+
+func TestFlushRoutesRemoteGroups(t *testing.T) {
+	_, _, j, _ := flushFixture(t)
+	sink := &captureSink{}
+	store := imcs.NewStore()
+	home := imcs.HomeMap{Instances: 2}
+	f := NewFlusher(j, store, home, 0, 4, sink)
+	j.EnsureAnchor(1, 5, true)
+	// Spread records over many chunks so both homes appear.
+	for blk := rowstore.BlockNo(0); blk < 64; blk += 4 {
+		j.Add(0, 1, 5, InvalRecord{Obj: 9, Blk: blk, Slot: 0})
+	}
+	a, _ := j.Get(1)
+	f.FlushNode(&CommitNode{Txn: 1, CommitSCN: 50, Tenant: 5, HasIMCS: true, Anchor: a})
+	if len(sink.sent[1]) == 0 {
+		t.Fatal("no groups routed to the remote instance")
+	}
+	for _, g := range sink.sent[1] {
+		if home.HomeOf(g.Obj, g.Blk-g.Blk%4) != 1 {
+			t.Fatal("group routed to wrong home")
+		}
+	}
+	// Coarse invalidation must fan out to peers.
+	f.FlushNode(&CommitNode{Txn: 2, CommitSCN: 51, Tenant: 5, HasIMCS: true})
+	if len(sink.coarse) != 1 || sink.coarse[0] != 5 {
+		t.Fatalf("remote coarse invalidation: %v", sink.coarse)
+	}
+}
+
+func TestApplyGroups(t *testing.T) {
+	store, _, _, _ := flushFixture(t)
+	ApplyGroups(store, []Group{{Obj: 9, Blk: 2, Slots: []uint16{1, 3}}})
+	u, _ := store.UnitForBlock(9, 2)
+	if u.Stats().InvalidRows != 2 {
+		t.Fatalf("InvalidRows = %d", u.Stats().InvalidRows)
+	}
+}
+
+func TestDrainWorklink(t *testing.T) {
+	store, _, j, f := flushFixture(t)
+	w := &Worklink{}
+	for i := 0; i < 20; i++ {
+		txn := scn.TxnID(i + 1)
+		j.EnsureAnchor(txn, 5, true)
+		j.Add(0, txn, 5, InvalRecord{Obj: 9, Blk: rowstore.BlockNo(i % 4), Slot: uint16(i % 8)})
+		a, _ := j.Get(txn)
+		w.nodes = append(w.nodes, &CommitNode{Txn: txn, CommitSCN: scn.SCN(i + 10), Tenant: 5, HasIMCS: true, Anchor: a})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.DrainWorklink(w, 3)
+		}()
+	}
+	wg.Wait()
+	if !w.Drained() {
+		t.Fatal("worklink not drained")
+	}
+	if j.Len() != 0 {
+		t.Fatalf("anchors remain: %d", j.Len())
+	}
+	u, _ := store.UnitForBlock(9, 0)
+	if u.Stats().InvalidRows == 0 {
+		t.Fatal("no invalidations applied")
+	}
+}
+
+func TestCommitTableChopStress(t *testing.T) {
+	// Randomized: interleave inserts and chops; every inserted txn must be
+	// chopped exactly once, in commitSCN-respecting order per chop.
+	rng := rand.New(rand.NewSource(3))
+	ct := NewCommitTable(4)
+	seen := map[scn.TxnID]bool{}
+	next := scn.SCN(1)
+	inserted := 0
+	for round := 0; round < 50; round++ {
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			next += scn.SCN(rng.Intn(3))
+			inserted++
+			ct.Insert(&CommitNode{Txn: scn.TxnID(inserted), CommitSCN: next})
+		}
+		w := ct.Chop(next)
+		for _, node := range w.nodes {
+			if seen[node.Txn] {
+				t.Fatal("txn chopped twice")
+			}
+			seen[node.Txn] = true
+		}
+	}
+	ctFinal := ct.Chop(next + 1000)
+	for _, node := range ctFinal.nodes {
+		seen[node.Txn] = true
+	}
+	if len(seen) != inserted {
+		t.Fatalf("chopped %d, inserted %d", len(seen), inserted)
+	}
+}

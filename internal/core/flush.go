@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rowstore"
+)
+
+// Group is an invalidation group (paper §III.D): the invalidation records of
+// one transaction that target one data block, routed as a unit to the SMU (or
+// to the RAC instance, §III.F) hosting the covering IMCU.
+type Group struct {
+	Obj   rowstore.ObjID
+	Blk   rowstore.BlockNo
+	Slots []uint16
+}
+
+// RemoteSink ships invalidation work to other standby RAC instances. Nil when
+// the standby is a single instance.
+type RemoteSink interface {
+	// SendGroups delivers invalidation groups homed on instance inst.
+	// Implementations batch and pipeline (§III.F): the call may return before
+	// the receiving local recovery coordinator has applied the groups, as
+	// long as Barrier provides the acknowledgement point.
+	SendGroups(inst int, groups []Group)
+	// Barrier blocks until every previously sent group has been applied and
+	// acknowledged by its receiving instance. The master calls it after
+	// draining a worklink and before publishing the new QuerySCN, so no
+	// instance's column store lags the published consistency point.
+	Barrier()
+	// CoarseInvalidate asks every peer instance to coarse-invalidate the
+	// tenant's IMCUs (restart fallback, §III.E).
+	CoarseInvalidate(tenant rowstore.TenantID)
+}
+
+// Flusher is the Invalidation Flush Component (paper §III.D): it walks a
+// worklink's commit nodes, gathers each transaction's invalidation records
+// through the one-step anchor reference, chunks them into invalidation groups
+// by IMCU, and flushes them to the SMUs — locally or across RAC instances via
+// the home-location map.
+type Flusher struct {
+	journal *Journal
+	local   *imcs.Store
+	home    imcs.HomeMap
+	localID int // this instance's index in the home map
+	chunk   rowstore.BlockNo
+	remote  RemoteSink
+
+	flushedRecords atomic.Int64
+	coarseCount    atomic.Int64
+}
+
+// NewFlusher assembles the flush component. chunk is the population engine's
+// BlocksPerIMCU, which determines IMCU boundaries and hence group homes.
+func NewFlusher(journal *Journal, local *imcs.Store, home imcs.HomeMap, localID int, chunk int, remote RemoteSink) *Flusher {
+	if chunk <= 0 {
+		chunk = 64
+	}
+	return &Flusher{
+		journal: journal, local: local, home: home, localID: localID,
+		chunk: rowstore.BlockNo(chunk), remote: remote,
+	}
+}
+
+// FlushedRecords returns the number of invalidation records flushed to SMUs.
+func (f *Flusher) FlushedRecords() int64 { return f.flushedRecords.Load() }
+
+// CoarseInvalidations returns how many times the coarse fallback fired.
+func (f *Flusher) CoarseInvalidations() int64 { return f.coarseCount.Load() }
+
+// FlushNode flushes one commit node's invalidations and releases its journal
+// anchor. By the time a node is chopped into a worklink, every CV of its
+// transaction has been applied (the chop SCN is an apply watermark), so the
+// anchor is complete and no worker is still appending to it.
+func (f *Flusher) FlushNode(n *CommitNode) {
+	anchor := n.Anchor
+	if anchor == nil {
+		// The commit CV may have been applied (and mined) before some of the
+		// transaction's data CVs on other workers; the anchor might have been
+		// created after the commit node. Re-resolve.
+		anchor, _ = f.journal.Get(n.Txn)
+	}
+	if n.HasIMCS && (anchor == nil || !anchor.Began()) {
+		// Specialized redo generation says invalidation records are expected,
+		// but the journal has none or a partial set (missing "transaction
+		// begin") — mining started mid-transaction, i.e. the instance
+		// restarted. Fall back to coarse invalidation of the tenant (§III.E).
+		f.coarseCount.Add(1)
+		f.local.InvalidateTenant(n.Tenant)
+		if f.remote != nil {
+			f.remote.CoarseInvalidate(n.Tenant)
+		}
+		if anchor != nil {
+			f.journal.Remove(n.Txn)
+		}
+		return
+	}
+	if anchor == nil {
+		return // read-only w.r.t. the IMCS: nothing to flush
+	}
+	f.flushAnchor(anchor)
+	f.journal.Remove(n.Txn)
+}
+
+// flushAnchor groups the anchor's records and applies them.
+func (f *Flusher) flushAnchor(a *Anchor) {
+	type key struct {
+		obj rowstore.ObjID
+		blk rowstore.BlockNo
+	}
+	groups := make(map[key][]uint16)
+	a.Records(func(r InvalRecord) {
+		k := key{r.Obj, r.Blk}
+		groups[k] = append(groups[k], r.Slot)
+	})
+	var remote map[int][]Group
+	for k, slots := range groups {
+		f.flushedRecords.Add(int64(len(slots)))
+		home := f.home.HomeOf(k.obj, k.blk-k.blk%f.chunk)
+		if home == f.localID || f.remote == nil {
+			f.local.InvalidateRows(k.obj, k.blk, slots)
+			continue
+		}
+		if remote == nil {
+			remote = make(map[int][]Group)
+		}
+		remote[home] = append(remote[home], Group{Obj: k.obj, Blk: k.blk, Slots: slots})
+	}
+	for inst, gs := range remote {
+		// Deterministic order within a batch helps debugging; order across
+		// blocks does not affect correctness (invalidation is idempotent and
+		// monotone).
+		sort.Slice(gs, func(i, j int) bool {
+			if gs[i].Obj != gs[j].Obj {
+				return gs[i].Obj < gs[j].Obj
+			}
+			return gs[i].Blk < gs[j].Blk
+		})
+		f.remote.SendGroups(inst, gs)
+	}
+}
+
+// ApplyGroups applies invalidation groups received from another instance's
+// flush (the receiving side of SendGroups, run by the local recovery
+// coordinator on that instance).
+func ApplyGroups(store *imcs.Store, groups []Group) {
+	for _, g := range groups {
+		store.InvalidateRows(g.Obj, g.Blk, g.Slots)
+	}
+}
+
+// DrainWorklink cooperatively drains w: the caller (coordinator or a recovery
+// worker between redo batches) claims batches of batchSize nodes and flushes
+// them until the worklink is exhausted (§III.D.2).
+func (f *Flusher) DrainWorklink(w *Worklink, batchSize int) {
+	for {
+		batch := w.NextBatch(batchSize)
+		if batch == nil {
+			return
+		}
+		for _, n := range batch {
+			f.FlushNode(n)
+		}
+		w.MarkDone(len(batch))
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// StandbyPolicy answers whether a data object is enabled for population into
+// the IMCS on this standby (resolved from replicated INMEMORY attributes and
+// the service registry by the standby package).
+type StandbyPolicy interface {
+	Enabled(obj rowstore.ObjID) bool
+}
+
+// Miner is the DBIM-on-ADG Mining Component (paper §III.B). It piggybacks on
+// the recovery workers: each worker, while applying a change vector, hands it
+// to MineCV. Data CVs on IMCS-enabled objects yield invalidation records in
+// the journal; control CVs (begin/commit/abort) maintain the journal anchors
+// and the commit table; marker CVs feed the DDL information table.
+type Miner struct {
+	journal *Journal
+	commits *CommitTable
+	ddl     *DDLTable
+	policy  StandbyPolicy
+
+	mined   atomic.Int64 // invalidation records mined
+	commitN atomic.Int64 // commit nodes created
+}
+
+// NewMiner assembles the mining component.
+func NewMiner(journal *Journal, commits *CommitTable, ddl *DDLTable, policy StandbyPolicy) *Miner {
+	return &Miner{journal: journal, commits: commits, ddl: ddl, policy: policy}
+}
+
+// MineCV sniffs one change vector applied by recovery worker w at record SCN
+// recSCN (§III.B).
+func (m *Miner) MineCV(w int, recSCN scn.SCN, cv *redo.CV) {
+	switch cv.Kind {
+	case redo.CVBegin:
+		m.journal.EnsureAnchor(cv.Txn, cv.Tenant, true)
+	case redo.CVInsert, redo.CVUpdate, redo.CVDelete:
+		if m.policy.Enabled(cv.DBA.Obj()) {
+			m.journal.Add(w, cv.Txn, cv.Tenant, InvalRecord{
+				Obj: cv.DBA.Obj(), Blk: cv.DBA.Block(), Slot: cv.Slot,
+			})
+			m.mined.Add(1)
+		}
+	case redo.CVCommit:
+		anchor, _ := m.journal.Get(cv.Txn)
+		m.commits.Insert(&CommitNode{
+			Txn: cv.Txn, CommitSCN: recSCN, Tenant: cv.Tenant,
+			HasIMCS: cv.HasIMCS, Anchor: anchor,
+		})
+		m.commitN.Add(1)
+	case redo.CVAbort:
+		// Aborted changes are never visible; discard buffered records.
+		m.journal.Remove(cv.Txn)
+	case redo.CVMarker:
+		if cv.Marker != nil {
+			m.ddl.Add(recSCN, cv.Marker)
+		}
+	}
+}
+
+// MinedRecords returns the number of invalidation records mined.
+func (m *Miner) MinedRecords() int64 { return m.mined.Load() }
+
+// MinedCommits returns the number of commit nodes created.
+func (m *Miner) MinedCommits() int64 { return m.commitN.Load() }
+
+// DDLTable buffers information mined from redo markers, analogous to the
+// IM-ADG Commit Table but for DDL (paper §III.G): at QuerySCN advancement,
+// IMCUs of objects whose definition changed are dropped.
+type DDLTable struct {
+	mu      sync.Mutex
+	entries []ddlEntry
+}
+
+type ddlEntry struct {
+	scn    scn.SCN
+	marker *redo.Marker
+}
+
+// NewDDLTable returns an empty DDL information table.
+func NewDDLTable() *DDLTable {
+	return &DDLTable{}
+}
+
+// Add buffers a mined marker.
+func (t *DDLTable) Add(s scn.SCN, m *redo.Marker) {
+	t.mu.Lock()
+	t.entries = append(t.entries, ddlEntry{scn: s, marker: m})
+	t.mu.Unlock()
+}
+
+// Collect removes and returns, in mining order, the markers with
+// SCN <= upTo; the coordinator applies them before publishing the new
+// QuerySCN.
+func (t *DDLTable) Collect(upTo scn.SCN) []*redo.Marker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*redo.Marker
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.scn <= upTo {
+			out = append(out, e.marker)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return out
+}
+
+// Len returns the number of buffered markers.
+func (t *DDLTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Reset drops all state (standby instance restart).
+func (t *DDLTable) Reset() {
+	t.mu.Lock()
+	t.entries = nil
+	t.mu.Unlock()
+}

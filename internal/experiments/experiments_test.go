@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyParams keeps the experiment smoke tests fast; the real scale runs live
+// in cmd/adgbench and the benchmarks.
+func tinyParams() Params {
+	return Params{
+		Rows:      4000,
+		Duration:  500 * time.Millisecond,
+		TargetOps: 2000,
+		Threads:   2,
+		Seed:      7,
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := RunFig9(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithQ1.Count == 0 || res.WithoutQ1.Count == 0 {
+		t.Fatalf("no scan samples: %+v", res)
+	}
+	// The shape: the IMCS must be markedly faster even at tiny scale.
+	if s := res.SpeedupQ1Median(); s < 2 {
+		t.Fatalf("Q1 median speedup = %.2fx; expected the columnar path to win", s)
+	}
+	if s := res.SpeedupQ2Median(); s < 2 {
+		t.Fatalf("Q2 median speedup = %.2fx", s)
+	}
+	if !strings.Contains(res.String(), "Q1 median") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := RunFig10(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.SpeedupQ1Median(); s < 1.2 {
+		t.Fatalf("Q1 median speedup with inserts = %.2fx; IMCS should still win", s)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := RunTable2(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Ratio()
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("standby/primary ratio = %.2f; scan-only sides should be comparable", ratio)
+	}
+	if !strings.Contains(res.String(), "Primary") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	p := tinyParams()
+	res, err := RunFig11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnsCommitted == 0 || res.CVsApplied == 0 {
+		t.Fatalf("no load applied: %+v", res)
+	}
+	if res.CatchupTime > 10*time.Second {
+		t.Fatalf("catch-up took %v; apply cannot keep up", res.CatchupTime)
+	}
+	if len(res.PriLog) != 2 {
+		t.Fatalf("expected 2 primary log series, got %d", len(res.PriLog))
+	}
+	if !strings.Contains(res.String(), "pri_log1") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestCPUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := RunCPU(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offloading moves scan time to the standby. The standby-side shift is
+	// the robust signal; the primary-side drop can be swamped by timing
+	// distortion at smoke scale (e.g. under the race detector), so it only
+	// gets a loose sanity bound.
+	if res.OffloadSbyPct <= res.OnPrimarySbyPct {
+		t.Fatalf("offload did not raise standby CPU: %.2f -> %.2f", res.OnPrimarySbyPct, res.OffloadSbyPct)
+	}
+	if res.OnPrimarySbyPct != 0 {
+		t.Fatalf("standby CPU %.2f with scans on the primary; expected 0", res.OnPrimarySbyPct)
+	}
+	if res.OffloadPriPct > 2*res.OnPrimaryPriPct+5 {
+		t.Fatalf("offload inflated primary CPU: %.2f -> %.2f", res.OnPrimaryPriPct, res.OffloadPriPct)
+	}
+}

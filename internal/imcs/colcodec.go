@@ -1,0 +1,301 @@
+// Package imcs implements the In-Memory Column Store: compressed In-Memory
+// Columnar Units (IMCUs), their Snapshot Metadata Units (SMUs), the store
+// that organizes them per object, and the background population and
+// repopulation engine (paper §II.B and §III.A).
+package imcs
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// bitPacked is a frame-of-reference, bit-packed vector of n values: value i is
+// stored as (v - min) in width bits. width == 0 encodes a constant vector.
+type bitPacked struct {
+	min   int64
+	width uint8
+	n     int
+	words []uint64
+}
+
+func packInts(vals []int64) bitPacked {
+	p := bitPacked{n: len(vals)}
+	if len(vals) == 0 {
+		return p
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	p.min = mn
+	span := uint64(mx - mn)
+	p.width = uint8(bits.Len64(span))
+	if p.width == 0 {
+		return p // constant column: min carries the value
+	}
+	p.words = make([]uint64, (len(vals)*int(p.width)+63)/64)
+	w := uint(p.width)
+	for i, v := range vals {
+		u := uint64(v - mn)
+		bitPos := uint(i) * w
+		word, off := bitPos/64, bitPos%64
+		p.words[word] |= u << off
+		if off+w > 64 {
+			p.words[word+1] |= u >> (64 - off)
+		}
+	}
+	return p
+}
+
+// get returns value i.
+func (p *bitPacked) get(i int) int64 {
+	if p.width == 0 {
+		return p.min
+	}
+	w := uint(p.width)
+	bitPos := uint(i) * w
+	word, off := bitPos/64, bitPos%64
+	u := p.words[word] >> off
+	if off+w > 64 {
+		u |= p.words[word+1] << (64 - off)
+	}
+	u &= (1 << w) - 1
+	return p.min + int64(u)
+}
+
+// decode fills dst with values [start, start+len(dst)).
+func (p *bitPacked) decode(dst []int64, start int) {
+	if p.width == 0 {
+		for i := range dst {
+			dst[i] = p.min
+		}
+		return
+	}
+	w := uint(p.width)
+	mask := uint64(1)<<w - 1
+	bitPos := uint(start) * w
+	for i := range dst {
+		word, off := bitPos/64, bitPos%64
+		u := p.words[word] >> off
+		if off+w > 64 {
+			u |= p.words[word+1] << (64 - off)
+		}
+		dst[i] = p.min + int64(u&mask)
+		bitPos += w
+	}
+}
+
+// memSize returns the approximate in-memory footprint in bytes.
+func (p *bitPacked) memSize() int { return 8*len(p.words) + 24 }
+
+// rle is a run-length encoded vector: runEnds[i] is the exclusive end index of
+// run i with value runVals[i].
+type rle struct {
+	n       int
+	runVals []int64
+	runEnds []uint32
+}
+
+func packRLE(vals []int64) rle {
+	r := rle{n: len(vals)}
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		r.runVals = append(r.runVals, vals[i])
+		r.runEnds = append(r.runEnds, uint32(j))
+		i = j
+	}
+	return r
+}
+
+func (r *rle) runIndexOf(i int) int {
+	return sort.Search(len(r.runEnds), func(k int) bool { return int(r.runEnds[k]) > i })
+}
+
+func (r *rle) get(i int) int64 {
+	return r.runVals[r.runIndexOf(i)]
+}
+
+func (r *rle) decode(dst []int64, start int) {
+	run := r.runIndexOf(start)
+	i := 0
+	for i < len(dst) {
+		end := int(r.runEnds[run]) - start
+		if end > len(dst) {
+			end = len(dst)
+		}
+		v := r.runVals[run]
+		for ; i < end; i++ {
+			dst[i] = v
+		}
+		run++
+	}
+}
+
+func (r *rle) memSize() int { return 12*len(r.runVals) + 24 }
+
+// NumColumn is one compressed NUMBER column of an IMCU, with its in-memory
+// storage index (min/max) used for IMCU pruning (§II.B).
+type NumColumn struct {
+	n        int
+	min, max int64
+	useRLE   bool
+	packed   bitPacked
+	runs     rle
+}
+
+// EncodeNums builds a compressed column, choosing run-length encoding when
+// the data is run-heavy and frame-of-reference bit-packing otherwise.
+func EncodeNums(vals []int64) *NumColumn {
+	c := &NumColumn{n: len(vals)}
+	if len(vals) == 0 {
+		return c
+	}
+	c.min, c.max = vals[0], vals[0]
+	runs := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < c.min {
+			c.min = vals[i]
+		}
+		if vals[i] > c.max {
+			c.max = vals[i]
+		}
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	// RLE pays off when average run length is long.
+	if len(vals)/runs >= 8 {
+		c.useRLE = true
+		c.runs = packRLE(vals)
+	} else {
+		c.packed = packInts(vals)
+	}
+	return c
+}
+
+// Len returns the number of values.
+func (c *NumColumn) Len() int { return c.n }
+
+// MinMax returns the storage-index bounds. Meaningless when Len() == 0.
+func (c *NumColumn) MinMax() (int64, int64) { return c.min, c.max }
+
+// Get returns value i.
+func (c *NumColumn) Get(i int) int64 {
+	if c.useRLE {
+		return c.runs.get(i)
+	}
+	return c.packed.get(i)
+}
+
+// Decode fills dst with values [start, start+len(dst)).
+func (c *NumColumn) Decode(dst []int64, start int) {
+	if c.useRLE {
+		c.runs.decode(dst, start)
+		return
+	}
+	c.packed.decode(dst, start)
+}
+
+// MemSize returns the approximate footprint in bytes.
+func (c *NumColumn) MemSize() int {
+	if c.useRLE {
+		return c.runs.memSize()
+	}
+	return c.packed.memSize()
+}
+
+// StrColumn is one dictionary-encoded VARCHAR2 column of an IMCU: a sorted
+// dictionary of distinct values plus bit-packed codes. Equality and range
+// predicates evaluate on codes without materializing strings.
+type StrColumn struct {
+	n     int
+	dict  []string // sorted ascending
+	codes bitPacked
+}
+
+// EncodeStrs builds a dictionary-encoded column.
+func EncodeStrs(vals []string) *StrColumn {
+	c := &StrColumn{n: len(vals)}
+	if len(vals) == 0 {
+		return c
+	}
+	uniq := make(map[string]struct{}, len(vals)/4+1)
+	for _, v := range vals {
+		uniq[v] = struct{}{}
+	}
+	c.dict = make([]string, 0, len(uniq))
+	for v := range uniq {
+		c.dict = append(c.dict, v)
+	}
+	sort.Strings(c.dict)
+	codeOf := make(map[string]int64, len(c.dict))
+	for i, v := range c.dict {
+		codeOf[v] = int64(i)
+	}
+	codes := make([]int64, len(vals))
+	for i, v := range vals {
+		codes[i] = codeOf[v]
+	}
+	c.codes = packInts(codes)
+	return c
+}
+
+// Len returns the number of values.
+func (c *StrColumn) Len() int { return c.n }
+
+// DictSize returns the number of distinct values.
+func (c *StrColumn) DictSize() int { return len(c.dict) }
+
+// MinMax returns the storage-index bounds (lexicographic).
+func (c *StrColumn) MinMax() (string, string) {
+	if len(c.dict) == 0 {
+		return "", ""
+	}
+	return c.dict[0], c.dict[len(c.dict)-1]
+}
+
+// Get returns value i.
+func (c *StrColumn) Get(i int) string {
+	return c.dict[c.codes.get(i)]
+}
+
+// Code returns the dictionary code for s; found is false when s is absent
+// (so an equality predicate matches nothing in this IMCU).
+func (c *StrColumn) Code(s string) (code int64, found bool) {
+	i := sort.SearchStrings(c.dict, s)
+	if i < len(c.dict) && c.dict[i] == s {
+		return int64(i), true
+	}
+	return 0, false
+}
+
+// CodeRangeGE returns the smallest code whose value is >= s (len(dict) when
+// none), enabling range predicates on codes.
+func (c *StrColumn) CodeRangeGE(s string) int64 {
+	return int64(sort.SearchStrings(c.dict, s))
+}
+
+// DecodeCodes fills dst with the codes of values [start, start+len(dst)).
+func (c *StrColumn) DecodeCodes(dst []int64, start int) {
+	c.codes.decode(dst, start)
+}
+
+// Value returns the dictionary value for a code.
+func (c *StrColumn) Value(code int64) string { return c.dict[code] }
+
+// MemSize returns the approximate footprint in bytes.
+func (c *StrColumn) MemSize() int {
+	sz := c.codes.memSize()
+	for _, s := range c.dict {
+		sz += len(s) + 16
+	}
+	return sz
+}

@@ -1,0 +1,24 @@
+package imcs
+
+import "dbimadg/internal/rowstore"
+
+// HomeMap is the home-location map of the distributed column store (§III.F,
+// citing the distributed DBIM architecture [5]): it deterministically assigns
+// each IMCU (identified by its object and starting block) to one instance of
+// a RAC cluster. Every instance computes the same assignment, so the
+// invalidation flush can route invalidation groups to the owning instance
+// without coordination.
+type HomeMap struct {
+	// Instances is the number of column-store-hosting instances (>= 1).
+	Instances int
+}
+
+// HomeOf returns the 0-based instance index hosting the IMCU that starts at
+// startBlk of object obj.
+func (h HomeMap) HomeOf(obj rowstore.ObjID, startBlk rowstore.BlockNo) int {
+	n := h.Instances
+	if n <= 1 {
+		return 0
+	}
+	return int(rowstore.MakeDBA(obj, startBlk).Hash() % uint64(n))
+}

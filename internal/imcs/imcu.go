@@ -1,0 +1,214 @@
+package imcs
+
+import (
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// IMCU is an In-Memory Columnar Unit: a read-only, compressed columnar image
+// of a range of data blocks of one segment, consistent as of SnapSCN (its
+// population snapshot, §II.B). Once built an IMCU is immutable; refresh is by
+// repopulation (building a replacement at a newer snapshot).
+type IMCU struct {
+	Obj     rowstore.ObjID
+	Tenant  rowstore.TenantID
+	SnapSCN scn.SCN
+	// Block range covered: [StartBlk, EndBlk).
+	StartBlk rowstore.BlockNo
+	EndBlk   rowstore.BlockNo
+
+	// blockRows[i] is the number of row slots captured from block
+	// StartBlk+i at population time; rows appended to the block later are
+	// "tail" rows served from the row store until repopulation.
+	blockRows []uint16
+	// rowBase[i] is the IMCU row index of the first row of block StartBlk+i
+	// (prefix sums of blockRows).
+	rowBase []uint32
+	nRows   int
+
+	// present marks row positions whose slot held a visible row at SnapSCN.
+	// Absent positions (uncommitted inserts or deleted rows at the snapshot)
+	// hold zero values in the column vectors and are skipped by scans.
+	present []uint64
+
+	// numCols[s] is the compressed column for number-slot s of the captured
+	// schema; strCols[s] for varchar-slot s.
+	numCols []*NumColumn
+	strCols []*StrColumn
+
+	// schema is the table schema captured at population time (DDL produces a
+	// new schema and triggers IMCU drop, §III.G).
+	schema *rowstore.Schema
+
+	// memSize caches the footprint; an IMCU is immutable so it never
+	// changes, and the repopulation heuristics poll it at high frequency.
+	memSize int
+}
+
+// Schema returns the schema the IMCU was built against.
+func (u *IMCU) Schema() *rowstore.Schema { return u.schema }
+
+// Rows returns the number of row positions (including absent ones).
+func (u *IMCU) Rows() int { return u.nRows }
+
+// NumCol returns the compressed column for number slot s.
+func (u *IMCU) NumCol(s int) *NumColumn { return u.numCols[s] }
+
+// StrCol returns the compressed column for varchar slot s.
+func (u *IMCU) StrCol(s int) *StrColumn { return u.strCols[s] }
+
+// Present reports whether row position i held a visible row at SnapSCN.
+func (u *IMCU) Present(i int) bool {
+	return u.present[i/64]&(1<<(i%64)) != 0
+}
+
+// PresentWords exposes the presence bitmap (do not modify).
+func (u *IMCU) PresentWords() []uint64 { return u.present }
+
+// RowIndexOf maps a (block, slot) address to the IMCU row position; ok is
+// false when the address lies outside the captured data (tail rows, blocks
+// beyond the range).
+func (u *IMCU) RowIndexOf(blk rowstore.BlockNo, slot uint16) (int, bool) {
+	if blk < u.StartBlk || blk >= u.EndBlk {
+		return 0, false
+	}
+	i := int(blk - u.StartBlk)
+	if i >= len(u.blockRows) || slot >= u.blockRows[i] {
+		return 0, false
+	}
+	return int(u.rowBase[i]) + int(slot), true
+}
+
+// AddrOfRow maps an IMCU row position back to its (block, slot) address.
+func (u *IMCU) AddrOfRow(i int) (rowstore.BlockNo, uint16) {
+	// Binary search over rowBase.
+	lo, hi := 0, len(u.rowBase)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(u.rowBase[mid]) <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return u.StartBlk + rowstore.BlockNo(lo), uint16(i - int(u.rowBase[lo]))
+}
+
+// CapturedRows returns the number of slots captured for a block in range.
+func (u *IMCU) CapturedRows(blk rowstore.BlockNo) uint16 {
+	if blk < u.StartBlk || blk >= u.EndBlk {
+		return 0
+	}
+	i := int(blk - u.StartBlk)
+	if i >= len(u.blockRows) {
+		return 0
+	}
+	return u.blockRows[i]
+}
+
+// MemSize returns the approximate in-memory footprint in bytes (cached at
+// build time; IMCUs are immutable).
+func (u *IMCU) MemSize() int { return u.memSize }
+
+func (u *IMCU) computeMemSize() int {
+	sz := 8*len(u.present) + 2*len(u.blockRows) + 4*len(u.rowBase) + 64
+	for _, c := range u.numCols {
+		if c != nil {
+			sz += c.MemSize()
+		}
+	}
+	for _, c := range u.strCols {
+		if c != nil {
+			sz += c.MemSize()
+		}
+	}
+	return sz
+}
+
+// Builder accumulates rows for one IMCU during population. It is used by a
+// single population worker and is not safe for concurrent use.
+type Builder struct {
+	obj      rowstore.ObjID
+	tenant   rowstore.TenantID
+	snap     scn.SCN
+	startBlk rowstore.BlockNo
+	endBlk   rowstore.BlockNo
+	schema   *rowstore.Schema
+
+	blockRows []uint16
+	present   []bool
+	nums      [][]int64
+	strs      [][]string
+}
+
+// NewBuilder starts an IMCU build for the given segment range at snapshot
+// snap.
+func NewBuilder(obj rowstore.ObjID, tenant rowstore.TenantID, schema *rowstore.Schema, snap scn.SCN, startBlk, endBlk rowstore.BlockNo) *Builder {
+	b := &Builder{
+		obj: obj, tenant: tenant, snap: snap, schema: schema,
+		startBlk: startBlk, endBlk: endBlk,
+		nums: make([][]int64, schema.NumberSlots()),
+		strs: make([][]string, schema.VarcharSlots()),
+	}
+	return b
+}
+
+// BeginBlock starts the next block (must be called in block order for every
+// block in [startBlk, endBlk) that exists; missing trailing blocks may simply
+// not be added).
+func (b *Builder) BeginBlock(capturedSlots int) {
+	b.blockRows = append(b.blockRows, uint16(capturedSlots))
+}
+
+// AddRow appends the row at the next slot of the current block. row may be
+// the zero Row when ok is false (slot not visible at the snapshot).
+func (b *Builder) AddRow(row rowstore.Row, ok bool) {
+	b.present = append(b.present, ok)
+	for s := range b.nums {
+		var v int64
+		if ok {
+			v = row.Nums[s]
+		}
+		b.nums[s] = append(b.nums[s], v)
+	}
+	for s := range b.strs {
+		var v string
+		if ok {
+			v = row.Strs[s]
+		}
+		b.strs[s] = append(b.strs[s], v)
+	}
+}
+
+// Build compresses the accumulated data into an immutable IMCU.
+func (b *Builder) Build() *IMCU {
+	u := &IMCU{
+		Obj: b.obj, Tenant: b.tenant, SnapSCN: b.snap,
+		StartBlk: b.startBlk, EndBlk: b.endBlk,
+		blockRows: b.blockRows,
+		schema:    b.schema,
+		nRows:     len(b.present),
+	}
+	u.rowBase = make([]uint32, len(b.blockRows))
+	base := uint32(0)
+	for i, n := range b.blockRows {
+		u.rowBase[i] = base
+		base += uint32(n)
+	}
+	u.present = make([]uint64, (u.nRows+63)/64)
+	for i, ok := range b.present {
+		if ok {
+			u.present[i/64] |= 1 << (i % 64)
+		}
+	}
+	u.numCols = make([]*NumColumn, len(b.nums))
+	for s, vals := range b.nums {
+		u.numCols[s] = EncodeNums(vals)
+	}
+	u.strCols = make([]*StrColumn, len(b.strs))
+	for s, vals := range b.strs {
+		u.strCols[s] = EncodeStrs(vals)
+	}
+	u.memSize = u.computeMemSize()
+	return u
+}

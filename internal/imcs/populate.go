@@ -1,0 +1,324 @@
+package imcs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// Snapshotter supplies population snapshot SCNs. On the primary this is the
+// commit-gate snapshot (any SCN is a consistency point); on the standby it is
+// the QuerySCN captured under the quiesce lock (§III.A: "the snapshot SCN of
+// an IMCU is always the QuerySCN established at the time").
+type Snapshotter interface {
+	CaptureSnapshot() scn.SCN
+}
+
+// Target is one segment enabled for population on this instance.
+type Target struct {
+	Seg      *rowstore.Segment
+	Table    *rowstore.Table
+	Priority int
+}
+
+// Config tunes the population engine.
+type Config struct {
+	// BlocksPerIMCU is the chunk size a segment loader carves objects into.
+	BlocksPerIMCU int
+	// Workers is the number of background population worker goroutines.
+	Workers int
+	// Interval is the scheduler pass period.
+	Interval time.Duration
+	// RepopThreshold is the invalid-row fraction that triggers repopulation.
+	RepopThreshold float64
+	// TailThreshold is the fractional row-count growth within a unit's range
+	// (from inserts after population) that triggers edge repopulation.
+	TailThreshold float64
+	// MemLimitBytes caps the store footprint; population pauses above it
+	// (0 = unlimited). Models the paper's bounded in-memory pool.
+	MemLimitBytes int
+	// HomeFilter, when set, restricts population to IMCUs homed on this
+	// instance (RAC home-location map, §III.F): a unit starting at startBlk
+	// of obj is populated here only when HomeFilter returns true.
+	HomeFilter func(obj rowstore.ObjID, startBlk rowstore.BlockNo) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlocksPerIMCU <= 0 {
+		c.BlocksPerIMCU = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.RepopThreshold <= 0 {
+		c.RepopThreshold = 0.125
+	}
+	if c.TailThreshold <= 0 {
+		c.TailThreshold = 0.25
+	}
+	return c
+}
+
+// EngineStats reports population activity counters.
+type EngineStats struct {
+	UnitsPopulated   int64
+	UnitsRepopulated int64
+	RowsPopulated    int64
+}
+
+// Engine is the background population infrastructure: a scheduler (the
+// "segment loader" chunking objects into block ranges) plus population
+// workers constructing IMCUs (§III.A). Population is completely online:
+// queries and redo apply proceed while IMCUs build.
+type Engine struct {
+	store   *Store
+	view    rowstore.TxnView
+	snap    Snapshotter
+	targets func() []Target
+	cfg     Config
+
+	tasks   chan popTask
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	pending atomic.Int64
+
+	populated   atomic.Int64
+	repopulated atomic.Int64
+	rows        atomic.Int64
+}
+
+type popTask struct {
+	unit   *Unit
+	target Target
+	repop  bool
+}
+
+// NewEngine assembles a population engine. targets is consulted every
+// scheduler pass and returns the segments enabled for population on this
+// instance (resolved from INMEMORY policies and services by the caller).
+func NewEngine(store *Store, view rowstore.TxnView, snap Snapshotter, targets func() []Target, cfg Config) *Engine {
+	return &Engine{
+		store:   store,
+		view:    view,
+		snap:    snap,
+		targets: targets,
+		cfg:     cfg.withDefaults(),
+		tasks:   make(chan popTask, 256),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the scheduler and population workers.
+func (e *Engine) Start() {
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.wg.Add(1)
+	go e.scheduler()
+}
+
+// Stop halts background population and waits for workers to drain.
+func (e *Engine) Stop() {
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// Stats returns activity counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		UnitsPopulated:   e.populated.Load(),
+		UnitsRepopulated: e.repopulated.Load(),
+		RowsPopulated:    e.rows.Load(),
+	}
+}
+
+// WaitIdle blocks until no population work is queued or in flight and a
+// scheduler pass finds nothing new to do, or until timeout. It returns true
+// when idle was reached. Intended for tests and benchmarks that need a fully
+// populated store.
+func (e *Engine) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if e.pending.Load() == 0 && e.Scan() == 0 && e.pending.Load() == 0 {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+func (e *Engine) scheduler() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.Scan()
+		}
+	}
+}
+
+// Scan performs one scheduler pass: it creates placeholder units for
+// uncovered block ranges and schedules repopulation for stale units. It
+// returns the number of tasks enqueued.
+func (e *Engine) Scan() int {
+	if e.cfg.MemLimitBytes > 0 && e.store.Stats().MemBytes >= e.cfg.MemLimitBytes {
+		return 0
+	}
+	targets := e.targets()
+	sort.SliceStable(targets, func(i, j int) bool { return targets[i].Priority > targets[j].Priority })
+	enqueued := 0
+	for _, t := range targets {
+		enqueued += e.scanTarget(t)
+	}
+	return enqueued
+}
+
+func (e *Engine) scanTarget(t Target) int {
+	seg := t.Seg
+	nBlocks := seg.BlockCount()
+	enqueued := 0
+	chunk := rowstore.BlockNo(e.cfg.BlocksPerIMCU)
+
+	// Cover missing chunks with placeholder units.
+	for start := rowstore.BlockNo(0); int(start) < nBlocks; start += chunk {
+		if e.cfg.HomeFilter != nil && !e.cfg.HomeFilter(seg.Obj(), start) {
+			continue
+		}
+		if _, ok := e.store.UnitForBlock(seg.Obj(), start); ok {
+			continue
+		}
+		unit, err := e.store.CreateUnit(seg.Obj(), seg.Tenant(), start, start+chunk)
+		if err != nil {
+			continue // raced with another scheduler pass
+		}
+		if e.enqueue(popTask{unit: unit, target: t}) {
+			enqueued++
+		}
+	}
+
+	// Repopulation heuristics over existing units.
+	for _, u := range e.store.Units(seg.Obj()) {
+		st := u.Stats()
+		if !st.Populated || st.Repopulating || st.Dropped {
+			continue
+		}
+		need := st.AllInvalid
+		if !need && st.Rows > 0 && float64(st.InvalidRows)/float64(st.Rows) > e.cfg.RepopThreshold {
+			need = true
+		}
+		if !need && st.Rows < int(u.EndBlk-u.StartBlk)*seg.RowsPerBlock() {
+			// Edge growth: rows inserted into the unit's range after
+			// populate. Fully packed units cannot grow, so only units with
+			// free capacity are polled.
+			cur := e.rowsInRange(seg, u.StartBlk, u.EndBlk)
+			if cur > st.Rows && float64(cur-st.Rows) > e.cfg.TailThreshold*float64(maxInt(st.Rows, 1)) {
+				need = true
+			}
+		}
+		if need && u.BeginRepopulate() {
+			if e.enqueue(popTask{unit: u, target: t, repop: true}) {
+				enqueued++
+			} else {
+				u.AbortRepopulate()
+			}
+		}
+	}
+	return enqueued
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (e *Engine) rowsInRange(seg *rowstore.Segment, start, end rowstore.BlockNo) int {
+	n := 0
+	last := rowstore.BlockNo(seg.BlockCount())
+	if end > last {
+		end = last
+	}
+	for b := start; b < end; b++ {
+		if blk := seg.Block(b); blk != nil {
+			n += blk.RowCount()
+		}
+	}
+	return n
+}
+
+func (e *Engine) enqueue(t popTask) bool {
+	e.pending.Add(1)
+	select {
+	case e.tasks <- t:
+		return true
+	default:
+		e.pending.Add(-1)
+		return false // queue full; next scheduler pass retries
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case t := <-e.tasks:
+			e.runTask(t)
+			e.pending.Add(-1)
+		}
+	}
+}
+
+func (e *Engine) runTask(t popTask) {
+	imcu := e.BuildIMCU(t.target, t.unit)
+	t.unit.Attach(imcu)
+	if t.repop {
+		e.repopulated.Add(1)
+	} else {
+		e.populated.Add(1)
+	}
+	e.rows.Add(int64(imcu.Rows()))
+}
+
+// BuildIMCU constructs an IMCU for a unit's block range by reading the row
+// store with Consistent Read at a freshly captured snapshot. The unit
+// (placeholder or repopulating) must already be installed so concurrent
+// invalidation flushes are buffered, not lost.
+func (e *Engine) BuildIMCU(t Target, unit *Unit) *IMCU {
+	snap := e.snap.CaptureSnapshot()
+	seg := t.Seg
+	schema := t.Table.Schema()
+	b := NewBuilder(seg.Obj(), seg.Tenant(), schema, snap, unit.StartBlk, unit.EndBlk)
+	end := unit.EndBlk
+	if last := rowstore.BlockNo(seg.BlockCount()); end > last {
+		end = last
+	}
+	for blkNo := unit.StartBlk; blkNo < end; blkNo++ {
+		blk := seg.Block(blkNo)
+		if blk == nil {
+			b.BeginBlock(0)
+			continue
+		}
+		n := blk.RowCount()
+		b.BeginBlock(n)
+		for slot := 0; slot < n; slot++ {
+			row, ok := blk.ReadRow(uint16(slot), snap, e.view, scn.InvalidTxn)
+			b.AddRow(row, ok)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,228 @@
+package imcs
+
+import (
+	"sync"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// pendingInval is an invalidation that arrived while the unit's IMCU was
+// still being built (placeholder phase or repopulation); it is converted to
+// row indexes once the IMCU attaches.
+type pendingInval struct {
+	blk   rowstore.BlockNo
+	slots []uint16
+}
+
+// SMU is the Snapshot Metadata Unit accompanying an IMCU (paper §II.B): it
+// tracks the validity of the IMCU's data at block and row granularity,
+// provides the unit's concurrency control (its latch synchronizes scans,
+// invalidation flush, repopulation and drop), and accumulates the statistics
+// that drive repopulation heuristics.
+//
+// The SMU is installed *before* the population snapshot is captured, so
+// invalidation flushes during a long build land here rather than being lost
+// (see DESIGN.md, "Population vs flush race").
+type SMU struct {
+	mu sync.Mutex
+
+	imcu *IMCU // nil while populating
+
+	invalid      []uint64 // row-level validity bitmap (1 = invalid)
+	invalidRows  int
+	allInvalid   bool // block/unit-level coarse invalidation
+	dropped      bool
+	repopulating bool
+
+	// pending buffers invalidations while imcu == nil or a repopulation is in
+	// flight (they apply to the replacement IMCU).
+	pending []pendingInval
+
+	// totalInvalidations counts rows invalidated since the last (re)populate,
+	// feeding the repopulation heuristics.
+	totalInvalidations int64
+}
+
+// Unit pairs an IMCU slot with its SMU and a fixed block range. The unit
+// exists from the moment population is scheduled (placeholder) through
+// repopulation cycles until the object is dropped.
+type Unit struct {
+	Obj      rowstore.ObjID
+	Tenant   rowstore.TenantID
+	StartBlk rowstore.BlockNo
+	EndBlk   rowstore.BlockNo
+	smu      SMU
+}
+
+// contains reports whether blk falls in the unit's range.
+func (u *Unit) contains(blk rowstore.BlockNo) bool {
+	return blk >= u.StartBlk && blk < u.EndBlk
+}
+
+// Attach installs a freshly built IMCU, converting invalidations buffered
+// during the build. It completes both initial population and repopulation.
+func (u *Unit) Attach(imcu *IMCU) {
+	s := &u.smu
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dropped {
+		return // dropped while building; discard
+	}
+	s.imcu = imcu
+	s.invalid = make([]uint64, (imcu.Rows()+63)/64)
+	s.invalidRows = 0
+	s.allInvalid = false
+	s.repopulating = false
+	s.totalInvalidations = 0
+	for _, p := range s.pending {
+		for _, slot := range p.slots {
+			if idx, ok := imcu.RowIndexOf(p.blk, slot); ok {
+				s.setInvalidLocked(idx)
+			}
+		}
+	}
+	s.pending = nil
+}
+
+// BeginRepopulate marks the unit as rebuilding: subsequent invalidations are
+// applied to the current bitmap AND buffered for the replacement IMCU.
+// It returns false when the unit is dropped or already repopulating.
+func (u *Unit) BeginRepopulate() bool {
+	s := &u.smu
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dropped || s.repopulating || s.imcu == nil {
+		return false
+	}
+	s.repopulating = true
+	s.pending = nil
+	return true
+}
+
+// AbortRepopulate cancels an in-flight repopulation (e.g. the builder failed).
+func (u *Unit) AbortRepopulate() {
+	s := &u.smu
+	s.mu.Lock()
+	s.repopulating = false
+	s.pending = nil
+	s.mu.Unlock()
+}
+
+func (s *SMU) setInvalidLocked(idx int) {
+	w, b := idx/64, uint(idx%64)
+	if s.invalid[w]&(1<<b) == 0 {
+		s.invalid[w] |= 1 << b
+		s.invalidRows++
+	}
+}
+
+// InvalidateRows marks the given slots of a block invalid. Slots outside the
+// captured data (tail inserts) are ignored — they are served from the row
+// store anyway. Buffered while populating/repopulating.
+func (u *Unit) InvalidateRows(blk rowstore.BlockNo, slots []uint16) {
+	s := &u.smu
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dropped {
+		return
+	}
+	if s.imcu == nil || s.repopulating {
+		cp := make([]uint16, len(slots))
+		copy(cp, slots)
+		s.pending = append(s.pending, pendingInval{blk: blk, slots: cp})
+		if s.imcu == nil {
+			return
+		}
+	}
+	for _, slot := range slots {
+		if idx, ok := s.imcu.RowIndexOf(blk, slot); ok {
+			s.setInvalidLocked(idx)
+			s.totalInvalidations++
+		}
+	}
+}
+
+// InvalidateAll coarse-invalidates the unit (paper §III.E): every row is
+// treated as invalid and scans bypass the IMCU until repopulation.
+func (u *Unit) InvalidateAll() {
+	s := &u.smu
+	s.mu.Lock()
+	s.allInvalid = true
+	s.totalInvalidations += int64(u.rowsLocked())
+	s.mu.Unlock()
+}
+
+func (u *Unit) rowsLocked() int {
+	if u.smu.imcu == nil {
+		return 0
+	}
+	return u.smu.imcu.Rows()
+}
+
+// Drop permanently disables the unit (object dropped or DDL'd, §III.G).
+func (u *Unit) Drop() {
+	s := &u.smu
+	s.mu.Lock()
+	s.dropped = true
+	s.imcu = nil
+	s.invalid = nil
+	s.pending = nil
+	s.mu.Unlock()
+}
+
+// Dropped reports whether the unit is dropped.
+func (u *Unit) Dropped() bool {
+	u.smu.mu.Lock()
+	defer u.smu.mu.Unlock()
+	return u.smu.dropped
+}
+
+// ScanView atomically captures what a scan needs: the current IMCU and a copy
+// of the row-validity bitmap. usable is false when the unit cannot serve
+// scans (populating, coarse-invalidated or dropped) — the caller then reads
+// the unit's block range from the row store.
+func (u *Unit) ScanView() (imcu *IMCU, invalid []uint64, usable bool) {
+	s := &u.smu
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dropped || s.imcu == nil || s.allInvalid {
+		return nil, nil, false
+	}
+	cp := make([]uint64, len(s.invalid))
+	copy(cp, s.invalid)
+	return s.imcu, cp, true
+}
+
+// Stats is a snapshot of the SMU's health, feeding repopulation heuristics
+// and observability.
+type Stats struct {
+	Populated    bool
+	Repopulating bool
+	AllInvalid   bool
+	Dropped      bool
+	Rows         int
+	InvalidRows  int
+	SnapSCN      scn.SCN
+	MemBytes     int
+}
+
+// Stats returns the unit's current statistics.
+func (u *Unit) Stats() Stats {
+	s := &u.smu
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Populated:    s.imcu != nil,
+		Repopulating: s.repopulating,
+		AllInvalid:   s.allInvalid,
+		Dropped:      s.dropped,
+		InvalidRows:  s.invalidRows,
+	}
+	if s.imcu != nil {
+		st.Rows = s.imcu.Rows()
+		st.SnapSCN = s.imcu.SnapSCN
+		st.MemBytes = s.imcu.MemSize()
+	}
+	return st
+}

@@ -1,0 +1,203 @@
+package imcs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dbimadg/internal/rowstore"
+)
+
+// Store is one instance's In-Memory Column Store: the units (IMCU+SMU pairs)
+// of every populated object hosted on this instance. With RAC, each instance
+// holds only the units the home-location map assigns to it (§III.F).
+type Store struct {
+	mu   sync.RWMutex
+	objs map[rowstore.ObjID]*objectUnits
+}
+
+type objectUnits struct {
+	tenant rowstore.TenantID
+	mu     sync.RWMutex
+	units  []*Unit // sorted by StartBlk, non-overlapping
+}
+
+// NewStore returns an empty column store.
+func NewStore() *Store {
+	return &Store{objs: make(map[rowstore.ObjID]*objectUnits)}
+}
+
+func (s *Store) obj(obj rowstore.ObjID) (*objectUnits, bool) {
+	s.mu.RLock()
+	ou, ok := s.objs[obj]
+	s.mu.RUnlock()
+	return ou, ok
+}
+
+// CreateUnit installs a placeholder unit (SMU without IMCU) for a block range
+// of an object, before the population snapshot is captured. It fails when the
+// range overlaps an existing unit.
+func (s *Store) CreateUnit(obj rowstore.ObjID, tenant rowstore.TenantID, startBlk, endBlk rowstore.BlockNo) (*Unit, error) {
+	if endBlk <= startBlk {
+		return nil, fmt.Errorf("imcs: empty block range [%d,%d)", startBlk, endBlk)
+	}
+	s.mu.Lock()
+	ou, ok := s.objs[obj]
+	if !ok {
+		ou = &objectUnits{tenant: tenant}
+		s.objs[obj] = ou
+	}
+	s.mu.Unlock()
+
+	ou.mu.Lock()
+	defer ou.mu.Unlock()
+	for _, u := range ou.units {
+		if startBlk < u.EndBlk && u.StartBlk < endBlk {
+			return nil, fmt.Errorf("imcs: range [%d,%d) overlaps unit [%d,%d)", startBlk, endBlk, u.StartBlk, u.EndBlk)
+		}
+	}
+	unit := &Unit{Obj: obj, Tenant: tenant, StartBlk: startBlk, EndBlk: endBlk}
+	ou.units = append(ou.units, unit)
+	sort.Slice(ou.units, func(i, j int) bool { return ou.units[i].StartBlk < ou.units[j].StartBlk })
+	return unit, nil
+}
+
+// Units returns the object's units in block order (a snapshot; units may be
+// concurrently invalidated but the slice is stable).
+func (s *Store) Units(obj rowstore.ObjID) []*Unit {
+	ou, ok := s.obj(obj)
+	if !ok {
+		return nil
+	}
+	ou.mu.RLock()
+	defer ou.mu.RUnlock()
+	out := make([]*Unit, len(ou.units))
+	copy(out, ou.units)
+	return out
+}
+
+// UnitForBlock returns the unit covering blk, if any.
+func (s *Store) UnitForBlock(obj rowstore.ObjID, blk rowstore.BlockNo) (*Unit, bool) {
+	ou, ok := s.obj(obj)
+	if !ok {
+		return nil, false
+	}
+	ou.mu.RLock()
+	defer ou.mu.RUnlock()
+	i := sort.Search(len(ou.units), func(i int) bool { return ou.units[i].EndBlk > blk })
+	if i < len(ou.units) && ou.units[i].contains(blk) {
+		return ou.units[i], true
+	}
+	return nil, false
+}
+
+// InvalidateRows marks rows of one block invalid in the covering unit (no-op
+// when the block is not populated).
+func (s *Store) InvalidateRows(obj rowstore.ObjID, blk rowstore.BlockNo, slots []uint16) {
+	if u, ok := s.UnitForBlock(obj, blk); ok {
+		u.InvalidateRows(blk, slots)
+	}
+}
+
+// InvalidateObject coarse-invalidates every unit of an object.
+func (s *Store) InvalidateObject(obj rowstore.ObjID) {
+	for _, u := range s.Units(obj) {
+		u.InvalidateAll()
+	}
+}
+
+// InvalidateTenant coarse-invalidates every unit of every object of a tenant
+// (paper §III.E: the restart fallback marks all IMCUs of the tenant invalid).
+func (s *Store) InvalidateTenant(tenant rowstore.TenantID) int {
+	s.mu.RLock()
+	var objs []*objectUnits
+	for _, ou := range s.objs {
+		if ou.tenant == tenant {
+			objs = append(objs, ou)
+		}
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, ou := range objs {
+		ou.mu.RLock()
+		units := make([]*Unit, len(ou.units))
+		copy(units, ou.units)
+		ou.mu.RUnlock()
+		for _, u := range units {
+			u.InvalidateAll()
+			n++
+		}
+	}
+	return n
+}
+
+// DropObject removes all units of an object (DDL, §III.G). In-flight scans
+// holding ScanViews complete against the dropped IMCUs safely (they are
+// immutable); new scans fall back to the row store until repopulation.
+func (s *Store) DropObject(obj rowstore.ObjID) int {
+	s.mu.Lock()
+	ou, ok := s.objs[obj]
+	if ok {
+		delete(s.objs, obj)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	ou.mu.Lock()
+	defer ou.mu.Unlock()
+	for _, u := range ou.units {
+		u.Drop()
+	}
+	return len(ou.units)
+}
+
+// Objects returns the populated object ids.
+func (s *Store) Objects() []rowstore.ObjID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rowstore.ObjID, 0, len(s.objs))
+	for obj := range s.objs {
+		out = append(out, obj)
+	}
+	return out
+}
+
+// StoreStats aggregates per-store statistics.
+type StoreStats struct {
+	Objects        int
+	Units          int
+	PopulatedUnits int
+	Rows           int
+	InvalidRows    int
+	MemBytes       int
+}
+
+// Stats returns aggregate statistics over all units.
+func (s *Store) Stats() StoreStats {
+	var st StoreStats
+	s.mu.RLock()
+	objs := make([]*objectUnits, 0, len(s.objs))
+	for _, ou := range s.objs {
+		objs = append(objs, ou)
+	}
+	s.mu.RUnlock()
+	st.Objects = len(objs)
+	for _, ou := range objs {
+		ou.mu.RLock()
+		units := make([]*Unit, len(ou.units))
+		copy(units, ou.units)
+		ou.mu.RUnlock()
+		for _, u := range units {
+			us := u.Stats()
+			st.Units++
+			if us.Populated {
+				st.PopulatedUnits++
+			}
+			st.Rows += us.Rows
+			st.InvalidRows += us.InvalidRows
+			st.MemBytes += us.MemBytes
+		}
+	}
+	return st
+}

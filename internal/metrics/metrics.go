@@ -1,0 +1,196 @@
+// Package metrics provides the measurement tools the evaluation harness
+// needs: latency recorders with median/average/p95 summaries (the statistics
+// reported in the paper's Figs. 9-10 and Table 2), time-series samplers for
+// the log-advancement plot (Fig. 11), and CPU-time accounting to reproduce
+// the CPU-shift observations of §IV.A-B.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates duration samples.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// LatencySummary is the median/average/95th-percentile triple reported
+// throughout the paper's evaluation.
+type LatencySummary struct {
+	Count  int
+	Median time.Duration
+	Avg    time.Duration
+	P95    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Summary computes the summary statistics over all recorded samples.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	samples := make([]time.Duration, len(r.samples))
+	copy(samples, r.samples)
+	r.mu.Unlock()
+	return Summarize(samples)
+}
+
+// Summarize computes summary statistics over a sample set.
+func Summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, d := range samples {
+		total += d
+	}
+	s.Median = percentile(samples, 0.50)
+	s.P95 = percentile(samples, 0.95)
+	s.Avg = total / time.Duration(len(samples))
+	s.Min = samples[0]
+	s.Max = samples[len(samples)-1]
+	return s
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of sorted samples using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Speedup returns how many times faster b is than a (a/b), e.g. the paper's
+// "response time improved by almost 100x".
+func Speedup(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d median=%v avg=%v p95=%v", s.Count, s.Median, s.Avg, s.P95)
+}
+
+// Series is a time series of (elapsed, value) points, used for the Fig. 11
+// log-advancement plot.
+type Series struct {
+	Name string
+
+	mu     sync.Mutex
+	start  time.Time
+	points []Point
+}
+
+// Point is one sample.
+type Point struct {
+	Elapsed time.Duration
+	Value   float64
+}
+
+// NewSeries starts a series anchored at now.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, start: time.Now()}
+}
+
+// Sample appends the current value.
+func (s *Series) Sample(v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{Elapsed: time.Since(s.start), Value: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the sampled points.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// CPUAccount tracks busy time attributed to a component; the ratio of busy
+// time to (wall x cores) approximates the CPU-usage percentages of §IV.
+type CPUAccount struct {
+	mu    sync.Mutex
+	busy  time.Duration
+	since time.Time
+}
+
+// NewCPUAccount starts an account anchored at now.
+func NewCPUAccount() *CPUAccount {
+	return &CPUAccount{since: time.Now()}
+}
+
+// Add attributes busy time to the account.
+func (a *CPUAccount) Add(d time.Duration) {
+	a.mu.Lock()
+	a.busy += d
+	a.mu.Unlock()
+}
+
+// Track runs f and attributes its wall time to the account.
+func (a *CPUAccount) Track(f func()) {
+	start := time.Now()
+	f()
+	a.Add(time.Since(start))
+}
+
+// Busy returns the accumulated busy time.
+func (a *CPUAccount) Busy() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.busy
+}
+
+// UtilizationPct returns busy / (elapsed * cores) as a percentage.
+func (a *CPUAccount) UtilizationPct(cores int) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	elapsed := time.Since(a.since)
+	if elapsed <= 0 || cores <= 0 {
+		return 0
+	}
+	return 100 * float64(a.busy) / (float64(elapsed) * float64(cores))
+}
+
+// Reset zeroes the account and re-anchors it at now.
+func (a *CPUAccount) Reset() {
+	a.mu.Lock()
+	a.busy = 0
+	a.since = time.Now()
+	a.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummaryStatistics(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Median != 50*time.Millisecond {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Fatalf("P95 = %v", s.P95)
+	}
+	if s.Avg != 50500*time.Microsecond {
+		t.Fatalf("Avg = %v", s.Avg)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Median != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s := Summarize([]time.Duration{7 * time.Millisecond})
+	if s.Median != 7*time.Millisecond || s.P95 != 7*time.Millisecond {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100*time.Millisecond, time.Millisecond); got != 100 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if got := Speedup(time.Millisecond, 0); got != 0 {
+		t.Fatalf("Speedup by zero = %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 8000 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("std_log1")
+	s.Sample(1)
+	s.Sample(2)
+	pts := s.Points()
+	if len(pts) != 2 || pts[0].Value != 1 || pts[1].Value != 2 {
+		t.Fatalf("points: %+v", pts)
+	}
+	if pts[1].Elapsed < pts[0].Elapsed {
+		t.Fatal("elapsed not monotone")
+	}
+}
+
+func TestCPUAccount(t *testing.T) {
+	a := NewCPUAccount()
+	a.Add(10 * time.Millisecond)
+	a.Track(func() { time.Sleep(time.Millisecond) })
+	if a.Busy() < 11*time.Millisecond {
+		t.Fatalf("Busy = %v", a.Busy())
+	}
+	if pct := a.UtilizationPct(1); pct <= 0 || pct > 100*1000 {
+		t.Fatalf("UtilizationPct = %v", pct)
+	}
+	if a.UtilizationPct(0) != 0 {
+		t.Fatal("zero cores should yield 0")
+	}
+	a.Reset()
+	if a.Busy() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}

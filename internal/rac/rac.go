@@ -1,0 +1,282 @@
+// Package rac implements the standby-side Real Application Clusters topology
+// of §III.F: redo apply runs on a single master instance (SIRA), while reader
+// instances host their share of the In-Memory Column Store (per the
+// home-location map) and a local recovery coordinator. During QuerySCN
+// advancement the master ships invalidation groups to the instances homing
+// the affected IMCUs — batched and pipelined to hide network latency — and
+// the local coordinators flush them to their SMUs, acknowledge, and publish
+// the received QuerySCN to their own queries.
+package rac
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbimadg/internal/core"
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/service"
+	"dbimadg/internal/standby"
+	"dbimadg/internal/transport"
+)
+
+// readerMsg is one message on a reader's pipeline: either a batch of
+// invalidation groups, a coarse invalidation, or a QuerySCN publication.
+type readerMsg struct {
+	groups  []core.Group
+	coarse  *rowstore.TenantID
+	publish *publishMsg
+}
+
+type publishMsg struct {
+	q       scn.SCN
+	dropped []rowstore.ObjID
+}
+
+// Reader is a non-master standby instance: it performs no redo apply, hosts
+// its home-map share of the column store, and runs a local recovery
+// coordinator fed by the master.
+type Reader struct {
+	id       int
+	db       *rowstore.Database
+	store    *imcs.Store
+	engine   *imcs.Engine
+	querySCN atomic.Uint64
+	quiesce  sync.RWMutex
+
+	ch      chan readerMsg
+	applied atomic.Int64 // messages fully processed (for the master's barrier)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ID returns the reader's home-map instance index.
+func (r *Reader) ID() int { return r.id }
+
+// Store returns the reader's column store.
+func (r *Reader) Store() *imcs.Store { return r.store }
+
+// QuerySCN returns the consistency point published to this instance.
+func (r *Reader) QuerySCN() scn.SCN { return scn.SCN(r.querySCN.Load()) }
+
+// Engine returns the reader's population engine.
+func (r *Reader) Engine() *imcs.Engine { return r.engine }
+
+// loop is the reader's local recovery coordinator. The reader's quiesce
+// period spans from the first invalidation group of a master advancement
+// until the matching QuerySCN publication: a population snapshot captured in
+// between could be older than invalidations already applied to this store,
+// whose effect a subsequent repopulation would then silently discard. The
+// pipeline is FIFO per reader, so "groups... publish" boundaries delimit
+// advancements exactly.
+func (r *Reader) loop() {
+	defer r.wg.Done()
+	inQuiesce := false
+	defer func() {
+		if inQuiesce {
+			r.quiesce.Unlock()
+		}
+	}()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case m := <-r.ch:
+			switch {
+			case m.groups != nil:
+				if !inQuiesce {
+					r.quiesce.Lock()
+					inQuiesce = true
+				}
+				core.ApplyGroups(r.store, m.groups)
+			case m.coarse != nil:
+				if !inQuiesce {
+					r.quiesce.Lock()
+					inQuiesce = true
+				}
+				r.store.InvalidateTenant(*m.coarse)
+			case m.publish != nil:
+				if !inQuiesce {
+					r.quiesce.Lock()
+					inQuiesce = true
+				}
+				for _, obj := range m.publish.dropped {
+					r.store.DropObject(obj)
+				}
+				r.querySCN.Store(uint64(m.publish.q))
+				r.quiesce.Unlock()
+				inQuiesce = false
+			}
+			r.applied.Add(1)
+		}
+	}
+}
+
+// readerSnapshotter captures reader-local population snapshots under the
+// reader's quiesce lock (population on a non-master instance synchronizes
+// with its local coordinator the same way as on the master).
+type readerSnapshotter struct{ r *Reader }
+
+func (s readerSnapshotter) CaptureSnapshot() scn.SCN {
+	s.r.quiesce.RLock()
+	defer s.r.quiesce.RUnlock()
+	return s.r.QuerySCN()
+}
+
+// StandbyCluster is a standby RAC database: the SIRA master plus reader
+// instances, with the invalidation-group pipeline between them.
+type StandbyCluster struct {
+	Master  *standby.Instance
+	readers []*Reader
+	sink    *clusterSink
+}
+
+// NewStandbyCluster builds a standby RAC cluster with the given number of
+// reader (non-master) instances; instance 0 is the master.
+func NewStandbyCluster(cfg standby.Config, readerCount int) *StandbyCluster {
+	cfg.HomeInstances = readerCount + 1
+	cfg.LocalInstance = 0
+	master := standby.New(cfg)
+	c := &StandbyCluster{Master: master}
+	home := imcs.HomeMap{Instances: readerCount + 1}
+	for i := 1; i <= readerCount; i++ {
+		r := &Reader{
+			id:    i,
+			db:    master.DB(), // shared storage
+			store: imcs.NewStore(),
+			ch:    make(chan readerMsg, 256),
+		}
+		local := i
+		r.engine = imcs.NewEngine(r.store, master.Txns(), readerSnapshotter{r}, func() []imcs.Target {
+			return standbyTargets(master.DB(), master.Services())
+		}, imcs.Config{
+			BlocksPerIMCU:  cfg.BlocksPerIMCU,
+			Workers:        cfg.PopulationWorkers,
+			Interval:       cfg.PopulationInterval,
+			RepopThreshold: cfg.RepopThreshold,
+			TailThreshold:  cfg.TailThreshold,
+			HomeFilter: func(obj rowstore.ObjID, start rowstore.BlockNo) bool {
+				return home.HomeOf(obj, start) == local
+			},
+		})
+		c.readers = append(c.readers, r)
+	}
+	c.sink = &clusterSink{cluster: c, sent: make([]atomic.Int64, readerCount+1)}
+	master.SetRemoteSink(c.sink)
+	master.SetPublishHook(c.onPublish)
+	return c
+}
+
+// Readers returns the non-master instances.
+func (c *StandbyCluster) Readers() []*Reader { return c.readers }
+
+// Stores returns every instance's column store (master first); a parallel
+// query reaching all instances scans across them.
+func (c *StandbyCluster) Stores() []*imcs.Store {
+	out := []*imcs.Store{c.Master.Store()}
+	for _, r := range c.readers {
+		out = append(out, r.store)
+	}
+	return out
+}
+
+// Attach connects the redo source to the master.
+func (c *StandbyCluster) Attach(src transport.Source) { c.Master.Attach(src) }
+
+// Start launches the master's apply pipeline and the readers.
+func (c *StandbyCluster) Start() {
+	for _, r := range c.readers {
+		r.stop = make(chan struct{})
+		r.wg.Add(1)
+		go r.loop()
+		r.engine.Start()
+	}
+	c.Master.Start()
+}
+
+// Stop halts the cluster.
+func (c *StandbyCluster) Stop() {
+	c.Master.Stop()
+	for _, r := range c.readers {
+		close(r.stop)
+		r.wg.Wait()
+		r.engine.Stop()
+	}
+}
+
+// onPublish relays a new QuerySCN (and the objects dropped by DDL at that
+// consistency point) to every reader's local recovery coordinator.
+func (c *StandbyCluster) onPublish(q scn.SCN, markers []*standby.MarkerEvent) {
+	var dropped []rowstore.ObjID
+	for _, m := range markers {
+		dropped = append(dropped, m.DroppedObjs...)
+	}
+	msg := readerMsg{publish: &publishMsg{q: q, dropped: dropped}}
+	for _, r := range c.readers {
+		c.sink.send(r, msg)
+	}
+}
+
+// clusterSink implements core.RemoteSink over the readers' pipelines.
+type clusterSink struct {
+	cluster *StandbyCluster
+	sent    []atomic.Int64 // per-instance messages sent
+}
+
+func (s *clusterSink) send(r *Reader, m readerMsg) {
+	s.sent[r.id].Add(1)
+	select {
+	case r.ch <- m:
+	case <-r.stop:
+		s.sent[r.id].Add(-1)
+	}
+}
+
+// SendGroups implements core.RemoteSink: pipelined (no per-batch wait).
+func (s *clusterSink) SendGroups(inst int, groups []core.Group) {
+	if inst <= 0 || inst > len(s.cluster.readers) {
+		return
+	}
+	s.send(s.cluster.readers[inst-1], readerMsg{groups: groups})
+}
+
+// Barrier implements core.RemoteSink: wait until every reader has applied
+// everything sent to it (the acknowledgement point before publication).
+func (s *clusterSink) Barrier() {
+	for _, r := range s.cluster.readers {
+		for r.applied.Load() < s.sent[r.id].Load() {
+			select {
+			case <-r.stop:
+				return
+			default:
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// CoarseInvalidate implements core.RemoteSink.
+func (s *clusterSink) CoarseInvalidate(tenant rowstore.TenantID) {
+	t := tenant
+	for _, r := range s.cluster.readers {
+		s.send(r, readerMsg{coarse: &t})
+	}
+}
+
+// standbyTargets lists standby-enabled segments from the shared catalog (the
+// same resolution the master uses).
+func standbyTargets(db *rowstore.Database, services *service.Registry) []imcs.Target {
+	var out []imcs.Target
+	for _, tbl := range db.Tables() {
+		for _, part := range tbl.Partitions() {
+			attr := part.InMemory()
+			if attr.Enabled && services.RunsOn(attr.Service, service.RoleStandby) {
+				out = append(out, imcs.Target{Seg: part.Seg, Table: tbl, Priority: attr.Priority})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package rac_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/standby"
+	"dbimadg/internal/transport"
+)
+
+type racPair struct {
+	pri *primary.Cluster
+	sc  *rac.StandbyCluster
+	tbl *rowstore.Table
+}
+
+func newRACPair(t *testing.T, readers int) *racPair {
+	t.Helper()
+	pri := primary.NewCluster(1, 32)
+	sc := rac.NewStandbyCluster(standby.Config{
+		RowsPerBlock:       32,
+		CheckpointInterval: time.Millisecond,
+		PopulationInterval: time.Millisecond,
+		BlocksPerIMCU:      4,
+	}, readers)
+	var streams []*redo.Stream
+	for _, inst := range pri.Instances() {
+		streams = append(streams, inst.Stream())
+	}
+	sc.Attach(transport.NewInProc(streams...))
+	sc.Start()
+	t.Cleanup(sc.Stop)
+
+	tbl, err := pri.Instance(0).CreateTable(&rowstore.TableSpec{
+		Name: "T", Tenant: 1,
+		Columns: []rowstore.Column{
+			{Name: "id", Kind: rowstore.KindNumber},
+			{Name: "n1", Kind: rowstore.KindNumber},
+		},
+		IdentityCol: 0, PartitionCol: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.Instance(0).AlterInMemory(1, "T", "", rowstore.InMemoryAttr{Enabled: true, Service: "standby"}); err != nil {
+		t.Fatal(err)
+	}
+	return &racPair{pri: pri, sc: sc, tbl: tbl}
+}
+
+func (p *racPair) insert(t *testing.T, from, to int64) {
+	t.Helper()
+	s := p.tbl.Schema()
+	tx := p.pri.Instance(0).Begin()
+	for i := from; i < to; i++ {
+		r := rowstore.NewRow(s)
+		r.Nums[s.Col(0).Slot()] = i
+		r.Nums[s.Col(1).Slot()] = i % 10
+		if _, err := tx.Insert(p.tbl, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (p *racPair) catchUp(t *testing.T) {
+	t.Helper()
+	target := p.pri.Snapshot()
+	if !p.sc.Master.WaitForSCN(target, 10*time.Second) {
+		t.Fatalf("master did not catch up: %+v", p.sc.Master.Stats())
+	}
+	// Readers publish shortly after the master.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, r := range p.sc.Readers() {
+		for r.QuerySCN() < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("reader %d stuck at QuerySCN %d, target %d", r.ID(), r.QuerySCN(), target)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+func (p *racPair) waitPopulated(t *testing.T) {
+	t.Helper()
+	if !p.sc.Master.Engine().WaitIdle(10 * time.Second) {
+		t.Fatal("master population did not settle")
+	}
+	for _, r := range p.sc.Readers() {
+		if !r.Engine().WaitIdle(10 * time.Second) {
+			t.Fatalf("reader %d population did not settle", r.ID())
+		}
+	}
+}
+
+func (p *racPair) sbyTable(t *testing.T) *rowstore.Table {
+	t.Helper()
+	tbl, err := p.sc.Master.DB().Table(1, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestIMCUsDistributedAcrossInstances(t *testing.T) {
+	p := newRACPair(t, 1)
+	p.insert(t, 0, 2000) // 2000 rows / 32 per block = 63 blocks / 4-block IMCUs
+	p.catchUp(t)
+	p.waitPopulated(t)
+	masterUnits := p.sc.Master.Store().Stats().Units
+	readerUnits := p.sc.Readers()[0].Store().Stats().Units
+	if masterUnits == 0 || readerUnits == 0 {
+		t.Fatalf("units not distributed: master=%d reader=%d", masterUnits, readerUnits)
+	}
+	// A cross-instance scan covers all rows from the IMCS.
+	ex := scanengine.NewExecutor(p.sc.Master.Txns(), p.sc.Stores()...)
+	res, err := ex.Run(&scanengine.Query{Table: p.sbyTable(t)}, p.sc.Master.QuerySCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2000 {
+		t.Fatalf("cross-instance scan rows = %d, want 2000", len(res.Rows))
+	}
+	if res.FromIMCS != 2000 {
+		t.Fatalf("IMCS served %d/2000 rows", res.FromIMCS)
+	}
+}
+
+func TestRemoteInvalidationGroups(t *testing.T) {
+	p := newRACPair(t, 1)
+	p.insert(t, 0, 2000)
+	p.catchUp(t)
+	p.waitPopulated(t)
+
+	// Update every 10th row; invalidations must reach units on both homes.
+	s := p.tbl.Schema()
+	tx := p.pri.Instance(0).Begin()
+	for i := int64(0); i < 2000; i += 10 {
+		if err := tx.UpdateByID(p.tbl, i, []uint16{1}, func(r *rowstore.Row) {
+			r.Nums[s.Col(1).Slot()] = -7
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p.catchUp(t)
+
+	ex := scanengine.NewExecutor(p.sc.Master.Txns(), p.sc.Stores()...)
+	res, err := ex.Run(&scanengine.Query{
+		Table:   p.sbyTable(t),
+		Filters: []scanengine.Filter{scanengine.EqNum(1, -7)},
+	}, p.sc.Master.QuerySCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("updated rows = %d, want 200", len(res.Rows))
+	}
+	if res.FromRowStore != 200 {
+		t.Fatalf("updated rows must come from the row store: %d", res.FromRowStore)
+	}
+	if p.sc.Readers()[0].Store().Stats().InvalidRows == 0 {
+		t.Fatal("no invalidations reached the reader instance")
+	}
+}
+
+func TestReaderQuerySCNConsistency(t *testing.T) {
+	// At any QuerySCN a reader publishes, a scan over all stores must equal
+	// the master's row-store CR scan at the same SCN.
+	p := newRACPair(t, 2)
+	p.insert(t, 0, 1000)
+	p.catchUp(t)
+	p.waitPopulated(t)
+	s := p.tbl.Schema()
+	for round := 0; round < 10; round++ {
+		tx := p.pri.Instance(0).Begin()
+		for i := int64(0); i < 50; i++ {
+			id := (int64(round)*53 + i*7) % 1000
+			if err := tx.UpdateByID(p.tbl, id, []uint16{1}, func(r *rowstore.Row) {
+				r.Nums[s.Col(1).Slot()] = int64(round * 100)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		p.catchUp(t)
+		q := p.sc.Readers()[0].QuerySCN()
+		sTbl := p.sbyTable(t)
+		hybrid := scanengine.NewExecutor(p.sc.Master.Txns(), p.sc.Stores()...)
+		base := scanengine.NewExecutor(p.sc.Master.Txns())
+		a := key(t, hybrid, sTbl, q)
+		b := key(t, base, sTbl, q)
+		if a != b {
+			t.Fatalf("round %d: cross-instance scan diverges at QuerySCN %d", round, q)
+		}
+	}
+}
+
+func key(t *testing.T, ex *scanengine.Executor, tbl *rowstore.Table, snap scn.SCN) string {
+	t.Helper()
+	res, err := ex.Run(&scanengine.Query{Table: tbl}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema()
+	keys := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		keys = append(keys, fmt.Sprintf("%d:%d", r.Num(s, 0), r.Num(s, 1)))
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}
+
+func TestCoarseInvalidationReachesReaders(t *testing.T) {
+	p := newRACPair(t, 1)
+	p.insert(t, 0, 500)
+	p.catchUp(t)
+	p.waitPopulated(t)
+
+	// Partial transaction, restart master, commit: coarse invalidation must
+	// fan out to the reader too.
+	s := p.tbl.Schema()
+	longTx := p.pri.Instance(0).Begin()
+	if err := longTx.UpdateByID(p.tbl, 1, []uint16{1}, func(r *rowstore.Row) {
+		r.Nums[s.Col(1).Slot()] = 1234
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.catchUp(t)
+	var streams []*redo.Stream
+	for _, inst := range p.pri.Instances() {
+		streams = append(streams, inst.Stream())
+	}
+	p.sc.Master.Restart(transport.NewInProc(streams...))
+	p.sc.Master.Engine().WaitIdle(10 * time.Second)
+	p.sc.Readers()[0].Engine().WaitIdle(10 * time.Second)
+	if _, err := longTx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p.catchUp(t)
+	if p.sc.Master.Stats().CoarseInvals == 0 {
+		t.Fatal("coarse invalidation did not fire on the master")
+	}
+	// Scans remain correct across the cluster.
+	ex := scanengine.NewExecutor(p.sc.Master.Txns(), p.sc.Stores()...)
+	res, err := ex.Run(&scanengine.Query{
+		Table:   p.sbyTable(t),
+		Filters: []scanengine.Filter{scanengine.EqNum(1, 1234)},
+	}, p.sc.Master.QuerySCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows after restart+coarse = %d, want 1", len(res.Rows))
+	}
+}

@@ -1,0 +1,269 @@
+package redo
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// Wire format (all integers unsigned varints unless noted):
+//
+//	record  := scn thread nCV cv*
+//	cv      := kind txn tenant dba slot flags nChanged changed* row marker
+//	row     := nNums num* nStrs str*          (nums are zig-zag varints)
+//	str     := len bytes
+//	marker  := len jsonBytes                  (only when kind == CVMarker)
+//
+// Records are framed on the wire by a uint32 big-endian length prefix
+// (WriteFrame/ReadFrame), which is what the TCP redo transport ships.
+
+// cvFlagHasIMCS marks a commit CV whose transaction touched an IMCS-enabled
+// object.
+const cvFlagHasIMCS = 1 << 0
+
+// AppendRecord serializes r onto buf and returns the extended slice.
+func AppendRecord(buf []byte, r *Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.SCN))
+	buf = binary.AppendUvarint(buf, uint64(r.Thread))
+	buf = binary.AppendUvarint(buf, uint64(len(r.CVs)))
+	for i := range r.CVs {
+		buf = appendCV(buf, &r.CVs[i])
+	}
+	return buf
+}
+
+func appendCV(buf []byte, cv *CV) []byte {
+	buf = append(buf, byte(cv.Kind))
+	buf = binary.AppendUvarint(buf, uint64(cv.Txn))
+	buf = binary.AppendUvarint(buf, uint64(cv.Tenant))
+	buf = binary.AppendUvarint(buf, uint64(cv.DBA))
+	buf = binary.AppendUvarint(buf, uint64(cv.Slot))
+	var flags byte
+	if cv.HasIMCS {
+		flags |= cvFlagHasIMCS
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(cv.ChangedCols)))
+	for _, c := range cv.ChangedCols {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(cv.Row.Nums)))
+	for _, n := range cv.Row.Nums {
+		buf = binary.AppendVarint(buf, n)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(cv.Row.Strs)))
+	for _, s := range cv.Row.Strs {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	if cv.Kind == CVMarker {
+		payload, err := json.Marshal(cv.Marker)
+		if err != nil {
+			// Markers are built from plain structs; marshal cannot fail in
+			// practice. Encode an empty payload defensively.
+			payload = nil
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+	}
+	return buf
+}
+
+// decoder reads varint-encoded fields from a byte slice.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("redo: truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("redo: truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = fmt.Errorf("redo: truncated byte at offset %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = fmt.Errorf("redo: truncated bytes (%d wanted) at offset %d", n, d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// DecodeRecord parses one record from buf (which must contain exactly one
+// record, e.g. one transport frame).
+func DecodeRecord(buf []byte) (*Record, error) {
+	d := &decoder{buf: buf}
+	r := &Record{
+		SCN:    scn.SCN(d.uvarint()),
+		Thread: uint16(d.uvarint()),
+	}
+	nCV := d.uvarint()
+	if nCV > uint64(len(buf)) { // cheap sanity bound: every CV takes >= 1 byte
+		return nil, fmt.Errorf("redo: implausible CV count %d", nCV)
+	}
+	if nCV > 0 {
+		r.CVs = make([]CV, 0, nCV)
+	}
+	for i := uint64(0); i < nCV; i++ {
+		cv, err := decodeCV(d)
+		if err != nil {
+			return nil, err
+		}
+		r.CVs = append(r.CVs, cv)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("redo: %d trailing bytes after record", len(buf)-d.off)
+	}
+	return r, nil
+}
+
+func decodeCV(d *decoder) (CV, error) {
+	var cv CV
+	cv.Kind = CVKind(d.byte())
+	cv.Txn = scn.TxnID(d.uvarint())
+	cv.Tenant = rowstore.TenantID(d.uvarint())
+	cv.DBA = rowstore.DBA(d.uvarint())
+	cv.Slot = uint16(d.uvarint())
+	flags := d.byte()
+	cv.HasIMCS = flags&cvFlagHasIMCS != 0
+	nChanged := d.uvarint()
+	if d.err != nil {
+		return cv, d.err
+	}
+	if nChanged > math.MaxUint16 {
+		return cv, fmt.Errorf("redo: implausible changed-column count %d", nChanged)
+	}
+	if nChanged > 0 {
+		cv.ChangedCols = make([]uint16, nChanged)
+		for i := range cv.ChangedCols {
+			cv.ChangedCols[i] = uint16(d.uvarint())
+		}
+	}
+	nNums := d.uvarint()
+	if d.err != nil {
+		return cv, d.err
+	}
+	if nNums > math.MaxUint16 {
+		return cv, fmt.Errorf("redo: implausible number-column count %d", nNums)
+	}
+	if nNums > 0 {
+		cv.Row.Nums = make([]int64, nNums)
+		for i := range cv.Row.Nums {
+			cv.Row.Nums[i] = d.varint()
+		}
+	}
+	nStrs := d.uvarint()
+	if d.err != nil {
+		return cv, d.err
+	}
+	if nStrs > math.MaxUint16 {
+		return cv, fmt.Errorf("redo: implausible string-column count %d", nStrs)
+	}
+	if nStrs > 0 {
+		cv.Row.Strs = make([]string, nStrs)
+		for i := range cv.Row.Strs {
+			n := d.uvarint()
+			cv.Row.Strs[i] = string(d.bytes(n))
+		}
+	}
+	if cv.Kind == CVMarker {
+		n := d.uvarint()
+		payload := d.bytes(n)
+		if d.err != nil {
+			return cv, d.err
+		}
+		if len(payload) > 0 {
+			cv.Marker = new(Marker)
+			if err := json.Unmarshal(payload, cv.Marker); err != nil {
+				return cv, fmt.Errorf("redo: bad marker payload: %w", err)
+			}
+		}
+	}
+	return cv, d.err
+}
+
+// WriteFrame writes one length-prefixed encoded record to w.
+func WriteFrame(w io.Writer, r *Record) (int, error) {
+	body := AppendRecord(nil, r)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(body)
+	return 4 + n, err
+}
+
+// MaxFrameSize bounds a single record frame on the wire (16 MiB), protecting
+// the reader from corrupt length prefixes.
+const MaxFrameSize = 16 << 20
+
+// ReadFrame reads one length-prefixed record from r.
+func ReadFrame(r io.Reader) (*Record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("redo: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return DecodeRecord(body)
+}
+
+// EncodedSize returns the wire size of a record (without the frame header);
+// used to account redo volume for the log-advancement experiment (Fig. 11).
+func EncodedSize(r *Record) int {
+	return len(AppendRecord(nil, r))
+}

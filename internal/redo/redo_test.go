@@ -1,0 +1,261 @@
+package redo
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		SCN:    12345,
+		Thread: 2,
+		CVs: []CV{
+			{
+				Kind: CVBegin, Txn: 7, Tenant: 3,
+			},
+			{
+				Kind: CVInsert, Txn: 7, Tenant: 3,
+				DBA: rowstore.MakeDBA(42, 9), Slot: 17,
+				Row: rowstore.Row{Nums: []int64{1, -5, 1 << 40}, Strs: []string{"hello", "", "wörld"}},
+			},
+			{
+				Kind: CVUpdate, Txn: 7, Tenant: 3,
+				DBA: rowstore.MakeDBA(42, 10), Slot: 3,
+				Row:         rowstore.Row{Nums: []int64{9}, Strs: []string{"x"}},
+				ChangedCols: []uint16{1, 4},
+			},
+			{
+				Kind: CVCommit, Txn: 7, Tenant: 3, HasIMCS: true,
+			},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	buf := AppendRecord(nil, r)
+	got, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", r, got)
+	}
+}
+
+func TestCodecMarkerRoundTrip(t *testing.T) {
+	r := &Record{
+		SCN: 5, Thread: 1,
+		CVs: []CV{{
+			Kind: CVMarker, Tenant: 1,
+			Marker: &Marker{
+				Kind: MarkerAlterInMemory, Tenant: 1, TableName: "SALES", Partition: "JAN",
+				InMemory: &rowstore.InMemoryAttr{Enabled: true, Service: "standby", Priority: 5},
+			},
+		}},
+	}
+	got, err := DecodeRecord(AppendRecord(nil, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("marker round trip mismatch:\n in: %+v\nout: %+v", r.CVs[0].Marker, got.CVs[0].Marker)
+	}
+}
+
+func TestCodecCreateTableMarker(t *testing.T) {
+	spec := &rowstore.TableSpec{
+		Name: "T", Tenant: 2,
+		Columns:     []rowstore.Column{{Name: "id", Kind: rowstore.KindNumber}, {Name: "c", Kind: rowstore.KindVarchar}},
+		IdentityCol: 0, PartitionCol: -1,
+		Partitions: []rowstore.PartitionSpec{{Name: "", Lo: -1 << 62, Hi: 1 << 62, Obj: 99}},
+	}
+	r := &Record{SCN: 1, CVs: []CV{{Kind: CVMarker, Marker: &Marker{Kind: MarkerCreateTable, Spec: spec}}}}
+	got, err := DecodeRecord(AppendRecord(nil, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.CVs[0].Marker.Spec
+	if gs.Name != "T" || gs.Partitions[0].Obj != 99 || len(gs.Columns) != 2 {
+		t.Fatalf("spec mangled: %+v", gs)
+	}
+}
+
+func TestCodecTruncatedInput(t *testing.T) {
+	buf := AppendRecord(nil, sampleRecord())
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeRecord(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(buf))
+		}
+	}
+	// Trailing garbage must also be rejected.
+	if _, err := DecodeRecord(append(buf, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCodecRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rec := &Record{SCN: scn.SCN(rng.Uint64() >> 1), Thread: uint16(rng.Intn(4))}
+		nCV := rng.Intn(6)
+		for i := 0; i < nCV; i++ {
+			cv := CV{
+				Kind: CVKind(rng.Intn(6) + 1), Txn: scn.TxnID(rng.Uint64() >> 1),
+				Tenant: rowstore.TenantID(rng.Uint32()),
+				DBA:    rowstore.DBA(rng.Uint64()), Slot: uint16(rng.Uint32()),
+				HasIMCS: rng.Intn(2) == 0,
+			}
+			if cv.Kind == CVInsert || cv.Kind == CVUpdate {
+				for j := rng.Intn(5); j > 0; j-- {
+					cv.Row.Nums = append(cv.Row.Nums, rng.Int63()-rng.Int63())
+				}
+				for j := rng.Intn(5); j > 0; j-- {
+					b := make([]byte, rng.Intn(20))
+					rng.Read(b)
+					cv.Row.Strs = append(cv.Row.Strs, string(b))
+				}
+			}
+			if cv.Kind == CVUpdate {
+				for j := rng.Intn(3); j > 0; j-- {
+					cv.ChangedCols = append(cv.ChangedCols, uint16(rng.Uint32()))
+				}
+			}
+			rec.CVs = append(rec.CVs, cv)
+		}
+		got, err := DecodeRecord(AppendRecord(nil, rec))
+		return err == nil && reflect.DeepEqual(rec, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r1, r2 := sampleRecord(), sampleRecord()
+	r2.SCN = 99999
+	if _, err := WriteFrame(&buf, r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFrame(&buf, r2); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.SCN != r1.SCN || g2.SCN != 99999 {
+		t.Fatalf("frames out of order: %d %d", g1.SCN, g2.SCN)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestStreamAppendRead(t *testing.T) {
+	s := NewStream(1)
+	for i := 1; i <= 10; i++ {
+		s.Append(&Record{SCN: scn.SCN(i * 10), Thread: 1})
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.LastSCN() != 100 {
+		t.Fatalf("LastSCN = %d", s.LastSCN())
+	}
+	if s.Bytes() <= 0 {
+		t.Fatal("Bytes not accounted")
+	}
+	rd := NewReader(s, 0)
+	for i := 1; i <= 10; i++ {
+		rec, ok := rd.Next()
+		if !ok || rec.SCN != scn.SCN(i*10) {
+			t.Fatalf("Next %d = %v %v", i, rec, ok)
+		}
+	}
+	s.Close()
+	if _, ok := rd.Next(); ok {
+		t.Fatal("read past end-of-log")
+	}
+}
+
+func TestStreamOutOfOrderPanics(t *testing.T) {
+	s := NewStream(1)
+	s.Append(&Record{SCN: 100})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	s.Append(&Record{SCN: 50})
+}
+
+func TestStreamBlockingReader(t *testing.T) {
+	s := NewStream(1)
+	got := make(chan scn.SCN, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec, ok := NewReader(s, 0).Next()
+		if ok {
+			got <- rec.SCN
+		}
+	}()
+	s.Append(&Record{SCN: 7})
+	wg.Wait()
+	if v := <-got; v != 7 {
+		t.Fatalf("blocked reader got %d", v)
+	}
+}
+
+func TestStreamReattachAtSCN(t *testing.T) {
+	s := NewStream(1)
+	for i := 1; i <= 10; i++ {
+		s.Append(&Record{SCN: scn.SCN(i * 10)})
+	}
+	rd := NewReaderAtSCN(s, 55)
+	rec, ok := rd.Next()
+	if !ok || rec.SCN != 60 {
+		t.Fatalf("reattach: got %v %v, want SCN 60", rec, ok)
+	}
+	// Exact hit attaches at the record itself.
+	rd = NewReaderAtSCN(s, 60)
+	rec, _ = rd.Next()
+	if rec.SCN != 60 {
+		t.Fatalf("reattach exact: got SCN %d", rec.SCN)
+	}
+}
+
+func TestStreamTryNext(t *testing.T) {
+	s := NewStream(1)
+	rd := NewReader(s, 0)
+	if _, ok, eol := rd.TryNext(); ok || eol {
+		t.Fatal("empty open stream should report not-ready")
+	}
+	s.Append(&Record{SCN: 1})
+	if rec, ok, _ := rd.TryNext(); !ok || rec.SCN != 1 {
+		t.Fatal("TryNext missed appended record")
+	}
+	s.Close()
+	if _, ok, eol := rd.TryNext(); ok || !eol {
+		t.Fatal("closed drained stream should report end-of-log")
+	}
+}

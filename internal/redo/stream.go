@@ -1,0 +1,162 @@
+package redo
+
+import (
+	"sync"
+
+	"dbimadg/internal/scn"
+)
+
+// Stream is one redo thread's log: an SCN-ordered, append-only sequence of
+// records. It doubles as the archived log — readers can (re-)attach at any
+// position, which is how the standby resumes recovery after a restart
+// (§III.E). Appends wake blocked readers.
+type Stream struct {
+	thread uint16
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	recs   []*Record
+	bytes  int64
+	closed bool
+}
+
+// NewStream returns an empty stream for the given redo thread.
+func NewStream(thread uint16) *Stream {
+	s := &Stream{thread: thread}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Thread returns the generating instance (redo thread) id.
+func (s *Stream) Thread() uint16 { return s.thread }
+
+// Append adds a record to the log. Records must arrive in non-decreasing SCN
+// order within a stream; Append panics otherwise, since out-of-order redo
+// within a thread indicates a bug in redo generation.
+func (s *Stream) Append(r *Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic("redo: append to closed stream")
+	}
+	if n := len(s.recs); n > 0 && r.SCN < s.recs[n-1].SCN {
+		panic("redo: out-of-order append within a redo thread")
+	}
+	s.recs = append(s.recs, r)
+	s.bytes += int64(EncodedSize(r))
+	s.cond.Broadcast()
+}
+
+// Close marks the stream complete (primary shutdown); blocked readers drain
+// and then see end-of-log.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Len returns the number of archived records.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Bytes returns the total encoded redo volume generated so far.
+func (s *Stream) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// LastSCN returns the SCN of the newest record, or scn.Invalid when empty.
+func (s *Stream) LastSCN() scn.SCN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.recs) == 0 {
+		return scn.Invalid
+	}
+	return s.recs[len(s.recs)-1].SCN
+}
+
+// At returns the record at position idx, blocking until it exists or the
+// stream closes. ok is false at end-of-log.
+func (s *Stream) At(idx int) (r *Record, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for idx >= len(s.recs) && !s.closed {
+		s.cond.Wait()
+	}
+	if idx < len(s.recs) {
+		return s.recs[idx], true
+	}
+	return nil, false
+}
+
+// TryAt is the non-blocking variant of At: ok is false when the record does
+// not exist yet; eol is true when the stream is closed and drained.
+func (s *Stream) TryAt(idx int) (r *Record, ok, eol bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < len(s.recs) {
+		return s.recs[idx], true, false
+	}
+	return nil, false, s.closed
+}
+
+// IndexAtOrAfter returns the position of the first record with SCN >= target,
+// for re-attaching a reader after a standby restart.
+func (s *Stream) IndexAtOrAfter(target scn.SCN) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo, hi := 0, len(s.recs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.recs[mid].SCN < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Reader is a cursor over a Stream.
+type Reader struct {
+	stream *Stream
+	idx    int
+}
+
+// NewReader returns a reader positioned at record index idx.
+func NewReader(s *Stream, idx int) *Reader {
+	return &Reader{stream: s, idx: idx}
+}
+
+// NewReaderAtSCN returns a reader positioned at the first record with
+// SCN >= target.
+func NewReaderAtSCN(s *Stream, target scn.SCN) *Reader {
+	return &Reader{stream: s, idx: s.IndexAtOrAfter(target)}
+}
+
+// Next returns the next record, blocking for more redo; ok is false at
+// end-of-log (stream closed and drained).
+func (r *Reader) Next() (*Record, bool) {
+	rec, ok := r.stream.At(r.idx)
+	if ok {
+		r.idx++
+	}
+	return rec, ok
+}
+
+// TryNext is the non-blocking variant of Next.
+func (r *Reader) TryNext() (rec *Record, ok, eol bool) {
+	rec, ok, eol = r.stream.TryAt(r.idx)
+	if ok {
+		r.idx++
+	}
+	return rec, ok, eol
+}
+
+// Pos returns the reader's current record index.
+func (r *Reader) Pos() int { return r.idx }

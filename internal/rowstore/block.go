@@ -1,0 +1,277 @@
+package rowstore
+
+import (
+	"errors"
+	"sync"
+
+	"dbimadg/internal/scn"
+)
+
+// ErrRowLocked is returned when a writer finds the row's newest version owned
+// by another in-flight transaction. The paper's OLTP workload avoids hot-row
+// conflicts; callers retry or abort.
+var ErrRowLocked = errors.New("rowstore: row locked by another transaction")
+
+// ErrBlockFull is returned when a block has no free slot for an insert.
+var ErrBlockFull = errors.New("rowstore: block full")
+
+// version is one entry in a row's version chain. Chains are ordered newest
+// first; the chain is the undo needed for Consistent Read.
+type version struct {
+	txn     scn.TxnID
+	deleted bool
+	row     Row
+	next    *version
+}
+
+// Block is a multi-versioned data block holding up to capacity rows. All
+// mutation and read paths are guarded by a per-block RWMutex, standing in for
+// the buffer-cache block pins of the paper's substrate.
+type Block struct {
+	dba      DBA
+	capacity int
+
+	mu   sync.RWMutex
+	rows []*version // index = slot; length = high-water mark of used slots
+}
+
+// NewBlock returns an empty block with the given address and row capacity.
+func NewBlock(dba DBA, capacity int) *Block {
+	return &Block{dba: dba, capacity: capacity}
+}
+
+// DBA returns the block's address.
+func (b *Block) DBA() DBA { return b.dba }
+
+// Capacity returns the maximum number of row slots.
+func (b *Block) Capacity() int { return b.capacity }
+
+// RowCount returns the current high-water mark of used slots (including rows
+// from uncommitted or aborted transactions).
+func (b *Block) RowCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.rows)
+}
+
+// statusOf resolves a version writer's status, special-casing the frozen
+// transaction id (see scn.FrozenTxn): frozen versions are committed at SCN 1.
+func statusOf(view TxnView, id scn.TxnID) (TxnStatus, scn.SCN) {
+	if id == scn.FrozenTxn {
+		return TxnCommitted, 1
+	}
+	return view.Lookup(id)
+}
+
+// visible reports whether version v is visible at snapshot snap to reader
+// transaction self (scn.InvalidTxn for pure readers).
+func visible(v *version, snap scn.SCN, view TxnView, self scn.TxnID) bool {
+	if self != scn.InvalidTxn && v.txn == self {
+		return true // read-your-writes within a transaction
+	}
+	status, commitSCN := statusOf(view, v.txn)
+	return status == TxnCommitted && commitSCN != scn.Invalid && commitSCN <= snap
+}
+
+// ReadRow performs a Consistent Read of the row at slot as of snapshot snap.
+// It walks the version chain to the newest version visible at snap. The
+// returned Row shares storage with the block and must not be modified. ok is
+// false when the slot has no visible, non-deleted version at snap.
+func (b *Block) ReadRow(slot uint16, snap scn.SCN, view TxnView, self scn.TxnID) (row Row, ok bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if int(slot) >= len(b.rows) {
+		return Row{}, false
+	}
+	for v := b.rows[slot]; v != nil; v = v.next {
+		if !visible(v, snap, view, self) {
+			continue
+		}
+		if v.deleted {
+			return Row{}, false
+		}
+		return v.row, true
+	}
+	return Row{}, false
+}
+
+// writeLocked pushes a new version at the head of slot's chain. Caller holds
+// b.mu. It extends the slot array as needed (slots are allocated densely by
+// the segment's insert path).
+func (b *Block) writeLocked(slot uint16, txn scn.TxnID, row Row, deleted bool) {
+	for int(slot) >= len(b.rows) {
+		b.rows = append(b.rows, nil)
+	}
+	b.rows[slot] = &version{txn: txn, deleted: deleted, row: row, next: b.rows[slot]}
+}
+
+// Insert places a fresh row at slot on behalf of txn. It is used both by the
+// primary's DML path and by standby redo apply (which replays the primary's
+// slot assignment, keeping the replica physically identical).
+func (b *Block) Insert(slot uint16, txn scn.TxnID, row Row) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int(slot) >= b.capacity {
+		return ErrBlockFull
+	}
+	b.writeLocked(slot, txn, row, false)
+	return nil
+}
+
+// Update overwrites columns of the row at slot on behalf of txn, pushing a new
+// version whose image is the newest existing image with mutate applied, and
+// returns that after-image (shared storage — do not modify) for redo
+// generation. Writers conflict on the newest version: if it belongs to another
+// in-flight transaction, ErrRowLocked is returned.
+//
+// mutate receives a fresh copy of the current image and must modify it in
+// place.
+func (b *Block) Update(slot uint16, txn scn.TxnID, view TxnView, mutate func(*Row)) (Row, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int(slot) >= len(b.rows) || b.rows[slot] == nil {
+		return Row{}, errors.New("rowstore: update of empty slot")
+	}
+	head := b.rows[slot]
+	if head.txn != txn {
+		if status, _ := statusOf(view, head.txn); status == TxnActive || status == TxnUnknown {
+			return Row{}, ErrRowLocked
+		}
+	}
+	img := b.baseImageLocked(slot, view).Clone()
+	mutate(&img)
+	b.writeLocked(slot, txn, img, false)
+	return img, nil
+}
+
+// baseImageLocked returns the newest non-aborted image for slot; caller holds
+// b.mu. Aborted versions are skipped, which is how rollback is realised
+// without physically unlinking versions.
+func (b *Block) baseImageLocked(slot uint16, view TxnView) Row {
+	for v := b.rows[slot]; v != nil; v = v.next {
+		if status, _ := statusOf(view, v.txn); status == TxnAborted {
+			continue
+		}
+		if v.deleted {
+			return Row{}
+		}
+		return v.row
+	}
+	return Row{}
+}
+
+// LatestImage returns the newest non-aborted image at slot regardless of
+// snapshot (the "current" row as redo apply sees it); ok is false for empty
+// or deleted slots. Used for physical maintenance such as index deletes
+// during standby redo apply.
+func (b *Block) LatestImage(slot uint16, view TxnView) (Row, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if int(slot) >= len(b.rows) || b.rows[slot] == nil {
+		return Row{}, false
+	}
+	for v := b.rows[slot]; v != nil; v = v.next {
+		if status, _ := statusOf(view, v.txn); status == TxnAborted {
+			continue
+		}
+		if v.deleted {
+			return Row{}, false
+		}
+		return v.row, true
+	}
+	return Row{}, false
+}
+
+// Delete marks the row at slot deleted on behalf of txn.
+func (b *Block) Delete(slot uint16, txn scn.TxnID, view TxnView) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int(slot) >= len(b.rows) || b.rows[slot] == nil {
+		return errors.New("rowstore: delete of empty slot")
+	}
+	head := b.rows[slot]
+	if head.txn != txn {
+		if status, _ := statusOf(view, head.txn); status == TxnActive || status == TxnUnknown {
+			return ErrRowLocked
+		}
+	}
+	b.writeLocked(slot, txn, Row{}, true)
+	return nil
+}
+
+// ApplyVersion appends a version during standby redo apply. Apply is already
+// serialized per DBA by the recovery worker hashing scheme, so no conflict
+// check is needed; the version order in the chain is the redo (SCN) order.
+func (b *Block) ApplyVersion(slot uint16, txn scn.TxnID, row Row, deleted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.writeLocked(slot, txn, row, deleted)
+}
+
+// Vacuum prunes version chains: for each slot it keeps every version needed by
+// readers at snapshots >= horizon and drops older ones, and unlinks aborted
+// versions. It returns the number of versions freed. horizon must be <= the
+// oldest snapshot any active or future reader can use.
+func (b *Block) Vacuum(horizon scn.SCN, view TxnView) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	freed := 0
+	for slot, head := range b.rows {
+		// Walk the chain; once we pass the newest version committed at or
+		// before horizon, everything older is unreachable.
+		var keepTail *version
+		for v := head; v != nil; v = v.next {
+			status, commitSCN := statusOf(view, v.txn)
+			if status == TxnAborted {
+				continue
+			}
+			if status == TxnCommitted && commitSCN <= horizon {
+				keepTail = v
+				break
+			}
+		}
+		if keepTail == nil {
+			continue
+		}
+		for v := keepTail.next; v != nil; v = v.next {
+			freed++
+		}
+		keepTail.next = nil
+		// The writer of the retained tail may be dropped from the transaction
+		// table later; freeze the version so it stays visible.
+		keepTail.txn = scn.FrozenTxn
+		// Unlink aborted versions from the retained prefix.
+		prev := (*version)(nil)
+		for v := b.rows[slot]; v != nil; {
+			status, _ := statusOf(view, v.txn)
+			if status == TxnAborted {
+				freed++
+				if prev == nil {
+					b.rows[slot] = v.next
+				} else {
+					prev.next = v.next
+				}
+				v = v.next
+				continue
+			}
+			prev = v
+			v = v.next
+		}
+	}
+	return freed
+}
+
+// ChainLen returns the version-chain length at slot; used by tests and the
+// vacuum heuristics.
+func (b *Block) ChainLen(slot uint16) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if int(slot) >= len(b.rows) {
+		return 0
+	}
+	n := 0
+	for v := b.rows[slot]; v != nil; v = v.next {
+		n++
+	}
+	return n
+}

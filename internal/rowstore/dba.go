@@ -1,0 +1,55 @@
+package rowstore
+
+import "fmt"
+
+// ObjID is a data object identifier: one per segment (a non-partitioned table,
+// or one partition of a partitioned table).
+type ObjID uint32
+
+// BlockNo is a block number within a segment.
+type BlockNo uint32
+
+// DBA is a Database Block Address: the global address of one data block,
+// composed of the owning segment's data object id and the block number within
+// the segment. Redo change vectors target a single DBA, and the standby's
+// parallel redo apply distributes change vectors across recovery workers by
+// hashing the DBA (paper §II.A).
+type DBA uint64
+
+// MakeDBA composes a DBA from a data object id and block number.
+func MakeDBA(obj ObjID, blk BlockNo) DBA {
+	return DBA(uint64(obj)<<32 | uint64(blk))
+}
+
+// Obj returns the data object id encoded in the DBA.
+func (d DBA) Obj() ObjID { return ObjID(d >> 32) }
+
+// Block returns the block number encoded in the DBA.
+func (d DBA) Block() BlockNo { return BlockNo(d & 0xffffffff) }
+
+func (d DBA) String() string {
+	return fmt.Sprintf("%d.%d", d.Obj(), d.Block())
+}
+
+// Hash returns a well-mixed hash of the DBA, used to assign change vectors to
+// recovery workers and IMCUs to RAC instances. It is a 64-bit finalizer
+// (splitmix64-style) so consecutive block numbers spread across workers.
+func (d DBA) Hash() uint64 {
+	x := uint64(d)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RowID addresses a single row slot within a block.
+type RowID struct {
+	DBA  DBA
+	Slot uint16
+}
+
+func (r RowID) String() string {
+	return fmt.Sprintf("%s:%d", r.DBA, r.Slot)
+}

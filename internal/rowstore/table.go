@@ -1,0 +1,153 @@
+package rowstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PartitionSpec declares one range partition of a table. Rows route to the
+// partition whose [Lo, Hi) interval contains the partition-key value.
+type PartitionSpec struct {
+	Name string
+	Lo   int64 // inclusive
+	Hi   int64 // exclusive
+	// Obj is the preassigned data object id; zero means "allocate". Catalog
+	// replication to the standby preassigns ids so the replica is physically
+	// identical.
+	Obj ObjID
+}
+
+// TableSpec declares a table for Database.CreateTable. A nil/empty Partitions
+// list creates a single implicit partition spanning all keys.
+type TableSpec struct {
+	Name    string
+	Tenant  TenantID
+	Columns []Column
+	// IdentityCol is the column index carrying the unique identity key
+	// (indexed); -1 for none.
+	IdentityCol int
+	// PartitionCol is the column index used for range partitioning; -1 for a
+	// non-partitioned table. Must be a KindNumber column.
+	PartitionCol int
+	Partitions   []PartitionSpec
+}
+
+// InMemoryAttr is the INMEMORY catalog attribute of a table or partition: the
+// paper's population policy (Fig. 2), routing population to the primary
+// and/or standby column store through a named service.
+type InMemoryAttr struct {
+	Enabled bool
+	// Service names where population should occur: by convention "primary",
+	// "standby" or "both"; resolved by the service registry.
+	Service string
+	// Priority orders background population (higher populates first).
+	Priority int
+}
+
+// Partition is one range partition and its backing segment.
+type Partition struct {
+	Name string
+	Lo   int64
+	Hi   int64
+	Seg  *Segment
+
+	immu  sync.RWMutex
+	inmem InMemoryAttr
+}
+
+// InMemory returns the partition's INMEMORY attribute.
+func (p *Partition) InMemory() InMemoryAttr {
+	p.immu.RLock()
+	defer p.immu.RUnlock()
+	return p.inmem
+}
+
+// SetInMemory installs a new INMEMORY attribute (ALTER ... INMEMORY DDL).
+func (p *Partition) SetInMemory(a InMemoryAttr) {
+	p.immu.Lock()
+	p.inmem = a
+	p.immu.Unlock()
+}
+
+// Contains reports whether key routes to this partition.
+func (p *Partition) Contains(key int64) bool { return key >= p.Lo && key < p.Hi }
+
+// Table is the catalog entry for a table: schema, identity index and
+// partitions. The schema pointer is swapped atomically under mu by
+// dictionary-level DDL.
+type Table struct {
+	Name         string
+	Tenant       TenantID
+	IdentityCol  int
+	PartitionCol int
+
+	mu     sync.RWMutex
+	schema *Schema
+	parts  []*Partition
+	index  *Index
+}
+
+// Schema returns the table's current schema.
+func (t *Table) Schema() *Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema
+}
+
+// SetSchema installs a new schema (dictionary DDL).
+func (t *Table) SetSchema(s *Schema) {
+	t.mu.Lock()
+	t.schema = s
+	t.mu.Unlock()
+}
+
+// Partitions returns the table's partitions in key order.
+func (t *Table) Partitions() []*Partition {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Partition, len(t.parts))
+	copy(out, t.parts)
+	return out
+}
+
+// PartitionByName returns the named partition ("" returns the sole partition
+// of a non-partitioned table).
+func (t *Table) PartitionByName(name string) (*Partition, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if name == "" && len(t.parts) == 1 {
+		return t.parts[0], nil
+	}
+	for _, p := range t.parts {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("rowstore: table %q has no partition %q", t.Name, name)
+}
+
+// PartitionFor routes a partition-key value to its partition.
+func (t *Table) PartitionFor(key int64) (*Partition, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.parts {
+		if p.Contains(key) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("rowstore: no partition of %q covers key %d", t.Name, key)
+}
+
+// Index returns the identity index (nil when IdentityCol < 0).
+func (t *Table) Index() *Index { return t.index }
+
+// Segments returns the backing segment of every partition.
+func (t *Table) Segments() []*Segment {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	segs := make([]*Segment, len(t.parts))
+	for i, p := range t.parts {
+		segs[i] = p.Seg
+	}
+	return segs
+}

@@ -1,0 +1,644 @@
+package scanengine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// AggKind selects an aggregation pushed down into the scan.
+type AggKind uint8
+
+const (
+	// AggNone materializes matching rows.
+	AggNone AggKind = iota
+	// AggCount counts matching rows.
+	AggCount
+	// AggSum sums a number column over matching rows.
+	AggSum
+	// AggMin takes the minimum of a number column over matching rows.
+	AggMin
+	// AggMax takes the maximum of a number column over matching rows.
+	AggMax
+)
+
+// Query describes one scan.
+type Query struct {
+	Table *rowstore.Table
+	// Filters are ANDed column comparisons.
+	Filters []Filter
+	// Project lists schema column indexes to materialize (nil = all).
+	Project []int
+	// Agg selects an aggregate instead of row materialization; AggCol is the
+	// aggregated number column (ignored for AggCount).
+	Agg    AggKind
+	AggCol int
+	// Parallel is the scan parallelism (concurrent unit/range tasks);
+	// <= 1 runs serially.
+	Parallel int
+}
+
+// Result is a completed scan.
+type Result struct {
+	// Rows holds materialized rows (AggNone only), in unspecified order.
+	Rows []rowstore.Row
+	// Count/Sum/Min/Max carry aggregate results.
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+
+	// FromIMCS / FromRowStore count matching rows by serving path, and
+	// UnitsPruned counts IMCUs skipped entirely via storage indexes —
+	// observability mirroring the paper's scan statistics.
+	FromIMCS     int64
+	FromRowStore int64
+	UnitsPruned  int64
+	UnitsScanned int64
+}
+
+// Executor runs scans at a snapshot against the row store and any number of
+// column stores (multiple stores model RAC instances whose IMCUs a parallel
+// query can reach; an empty list is the paper's "without DBIM" baseline).
+type Executor struct {
+	view   rowstore.TxnView
+	stores []*imcs.Store
+}
+
+// NewExecutor builds an executor. stores may be empty.
+func NewExecutor(view rowstore.TxnView, stores ...*imcs.Store) *Executor {
+	return &Executor{view: view, stores: stores}
+}
+
+const batchSize = 1024 // rows per vectorized evaluation batch (multiple of 64)
+
+// Run executes a query at snapshot snap.
+func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
+	if q.Table == nil {
+		return nil, fmt.Errorf("scanengine: query has no table")
+	}
+	schema := q.Table.Schema()
+	for _, f := range q.Filters {
+		if f.Col < 0 || f.Col >= schema.NumCols() {
+			return nil, fmt.Errorf("scanengine: filter column %d out of range", f.Col)
+		}
+	}
+	if q.Agg == AggSum || q.Agg == AggMin || q.Agg == AggMax {
+		if q.AggCol < 0 || q.AggCol >= schema.NumCols() || schema.Col(q.AggCol).Kind != rowstore.KindNumber {
+			return nil, fmt.Errorf("scanengine: aggregate column %d must be a NUMBER column", q.AggCol)
+		}
+	}
+
+	var tasks []scanTask
+	for _, part := range ex.prunePartitions(q, schema) {
+		tasks = append(tasks, ex.planSegment(q, part.Seg)...)
+	}
+
+	merged := newTaskResult(q)
+	if q.Parallel <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			ex.runTask(q, schema, t, snap, merged)
+		}
+	} else {
+		workers := q.Parallel
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
+		var (
+			mu   sync.Mutex
+			wg   sync.WaitGroup
+			next int
+		)
+		results := make([]*taskResult, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			results[w] = newTaskResult(q)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					if next >= len(tasks) {
+						mu.Unlock()
+						return
+					}
+					t := tasks[next]
+					next++
+					mu.Unlock()
+					ex.runTask(q, schema, t, snap, results[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, r := range results {
+			merged.merge(r)
+		}
+	}
+	return merged.finish(q), nil
+}
+
+// prunePartitions applies partition pruning on the partition-key column.
+func (ex *Executor) prunePartitions(q *Query, schema *rowstore.Schema) []*rowstore.Partition {
+	parts := q.Table.Partitions()
+	pc := q.Table.PartitionCol
+	if pc < 0 {
+		return parts
+	}
+	out := parts[:0:0]
+	for _, p := range parts {
+		keep := true
+		for _, f := range q.Filters {
+			if f.Col != pc {
+				continue
+			}
+			// Partition covers [Lo, Hi); prune when the filter cannot match
+			// any key in that interval.
+			if !numRangeOverlaps(p.Lo, p.Hi-1, f.Op, f.Num) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// scanTask is one unit of scan work: either a populated column-store unit or
+// a raw block range.
+type scanTask struct {
+	seg  *rowstore.Segment
+	unit *imcs.Unit // nil for a row-store range task
+	from rowstore.BlockNo
+	to   rowstore.BlockNo
+}
+
+// planSegment builds tasks covering all blocks of a segment: column-store
+// units where populated (across all reachable stores), row-store ranges for
+// the gaps.
+func (ex *Executor) planSegment(q *Query, seg *rowstore.Segment) []scanTask {
+	nBlocks := rowstore.BlockNo(seg.BlockCount())
+	var units []*imcs.Unit
+	for _, st := range ex.stores {
+		units = append(units, st.Units(seg.Obj())...)
+	}
+	// Units are non-overlapping within a store and, with a correct home map,
+	// across stores; sort by range start.
+	sortUnits(units)
+	var tasks []scanTask
+	cursor := rowstore.BlockNo(0)
+	for _, u := range units {
+		if u.StartBlk >= nBlocks {
+			break
+		}
+		if u.StartBlk > cursor {
+			tasks = append(tasks, scanTask{seg: seg, from: cursor, to: u.StartBlk})
+		}
+		tasks = append(tasks, scanTask{seg: seg, unit: u, from: u.StartBlk, to: u.EndBlk})
+		cursor = u.EndBlk
+	}
+	if cursor < nBlocks {
+		tasks = append(tasks, scanTask{seg: seg, from: cursor, to: nBlocks})
+	}
+	return tasks
+}
+
+func sortUnits(units []*imcs.Unit) {
+	// Insertion sort: unit lists are short and usually already ordered.
+	for i := 1; i < len(units); i++ {
+		for j := i; j > 0 && units[j].StartBlk < units[j-1].StartBlk; j-- {
+			units[j], units[j-1] = units[j-1], units[j]
+		}
+	}
+}
+
+// taskResult accumulates one worker's output.
+type taskResult struct {
+	rows         []rowstore.Row
+	count        int64
+	sum          int64
+	min          int64
+	max          int64
+	fromIMCS     int64
+	fromRowStore int64
+	unitsPruned  int64
+	unitsScanned int64
+
+	numScratch []int64
+	auxScratch []int64
+	match      []uint64
+}
+
+func newTaskResult(q *Query) *taskResult {
+	return &taskResult{
+		min:        math.MaxInt64,
+		max:        math.MinInt64,
+		numScratch: make([]int64, batchSize),
+		auxScratch: make([]int64, batchSize),
+		match:      make([]uint64, batchSize/64),
+	}
+}
+
+func (r *taskResult) merge(o *taskResult) {
+	r.rows = append(r.rows, o.rows...)
+	r.count += o.count
+	r.sum += o.sum
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.fromIMCS += o.fromIMCS
+	r.fromRowStore += o.fromRowStore
+	r.unitsPruned += o.unitsPruned
+	r.unitsScanned += o.unitsScanned
+}
+
+func (r *taskResult) finish(q *Query) *Result {
+	res := &Result{
+		Rows: r.rows, Count: r.count, Sum: r.sum, Min: r.min, Max: r.max,
+		FromIMCS: r.fromIMCS, FromRowStore: r.fromRowStore,
+		UnitsPruned: r.unitsPruned, UnitsScanned: r.unitsScanned,
+	}
+	if q.Agg == AggNone {
+		res.Count = int64(len(r.rows))
+	}
+	return res
+}
+
+// accept processes one matching row image.
+func (r *taskResult) accept(q *Query, schema *rowstore.Schema, row rowstore.Row) {
+	switch q.Agg {
+	case AggNone:
+		r.rows = append(r.rows, projectRow(q, schema, row))
+	case AggCount:
+		r.count++
+	case AggSum:
+		r.count++
+		r.sum += row.Nums[schema.Col(q.AggCol).Slot()]
+	case AggMin:
+		r.count++
+		if v := row.Nums[schema.Col(q.AggCol).Slot()]; v < r.min {
+			r.min = v
+		}
+	case AggMax:
+		r.count++
+		if v := row.Nums[schema.Col(q.AggCol).Slot()]; v > r.max {
+			r.max = v
+		}
+	}
+}
+
+// projectRow materializes the projection: a row in the table's slot layout
+// with only the projected columns copied (all columns when Project is nil).
+func projectRow(q *Query, schema *rowstore.Schema, row rowstore.Row) rowstore.Row {
+	if q.Project == nil {
+		return row.Clone()
+	}
+	out := rowstore.NewRow(schema)
+	for _, ci := range q.Project {
+		col := schema.Col(ci)
+		if col.Kind == rowstore.KindNumber {
+			out.Nums[col.Slot()] = row.Nums[col.Slot()]
+		} else {
+			out.Strs[col.Slot()] = row.Strs[col.Slot()]
+		}
+	}
+	return out
+}
+
+func (ex *Executor) runTask(q *Query, schema *rowstore.Schema, t scanTask, snap scn.SCN, res *taskResult) {
+	if t.unit == nil {
+		ex.scanBlocks(q, schema, t.seg, t.from, t.to, snap, res)
+		return
+	}
+	imcu, invalid, usable := t.unit.ScanView()
+	// An IMCU can only serve snapshots at or after its population snapshot,
+	// and only while the live schema matches the one it was built with.
+	if !usable || imcu.SnapSCN > snap || imcu.Schema() != schema {
+		ex.scanBlocks(q, schema, t.seg, t.from, t.to, snap, res)
+		return
+	}
+	ex.scanIMCU(q, schema, imcu, invalid, res)
+	ex.scanInvalidRows(q, schema, t.seg, imcu, invalid, snap, res)
+	ex.scanTails(q, schema, t.seg, imcu, snap, res)
+}
+
+// scanBlocks is the row-store path: a CR scan of blocks [from, to).
+func (ex *Executor) scanBlocks(q *Query, schema *rowstore.Schema, seg *rowstore.Segment, from, to rowstore.BlockNo, snap scn.SCN, res *taskResult) {
+	last := rowstore.BlockNo(seg.BlockCount())
+	if to > last {
+		to = last
+	}
+	for b := from; b < to; b++ {
+		blk := seg.Block(b)
+		if blk == nil {
+			continue
+		}
+		n := blk.RowCount()
+		for slot := 0; slot < n; slot++ {
+			row, ok := blk.ReadRow(uint16(slot), snap, ex.view, scn.InvalidTxn)
+			if !ok || !rowMatches(schema, row, q.Filters) {
+				continue
+			}
+			res.fromRowStore++
+			res.accept(q, schema, row)
+		}
+	}
+}
+
+// scanIMCU is the columnar path: storage-index pruning then batched
+// evaluation over the compressed columns, honoring the presence bitmap and
+// the SMU's invalidity bitmap.
+func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, invalid []uint64, res *taskResult) {
+	rows := imcu.Rows()
+	if rows == 0 {
+		return
+	}
+	// Storage-index pruning: if any filter cannot match the column's
+	// min/max, no valid row in this IMCU qualifies.
+	for _, f := range q.Filters {
+		col := schema.Col(f.Col)
+		if col.Kind == rowstore.KindNumber {
+			c := imcu.NumCol(col.Slot())
+			if mn, mx := c.MinMax(); !numRangeOverlaps(mn, mx, f.Op, f.Num) {
+				res.unitsPruned++
+				return
+			}
+		} else {
+			c := imcu.StrCol(col.Slot())
+			if mn, mx := c.MinMax(); c.DictSize() > 0 && !strRangeOverlaps(mn, mx, f.Op, f.Str) {
+				res.unitsPruned++
+				return
+			}
+		}
+	}
+	res.unitsScanned++
+
+	present := imcu.PresentWords()
+	match := res.match
+	for base := 0; base < rows; base += batchSize {
+		n := rows - base
+		if n > batchSize {
+			n = batchSize
+		}
+		words := (n + 63) / 64
+		w0 := base / 64
+		live := uint64(0)
+		for w := 0; w < words; w++ {
+			m := present[w0+w] &^ invalid[w0+w]
+			if w == words-1 && n%64 != 0 {
+				m &= (1 << (n % 64)) - 1
+			}
+			match[w] = m
+			live |= m
+		}
+		if live == 0 {
+			continue
+		}
+		for _, f := range q.Filters {
+			if !ex.evalFilterBatch(schema, imcu, f, base, n, match, res) {
+				live = 0
+				break
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		ex.emitBatch(q, schema, imcu, base, n, match, res)
+	}
+}
+
+// evalFilterBatch narrows match to rows of [base, base+n) satisfying f.
+// It returns false when the whole batch (and, for dictionary misses, the
+// whole IMCU batch loop) is dead.
+func (ex *Executor) evalFilterBatch(schema *rowstore.Schema, imcu *imcs.IMCU, f Filter, base, n int, match []uint64, res *taskResult) bool {
+	col := schema.Col(f.Col)
+	if col.Kind == rowstore.KindNumber {
+		vals := res.numScratch[:n]
+		imcu.NumCol(col.Slot()).Decode(vals, base)
+		andCmpBitmap(match, vals, f.Op, f.Num)
+		return true
+	}
+	// Dictionary-encoded varchar: compare on codes.
+	c := imcu.StrCol(col.Slot())
+	ge := c.CodeRangeGE(f.Str)
+	_, eqFound := c.Code(f.Str)
+	upper := ge
+	if eqFound {
+		upper = ge + 1
+	}
+	// Fast path: equality with a missing dictionary entry matches nothing.
+	if f.Op == EQ && !eqFound {
+		clearWords(match, (n+63)/64)
+		return false
+	}
+	vals := res.numScratch[:n]
+	c.DecodeCodes(vals, base)
+	// Rewrite the operator into a code comparison: EQ -> code == ge;
+	// NE with a present literal -> code != ge (else all pass); ranges map to
+	// half-open bounds on the sorted dictionary's code space.
+	switch f.Op {
+	case EQ:
+		andCmpBitmap(match, vals, EQ, ge)
+	case NE:
+		if eqFound {
+			andCmpBitmap(match, vals, NE, ge)
+		}
+	case LT:
+		andCmpBitmap(match, vals, LT, ge)
+	case LE:
+		andCmpBitmap(match, vals, LT, upper)
+	case GT:
+		andCmpBitmap(match, vals, GE, upper)
+	case GE:
+		andCmpBitmap(match, vals, GE, ge)
+	}
+	return true
+}
+
+func clearWords(ws []uint64, n int) {
+	for i := 0; i < n; i++ {
+		ws[i] = 0
+	}
+}
+
+// andCmpBitmap ANDs into match the bitmap of positions of vals satisfying
+// (op, v). Specialized word-at-a-time loops keep the batch evaluation branch-
+// light — the stand-in for the paper's SIMD predicate evaluation (§II.B).
+func andCmpBitmap(match []uint64, vals []int64, op CmpOp, v int64) {
+	n := len(vals)
+	words := (n + 63) / 64
+	for w := 0; w < words; w++ {
+		if match[w] == 0 {
+			continue
+		}
+		base := w * 64
+		end := n - base
+		if end > 64 {
+			end = 64
+		}
+		var m uint64
+		chunk := vals[base : base+end]
+		switch op {
+		case EQ:
+			for b, x := range chunk {
+				if x == v {
+					m |= 1 << uint(b)
+				}
+			}
+		case NE:
+			for b, x := range chunk {
+				if x != v {
+					m |= 1 << uint(b)
+				}
+			}
+		case LT:
+			for b, x := range chunk {
+				if x < v {
+					m |= 1 << uint(b)
+				}
+			}
+		case LE:
+			for b, x := range chunk {
+				if x <= v {
+					m |= 1 << uint(b)
+				}
+			}
+		case GT:
+			for b, x := range chunk {
+				if x > v {
+					m |= 1 << uint(b)
+				}
+			}
+		case GE:
+			for b, x := range chunk {
+				if x >= v {
+					m |= 1 << uint(b)
+				}
+			}
+		}
+		match[w] &= m
+	}
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// emitBatch materializes or aggregates the surviving rows of a batch.
+func (ex *Executor) emitBatch(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, base, n int, match []uint64, res *taskResult) {
+	var aggVals []int64
+	if q.Agg == AggSum || q.Agg == AggMin || q.Agg == AggMax {
+		aggVals = res.auxScratch[:n]
+		imcu.NumCol(schema.Col(q.AggCol).Slot()).Decode(aggVals, base)
+	}
+	for w := range match[:(n+63)/64] {
+		m := match[w]
+		for m != 0 {
+			b := trailingZeros(m)
+			i := w*64 + b
+			res.fromIMCS++
+			switch q.Agg {
+			case AggNone:
+				res.rows = append(res.rows, ex.materialize(q, schema, imcu, base+i))
+			case AggCount:
+				res.count++
+			case AggSum:
+				res.count++
+				res.sum += aggVals[i]
+			case AggMin:
+				res.count++
+				if aggVals[i] < res.min {
+					res.min = aggVals[i]
+				}
+			case AggMax:
+				res.count++
+				if aggVals[i] > res.max {
+					res.max = aggVals[i]
+				}
+			}
+			m &= m - 1
+		}
+	}
+}
+
+// materialize builds the projected row image for IMCU row i.
+func (ex *Executor) materialize(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, i int) rowstore.Row {
+	row := rowstore.NewRow(schema)
+	if q.Project == nil {
+		for s := range row.Nums {
+			row.Nums[s] = imcu.NumCol(s).Get(i)
+		}
+		for s := range row.Strs {
+			row.Strs[s] = imcu.StrCol(s).Get(i)
+		}
+		return row
+	}
+	for _, ci := range q.Project {
+		col := schema.Col(ci)
+		if col.Kind == rowstore.KindNumber {
+			row.Nums[col.Slot()] = imcu.NumCol(col.Slot()).Get(i)
+		} else {
+			row.Strs[col.Slot()] = imcu.StrCol(col.Slot()).Get(i)
+		}
+	}
+	return row
+}
+
+// scanInvalidRows reconciles with the SMU: rows marked invalid are read from
+// the row store at the scan snapshot (§II.B: "invalid or stale data is not
+// delivered from the IMCS, but delivered from the database buffer cache").
+func (ex *Executor) scanInvalidRows(q *Query, schema *rowstore.Schema, seg *rowstore.Segment, imcu *imcs.IMCU, invalid []uint64, snap scn.SCN, res *taskResult) {
+	for w, word := range invalid {
+		for word != 0 {
+			b := trailingZeros(word)
+			i := w*64 + b
+			word &= word - 1
+			if i >= imcu.Rows() {
+				break
+			}
+			blk, slot := imcu.AddrOfRow(i)
+			block := seg.Block(blk)
+			if block == nil {
+				continue
+			}
+			row, ok := block.ReadRow(slot, snap, ex.view, scn.InvalidTxn)
+			if !ok || !rowMatches(schema, row, q.Filters) {
+				continue
+			}
+			res.fromRowStore++
+			res.accept(q, schema, row)
+		}
+	}
+}
+
+// scanTails reads rows appended to blocks after population (slots beyond the
+// captured count) from the row store — the "edge IMCU" effect of §IV.A.2.
+func (ex *Executor) scanTails(q *Query, schema *rowstore.Schema, seg *rowstore.Segment, imcu *imcs.IMCU, snap scn.SCN, res *taskResult) {
+	last := rowstore.BlockNo(seg.BlockCount())
+	end := imcu.EndBlk
+	if end > last {
+		end = last
+	}
+	for b := imcu.StartBlk; b < end; b++ {
+		blk := seg.Block(b)
+		if blk == nil {
+			continue
+		}
+		captured := int(imcu.CapturedRows(b))
+		n := blk.RowCount()
+		for slot := captured; slot < n; slot++ {
+			row, ok := blk.ReadRow(uint16(slot), snap, ex.view, scn.InvalidTxn)
+			if !ok || !rowMatches(schema, row, q.Filters) {
+				continue
+			}
+			res.fromRowStore++
+			res.accept(q, schema, row)
+		}
+	}
+}

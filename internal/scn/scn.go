@@ -1,0 +1,83 @@
+// Package scn provides the System Change Number (SCN) clock and transaction
+// identifier allocation used throughout the database.
+//
+// The SCN is the logical database clock of the paper: every redo record is
+// tagged with the SCN at which its changes were made, and a transaction's
+// commit is stamped with a commitSCN that defines its visibility point under
+// the Consistent Read model.
+package scn
+
+import "sync/atomic"
+
+// SCN is a System Change Number: a monotonically increasing logical timestamp.
+// The zero SCN is never allocated; it denotes "no SCN".
+type SCN uint64
+
+// Invalid is the zero SCN, used to mean "unset".
+const Invalid SCN = 0
+
+// TxnID identifies a transaction. Transaction identifiers are allocated by the
+// primary database and travel with every redo change vector so that the
+// standby can reassemble transaction boundaries.
+type TxnID uint64
+
+// InvalidTxn is the zero TxnID, used to mean "no transaction" (for example on
+// redo markers, which are not transactional).
+const InvalidTxn TxnID = 0
+
+// FrozenTxn is a reserved transaction id stamped onto row versions whose
+// writer transaction has been vacuumed out of the transaction table. A frozen
+// version is committed "since forever": visible at every snapshot a reader is
+// still allowed to use (the vacuum horizon guarantees no older snapshots
+// exist). This plays the role of transaction-freezing in MVCC systems.
+const FrozenTxn TxnID = ^TxnID(0)
+
+// Clock is the SCN generator. The primary database owns the authoritative
+// clock; with RAC, all primary instances share one Clock, modelling Oracle's
+// cluster-wide SCN service.
+type Clock struct {
+	cur atomic.Uint64
+}
+
+// NewClock returns a clock whose next allocated SCN is start+1.
+func NewClock(start SCN) *Clock {
+	c := &Clock{}
+	c.cur.Store(uint64(start))
+	return c
+}
+
+// Next allocates and returns a new SCN, strictly greater than all previously
+// allocated or observed SCNs.
+func (c *Clock) Next() SCN {
+	return SCN(c.cur.Add(1))
+}
+
+// Current returns the most recently allocated SCN without advancing the clock.
+func (c *Clock) Current() SCN {
+	return SCN(c.cur.Load())
+}
+
+// Observe advances the clock to at least s. It implements the Lamport-style
+// "never run behind an observed timestamp" rule used when SCNs arrive from
+// another instance.
+func (c *Clock) Observe(s SCN) {
+	for {
+		cur := c.cur.Load()
+		if cur >= uint64(s) {
+			return
+		}
+		if c.cur.CompareAndSwap(cur, uint64(s)) {
+			return
+		}
+	}
+}
+
+// TxnIDAllocator hands out transaction identifiers.
+type TxnIDAllocator struct {
+	cur atomic.Uint64
+}
+
+// Next allocates a new, never-before-used transaction identifier.
+func (a *TxnIDAllocator) Next() TxnID {
+	return TxnID(a.cur.Add(1))
+}

@@ -1,0 +1,88 @@
+package scn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock(0)
+	prev := c.Next()
+	for i := 0; i < 1000; i++ {
+		next := c.Next()
+		if next <= prev {
+			t.Fatalf("SCN went backwards: %d after %d", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestClockStart(t *testing.T) {
+	c := NewClock(100)
+	if got := c.Current(); got != 100 {
+		t.Fatalf("Current() = %d, want 100", got)
+	}
+	if got := c.Next(); got != 101 {
+		t.Fatalf("Next() = %d, want 101", got)
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	c := NewClock(10)
+	c.Observe(50)
+	if got := c.Current(); got != 50 {
+		t.Fatalf("Current() after Observe(50) = %d, want 50", got)
+	}
+	// Observing a lower SCN must not move the clock backwards.
+	c.Observe(20)
+	if got := c.Current(); got != 50 {
+		t.Fatalf("Current() after Observe(20) = %d, want 50", got)
+	}
+	if got := c.Next(); got != 51 {
+		t.Fatalf("Next() = %d, want 51", got)
+	}
+}
+
+func TestClockConcurrentUnique(t *testing.T) {
+	c := NewClock(0)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	results := make([][]SCN, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]SCN, perG)
+			for i := range out {
+				out[i] = c.Next()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[SCN]bool, goroutines*perG)
+	for _, rs := range results {
+		for _, s := range rs {
+			if seen[s] {
+				t.Fatalf("duplicate SCN allocated: %d", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("allocated %d unique SCNs, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestTxnIDAllocator(t *testing.T) {
+	var a TxnIDAllocator
+	first := a.Next()
+	if first == InvalidTxn {
+		t.Fatal("allocator returned the invalid txn id")
+	}
+	second := a.Next()
+	if second == first {
+		t.Fatal("allocator returned a duplicate txn id")
+	}
+}

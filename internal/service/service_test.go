@@ -1,0 +1,45 @@
+package service
+
+import "testing"
+
+func TestDefaults(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		svc  string
+		role Role
+		want bool
+	}{
+		{PrimaryOnly, RolePrimary, true},
+		{PrimaryOnly, RoleStandby, false},
+		{StandbyOnly, RolePrimary, false},
+		{StandbyOnly, RoleStandby, true},
+		{PrimaryAndStandby, RolePrimary, true},
+		{PrimaryAndStandby, RoleStandby, true},
+		{"nope", RolePrimary, false},
+		{"", RoleStandby, false},
+	}
+	for _, c := range cases {
+		if got := r.RunsOn(c.svc, c.role); got != c.want {
+			t.Errorf("RunsOn(%q, %v) = %v, want %v", c.svc, c.role, got, c.want)
+		}
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("reporting", RoleStandby); err != nil {
+		t.Fatal(err)
+	}
+	if !r.RunsOn("reporting", RoleStandby) || r.RunsOn("reporting", RolePrimary) {
+		t.Fatal("custom service roles wrong")
+	}
+	if err := r.Register("", RolePrimary); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Register("x", 0); err == nil {
+		t.Fatal("empty roles accepted")
+	}
+	if len(r.Services()) != 4 {
+		t.Fatalf("Services() = %v", r.Services())
+	}
+}

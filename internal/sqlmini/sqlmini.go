@@ -1,0 +1,325 @@
+// Package sqlmini is a minimal SQL layer over the scan engine: it parses the
+// subset of SELECT the paper's workload uses (Table 1's Q1/Q2 and simple
+// aggregates) and compiles it into a scanengine.Query.
+//
+// Grammar (case-insensitive keywords):
+//
+//	SELECT select_list FROM ident [WHERE cond {AND cond}]
+//	select_list := '*' | agg | ident {',' ident}
+//	agg         := COUNT '(' '*' ')' | (SUM|MIN|MAX) '(' ident ')'
+//	cond        := ident op literal
+//	op          := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//	literal     := integer | 'single-quoted string' | :name (bind)
+//
+// Binds are resolved from a parameter map at compile time, mirroring the
+// paper's "SELECT * FROM C101_6P1M_HASH WHERE n1 = :1".
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+)
+
+// Bind is a bind-variable value (number or string).
+type Bind struct {
+	Num   int64
+	Str   string
+	IsStr bool
+}
+
+// NumBind builds a numeric bind value.
+func NumBind(v int64) Bind { return Bind{Num: v} }
+
+// StrBind builds a string bind value.
+func StrBind(v string) Bind { return Bind{Str: v, IsStr: true} }
+
+// Statement is a parsed SELECT.
+type Statement struct {
+	TableName string
+	Star      bool
+	Columns   []string
+	Agg       scanengine.AggKind
+	AggCol    string // "" for COUNT(*)
+	Conds     []cond
+}
+
+type cond struct {
+	col  string
+	op   scanengine.CmpOp
+	lit  string // raw literal or bind name (":x")
+	isSQ bool   // single-quoted string literal
+}
+
+// tokenizer -------------------------------------------------------------------
+
+type tokenizer struct {
+	src  string
+	pos  int
+	toks []string
+}
+
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sqlmini: unterminated string literal")
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		case strings.ContainsRune("(),*", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case c == '<' || c == '>' || c == '!' || c == '=':
+			if i+1 < len(src) && (src[i+1] == '=' || (c == '<' && src[i+1] == '>')) {
+				toks = append(toks, src[i:i+2])
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		case c == ':' || c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)):
+			j := i + 1
+			for j < len(src) && (src[j] == '_' || src[j] == '.' || unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+// parser ----------------------------------------------------------------------
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !strings.EqualFold(p.peek(), kw) {
+		return fmt.Errorf("sqlmini: expected %s, got %q", kw, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expect(tok string) error {
+	if p.peek() != tok {
+		return fmt.Errorf("sqlmini: expected %q, got %q", tok, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+// Parse parses a SELECT statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Statement{Agg: scanengine.AggNone}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(st); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	st.TableName = p.next()
+	if st.TableName == "" {
+		return nil, fmt.Errorf("sqlmini: missing table name")
+	}
+	if p.peek() != "" {
+		if err := p.expectKeyword("WHERE"); err != nil {
+			return nil, err
+		}
+		for {
+			if err := p.parseCond(st); err != nil {
+				return nil, err
+			}
+			if !strings.EqualFold(p.peek(), "AND") {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("sqlmini: trailing tokens at %q", p.peek())
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectList(st *Statement) error {
+	t := p.peek()
+	if t == "*" {
+		st.Star = true
+		p.pos++
+		return nil
+	}
+	up := strings.ToUpper(t)
+	if up == "COUNT" || up == "SUM" || up == "MIN" || up == "MAX" {
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		switch up {
+		case "COUNT":
+			st.Agg = scanengine.AggCount
+			if err := p.expect("*"); err != nil {
+				return err
+			}
+		case "SUM":
+			st.Agg = scanengine.AggSum
+			st.AggCol = p.next()
+		case "MIN":
+			st.Agg = scanengine.AggMin
+			st.AggCol = p.next()
+		case "MAX":
+			st.Agg = scanengine.AggMax
+			st.AggCol = p.next()
+		}
+		return p.expect(")")
+	}
+	for {
+		col := p.next()
+		if col == "" || col == "," {
+			return fmt.Errorf("sqlmini: bad select list")
+		}
+		st.Columns = append(st.Columns, col)
+		if p.peek() != "," {
+			return nil
+		}
+		p.pos++
+	}
+}
+
+var opMap = map[string]scanengine.CmpOp{
+	"=": scanengine.EQ, "!=": scanengine.NE, "<>": scanengine.NE,
+	"<": scanengine.LT, "<=": scanengine.LE, ">": scanengine.GT, ">=": scanengine.GE,
+}
+
+func (p *parser) parseCond(st *Statement) error {
+	col := p.next()
+	if col == "" {
+		return fmt.Errorf("sqlmini: missing condition column")
+	}
+	op, ok := opMap[p.next()]
+	if !ok {
+		return fmt.Errorf("sqlmini: bad comparison operator in WHERE")
+	}
+	lit := p.next()
+	if lit == "" {
+		return fmt.Errorf("sqlmini: missing literal")
+	}
+	c := cond{col: col, op: op, lit: lit}
+	if strings.HasPrefix(lit, "'") {
+		c.isSQ = true
+		c.lit = strings.Trim(lit, "'")
+	}
+	st.Conds = append(st.Conds, c)
+	return nil
+}
+
+// Compile resolves the statement against a table's schema and binds, yielding
+// an executable scanengine.Query.
+func (st *Statement) Compile(tbl *rowstore.Table, binds map[string]Bind) (*scanengine.Query, error) {
+	schema := tbl.Schema()
+	q := &scanengine.Query{Table: tbl, Agg: st.Agg}
+	if !st.Star && st.Agg == scanengine.AggNone {
+		for _, name := range st.Columns {
+			ci := schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlmini: no column %q", name)
+			}
+			q.Project = append(q.Project, ci)
+		}
+	}
+	if st.AggCol != "" {
+		ci := schema.ColIndex(st.AggCol)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlmini: no aggregate column %q", st.AggCol)
+		}
+		q.AggCol = ci
+	}
+	for _, c := range st.Conds {
+		ci := schema.ColIndex(c.col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlmini: no column %q", c.col)
+		}
+		f := scanengine.Filter{Col: ci, Op: c.op}
+		kind := schema.Col(ci).Kind
+		switch {
+		case strings.HasPrefix(c.lit, ":"):
+			b, ok := binds[c.lit[1:]]
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: missing bind %s", c.lit)
+			}
+			if b.IsStr != (kind == rowstore.KindVarchar) {
+				return nil, fmt.Errorf("sqlmini: bind %s type mismatch for column %q", c.lit, c.col)
+			}
+			f.Num, f.Str = b.Num, b.Str
+		case c.isSQ:
+			if kind != rowstore.KindVarchar {
+				return nil, fmt.Errorf("sqlmini: string literal for NUMBER column %q", c.col)
+			}
+			f.Str = c.lit
+		default:
+			if kind != rowstore.KindNumber {
+				return nil, fmt.Errorf("sqlmini: numeric literal for VARCHAR2 column %q", c.col)
+			}
+			v, err := strconv.ParseInt(c.lit, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlmini: bad numeric literal %q", c.lit)
+			}
+			f.Num = v
+		}
+		q.Filters = append(q.Filters, f)
+	}
+	return q, nil
+}
+
+// ParseAndCompile is the one-shot convenience used by examples.
+func ParseAndCompile(src string, tbl *rowstore.Table, binds map[string]Bind) (*scanengine.Query, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(st.TableName, tbl.Name) {
+		return nil, fmt.Errorf("sqlmini: statement targets %q, got table %q", st.TableName, tbl.Name)
+	}
+	return st.Compile(tbl, binds)
+}

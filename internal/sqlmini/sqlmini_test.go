@@ -1,0 +1,131 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+)
+
+func testTable(t *testing.T) *rowstore.Table {
+	t.Helper()
+	db := rowstore.NewDatabase(16)
+	tbl, err := db.CreateTable(&rowstore.TableSpec{
+		Name: "C101", Tenant: 1,
+		Columns: []rowstore.Column{
+			{Name: "id", Kind: rowstore.KindNumber},
+			{Name: "n1", Kind: rowstore.KindNumber},
+			{Name: "c1", Kind: rowstore.KindVarchar},
+		},
+		IdentityCol: 0, PartitionCol: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestParsePaperQ1(t *testing.T) {
+	tbl := testTable(t)
+	q, err := ParseAndCompile("SELECT * FROM C101 WHERE n1 = :1", tbl,
+		map[string]Bind{"1": NumBind(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Project != nil || q.Agg != scanengine.AggNone {
+		t.Fatal("Q1 should be SELECT *")
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Col != 1 || q.Filters[0].Op != scanengine.EQ || q.Filters[0].Num != 42 {
+		t.Fatalf("filters: %+v", q.Filters)
+	}
+}
+
+func TestParsePaperQ2(t *testing.T) {
+	tbl := testTable(t)
+	q, err := ParseAndCompile("SELECT * FROM C101 WHERE c1 = :2", tbl,
+		map[string]Bind{"2": StrBind("val_0007")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Filters[0].Str != "val_0007" {
+		t.Fatalf("filters: %+v", q.Filters)
+	}
+}
+
+func TestParseLiteralsAndOps(t *testing.T) {
+	tbl := testTable(t)
+	q, err := ParseAndCompile("select id, n1 from c101 where n1 >= 10 and c1 <> 'x'", tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Project) != 2 || q.Project[0] != 0 || q.Project[1] != 1 {
+		t.Fatalf("projection: %v", q.Project)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters: %+v", q.Filters)
+	}
+	if q.Filters[0].Op != scanengine.GE || q.Filters[0].Num != 10 {
+		t.Fatalf("filter 0: %+v", q.Filters[0])
+	}
+	if q.Filters[1].Op != scanengine.NE || q.Filters[1].Str != "x" {
+		t.Fatalf("filter 1: %+v", q.Filters[1])
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	tbl := testTable(t)
+	cases := []struct {
+		sql  string
+		agg  scanengine.AggKind
+		aCol int
+	}{
+		{"SELECT COUNT(*) FROM C101", scanengine.AggCount, 0},
+		{"SELECT SUM(n1) FROM C101", scanengine.AggSum, 1},
+		{"SELECT MIN(id) FROM C101 WHERE n1 < 5", scanengine.AggMin, 0},
+		{"SELECT MAX(n1) FROM C101", scanengine.AggMax, 1},
+	}
+	for _, c := range cases {
+		q, err := ParseAndCompile(c.sql, tbl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if q.Agg != c.agg || q.AggCol != c.aCol {
+			t.Fatalf("%s: agg=%v col=%d", c.sql, q.Agg, q.AggCol)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tbl := testTable(t)
+	bad := []string{
+		"",
+		"UPDATE C101 SET n1 = 1",
+		"SELECT FROM C101",
+		"SELECT * FROM",
+		"SELECT * FROM C101 WHERE",
+		"SELECT * FROM C101 WHERE n1",
+		"SELECT * FROM C101 WHERE n1 LIKE 5",
+		"SELECT * FROM C101 WHERE n1 = 'text'",
+		"SELECT * FROM C101 WHERE c1 = 5",
+		"SELECT * FROM C101 WHERE nope = 5",
+		"SELECT * FROM C101 WHERE n1 = :missing",
+		"SELECT * FROM C101 WHERE n1 = 'unterminated",
+		"SELECT * FROM C101 extra",
+		"SELECT SUM(c9) FROM C101",
+		"SELECT * FROM OTHER WHERE n1 = 1",
+	}
+	for _, sql := range bad {
+		if _, err := ParseAndCompile(sql, tbl, nil); err == nil {
+			t.Errorf("accepted bad SQL: %q", sql)
+		}
+	}
+}
+
+func TestBindTypeMismatch(t *testing.T) {
+	tbl := testTable(t)
+	if _, err := ParseAndCompile("SELECT * FROM C101 WHERE n1 = :b", tbl,
+		map[string]Bind{"b": StrBind("x")}); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("expected type mismatch, got %v", err)
+	}
+}

@@ -1,0 +1,432 @@
+package standby
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// applyTask is one change vector handed to a recovery worker.
+type applyTask struct {
+	scn scn.SCN
+	cv  *redo.CV
+}
+
+// applyWorker is one recovery worker process. The merger routes change
+// vectors to workers by hashing the DBA (control CVs by transaction id), so
+// each worker applies its share strictly in SCN order.
+type applyWorker struct {
+	id         int
+	ch         chan applyTask
+	dispatched atomic.Int64
+	applied    atomic.Int64
+	appliedSCN atomic.Uint64
+}
+
+// MarkerEvent is a DDL marker applied at a consistency point, published to
+// RAC reader instances together with the new QuerySCN.
+type MarkerEvent struct {
+	Marker      *redo.Marker
+	DroppedObjs []rowstore.ObjID
+}
+
+// mergerLoop is the Log Merger (§II.A): it orders redo records from all
+// primary threads by SCN and distributes their change vectors to the
+// recovery workers. A record from thread i is released only when every other
+// live thread has been observed past its SCN (primary heartbeats bound the
+// wait on idle threads).
+func (inst *Instance) mergerLoop() {
+	defer inst.wg.Done()
+	streams := inst.src.Streams()
+	readers := make([]*redo.Reader, len(streams))
+	peeks := make([]*redo.Record, len(streams))
+	eol := make([]bool, len(streams))
+	lastSeen := make([]scn.SCN, len(streams))
+	for i, s := range streams {
+		readers[i] = redo.NewReaderAtSCN(s, inst.startSCN+1)
+		lastSeen[i] = inst.startSCN
+	}
+	for {
+		select {
+		case <-inst.stop:
+			return
+		default:
+		}
+		progress := false
+		for i := range streams {
+			if peeks[i] != nil || eol[i] {
+				continue
+			}
+			rec, ok, end := readers[i].TryNext()
+			if ok {
+				peeks[i] = rec
+				progress = true
+			} else if end {
+				eol[i] = true
+				progress = true
+			}
+		}
+		best := -1
+		for i := range peeks {
+			if peeks[i] != nil && (best < 0 || peeks[i].SCN < peeks[best].SCN) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			r := peeks[best]
+			safe := true
+			for j := range streams {
+				if j == best || eol[j] {
+					continue
+				}
+				bound := lastSeen[j]
+				if peeks[j] != nil {
+					bound = peeks[j].SCN
+				}
+				if r.SCN > bound {
+					safe = false // thread j might still produce a lower SCN
+					break
+				}
+			}
+			if safe {
+				if !inst.dispatch(r) {
+					return // stopping
+				}
+				peeks[best] = nil
+				lastSeen[best] = r.SCN
+				continue
+			}
+		} else {
+			allEOL := true
+			for i := range streams {
+				if !eol[i] {
+					allEOL = false
+					break
+				}
+			}
+			if allEOL {
+				return // end of all logs; workers drain, coordinator continues
+			}
+		}
+		if !progress {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// dispatch routes one record's CVs to the recovery workers; catalog markers
+// are applied inline behind a worker barrier (DDL is rare and must order
+// against every data CV). It returns false when the instance is stopping.
+func (inst *Instance) dispatch(r *redo.Record) bool {
+	for k := range r.CVs {
+		cv := &r.CVs[k]
+		if cv.Kind == redo.CVMarker {
+			if !inst.applyMarkerBarrier(r.SCN, cv) {
+				return false
+			}
+			continue
+		}
+		w := inst.workerFor(cv)
+		w.dispatched.Add(1)
+		select {
+		case w.ch <- applyTask{scn: r.SCN, cv: cv}:
+		case <-inst.stop:
+			return false
+		}
+	}
+	inst.recordsApplied.Add(1)
+	// Publish the dispatch frontier only after every CV is enqueued: the
+	// coordinator's watermark proof depends on this ordering.
+	inst.lastDispatched.Store(uint64(r.SCN))
+	return true
+}
+
+// workerFor hashes a CV to its recovery worker: data CVs by DBA (§II.A),
+// control CVs by transaction id (their "block" is the transaction table).
+func (inst *Instance) workerFor(cv *redo.CV) *applyWorker {
+	var h uint64
+	if cv.Kind.IsControl() {
+		h = rowstore.DBA(cv.Txn).Hash()
+	} else {
+		h = cv.DBA.Hash()
+	}
+	return inst.workers[h%uint64(len(inst.workers))]
+}
+
+// workerLoop is one recovery worker: apply the CV, mine it (§III.B), then
+// lend a hand to any pending cooperative flush (§III.D.2).
+func (inst *Instance) workerLoop(w *applyWorker) {
+	defer inst.wg.Done()
+	for {
+		select {
+		case <-inst.stop:
+			return
+		case t := <-w.ch:
+			inst.applyCV(w.id, t.scn, t.cv)
+			w.appliedSCN.Store(uint64(t.scn))
+			w.applied.Add(1)
+			inst.cvsApplied.Add(1)
+			if !inst.cfg.DisableCoopFlush {
+				if wl := inst.pendingWL.Load(); wl != nil {
+					inst.flusher.DrainWorklink(wl, inst.cfg.FlushBatch)
+				}
+			}
+		}
+	}
+}
+
+// applyCV applies one change vector to the physical replica and hands it to
+// the mining component. Apply is idempotent (restart replays re-apply a
+// suffix of the log): duplicate versions carry the same transaction and
+// image, so visibility is unchanged.
+func (inst *Instance) applyCV(worker int, recSCN scn.SCN, cv *redo.CV) {
+	switch cv.Kind {
+	case redo.CVBegin:
+		inst.txns.Begin(cv.Txn)
+	case redo.CVCommit:
+		inst.txns.Commit(cv.Txn, recSCN)
+	case redo.CVAbort:
+		inst.txns.Abort(cv.Txn)
+	case redo.CVInsert:
+		seg, ok := inst.db.Segment(cv.DBA.Obj())
+		if !ok {
+			break // object unknown (dropped or never replicated); skip
+		}
+		blk := seg.EnsureBlock(cv.DBA.Block())
+		blk.ApplyVersion(cv.Slot, cv.Txn, cv.Row, false)
+		if tbl, ok := inst.db.TableForObj(cv.DBA.Obj()); ok && tbl.Index() != nil {
+			tbl.Index().Put(cv.Row.Num(tbl.Schema(), tbl.IdentityCol), rowstore.RowID{DBA: cv.DBA, Slot: cv.Slot})
+		}
+	case redo.CVUpdate:
+		seg, ok := inst.db.Segment(cv.DBA.Obj())
+		if !ok {
+			break
+		}
+		seg.EnsureBlock(cv.DBA.Block()).ApplyVersion(cv.Slot, cv.Txn, cv.Row, false)
+	case redo.CVDelete:
+		seg, ok := inst.db.Segment(cv.DBA.Obj())
+		if !ok {
+			break
+		}
+		blk := seg.EnsureBlock(cv.DBA.Block())
+		if tbl, ok := inst.db.TableForObj(cv.DBA.Obj()); ok && tbl.Index() != nil {
+			if img, ok := blk.LatestImage(cv.Slot, inst.txns); ok {
+				tbl.Index().Delete(img.Num(tbl.Schema(), tbl.IdentityCol))
+			}
+		}
+		blk.ApplyVersion(cv.Slot, cv.Txn, rowstore.Row{}, true)
+	}
+	inst.miner.MineCV(worker, recSCN, cv)
+}
+
+// applyMarkerBarrier waits for all workers to drain, applies the catalog
+// effect of a redo marker, and mines it into the DDL information table. It
+// returns false when the instance is stopping.
+func (inst *Instance) applyMarkerBarrier(recSCN scn.SCN, cv *redo.CV) bool {
+	if !inst.waitWorkersDrained() {
+		return false
+	}
+	m := cv.Marker
+	switch m.Kind {
+	case redo.MarkerCreateTable:
+		if m.Spec != nil {
+			// Idempotent under restart replay: the table may already exist.
+			_, _ = inst.db.CreateTable(m.Spec)
+		}
+	case redo.MarkerTruncate:
+		if tbl, err := inst.db.Table(m.Tenant, m.TableName); err == nil {
+			if m.Partition == "" {
+				for _, p := range tbl.Partitions() {
+					p.Seg.Truncate()
+				}
+				if tbl.Index() != nil {
+					tbl.Index().Clear()
+				}
+			} else if p, err := tbl.PartitionByName(m.Partition); err == nil {
+				p.Seg.Truncate()
+			}
+		}
+	case redo.MarkerDropColumn:
+		if tbl, err := inst.db.Table(m.Tenant, m.TableName); err == nil {
+			if ns, err := tbl.Schema().DropColumn(m.Column); err == nil {
+				tbl.SetSchema(ns)
+			}
+		}
+	case redo.MarkerAlterInMemory:
+		if tbl, err := inst.db.Table(m.Tenant, m.TableName); err == nil && m.InMemory != nil {
+			if m.Partition == "" {
+				for _, p := range tbl.Partitions() {
+					p.SetInMemory(*m.InMemory)
+				}
+			} else if p, err := tbl.PartitionByName(m.Partition); err == nil {
+				p.SetInMemory(*m.InMemory)
+			}
+		}
+	}
+	inst.miner.MineCV(0, recSCN, cv)
+	return true
+}
+
+// waitWorkersDrained blocks until every worker has applied everything
+// dispatched to it; false when stopping.
+func (inst *Instance) waitWorkersDrained() bool {
+	for {
+		select {
+		case <-inst.stop:
+			return false
+		default:
+		}
+		drained := true
+		for _, w := range inst.workers {
+			a := w.applied.Load()
+			d := w.dispatched.Load()
+			if a != d {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			return true
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// coordinatorLoop is the recovery coordinator: it periodically establishes a
+// new consistency point (§II.A) — flushing pending invalidations first
+// (§III.D) and applying mined DDL (§III.G) — and publishes it as the
+// QuerySCN under the quiesce lock (§III.A).
+func (inst *Instance) coordinatorLoop() {
+	defer inst.wg.Done()
+	ticker := time.NewTicker(inst.cfg.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-inst.stop:
+			return
+		case <-ticker.C:
+			inst.advance()
+		}
+	}
+}
+
+// computeWatermark returns the highest SCN S such that every change vector
+// with SCN <= S has been applied. It leapfrogs: workers apply at different
+// rates, so consecutive watermarks can skip many SCNs (§II.A).
+func (inst *Instance) computeWatermark() scn.SCN {
+	l := scn.SCN(inst.lastDispatched.Load())
+	w := l
+	for _, wk := range inst.workers {
+		// Read applied before dispatched: a stale-low applied makes the
+		// pending check conservative, never optimistic.
+		a := wk.applied.Load()
+		d := wk.dispatched.Load()
+		if a != d {
+			// The worker still has queued CVs; everything strictly below its
+			// last applied SCN is in (a record's CVs share one SCN, so the
+			// applied SCN itself may be partially applied).
+			as := scn.SCN(wk.appliedSCN.Load())
+			if as > 0 {
+				as--
+			}
+			if as < w {
+				w = as
+			}
+		}
+	}
+	if prev := scn.SCN(inst.watermark.Load()); w < prev {
+		return prev
+	}
+	inst.watermark.Store(uint64(w))
+	return w
+}
+
+// advance performs one QuerySCN advancement: chop the commit table at the
+// watermark, flush the worklink (cooperatively), apply pending DDL to the
+// column store, and publish the new QuerySCN.
+//
+// The quiesce lock is held for the whole advancement (§III.A): the paper's
+// Quiesce Period starts when the coordinator is "about to publish a new
+// QuerySCN". Holding it across the flush is what makes the population
+// placeholder protocol sound — a population snapshot can be captured either
+// before the advancement (its placeholder is then installed before this
+// flush runs, so it receives these invalidations) or after publication (the
+// flushed commits are then already part of its Consistent Read data), but
+// never in between, where a freshly installed placeholder could miss a flush
+// that this advancement has already passed.
+func (inst *Instance) advance() {
+	target := inst.computeWatermark()
+	if target <= inst.QuerySCN() {
+		return
+	}
+	inst.quiesce.Lock()
+	defer inst.quiesce.Unlock()
+	wl := inst.commits.Chop(target)
+	if wl.Len() > 0 {
+		if !inst.cfg.DisableCoopFlush {
+			inst.pendingWL.Store(wl)
+		}
+		inst.flusher.DrainWorklink(wl, inst.cfg.FlushBatch)
+		for !wl.Drained() {
+			select {
+			case <-inst.stop:
+				return
+			default:
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+		inst.pendingWL.Store(nil)
+	}
+	if inst.remote != nil {
+		// Wait for peer instances to acknowledge all shipped invalidation
+		// groups before the new consistency point becomes visible anywhere.
+		inst.remote.Barrier()
+	}
+	var events []*MarkerEvent
+	for _, m := range inst.ddl.Collect(target) {
+		events = append(events, &MarkerEvent{Marker: m, DroppedObjs: inst.applyDDLToIMCS(m)})
+	}
+	inst.querySCN.Store(uint64(target))
+	inst.advances.Add(1)
+	if inst.onPublish != nil {
+		inst.onPublish(target, events)
+	}
+}
+
+// applyDDLToIMCS drops the IMCUs of objects whose definition changed
+// (§III.G) and returns the affected object ids.
+func (inst *Instance) applyDDLToIMCS(m *redo.Marker) []rowstore.ObjID {
+	var objs []rowstore.ObjID
+	collect := func(partition string) {
+		tbl, err := inst.db.Table(m.Tenant, m.TableName)
+		if err != nil {
+			return
+		}
+		if partition == "" {
+			for _, p := range tbl.Partitions() {
+				objs = append(objs, p.Seg.Obj())
+			}
+		} else if p, err := tbl.PartitionByName(partition); err == nil {
+			objs = append(objs, p.Seg.Obj())
+		}
+	}
+	switch m.Kind {
+	case redo.MarkerTruncate:
+		collect(m.Partition)
+	case redo.MarkerDropColumn:
+		collect("")
+	case redo.MarkerAlterInMemory:
+		if m.InMemory == nil || !m.InMemory.Enabled {
+			collect(m.Partition)
+		}
+	case redo.MarkerCreateTable:
+		// Nothing populated yet.
+	}
+	for _, obj := range objs {
+		inst.store.DropObject(obj)
+	}
+	return objs
+}

@@ -1,0 +1,349 @@
+// Package standby implements the physical standby database (Oracle ADG): the
+// log merger, massively parallel redo apply (recovery workers hashed by DBA),
+// the recovery coordinator that establishes leapfrogging QuerySCN consistency
+// points, the quiesce period synchronizing population with QuerySCN
+// advancement, and the wiring of the DBIM-on-ADG components (mining, journal,
+// commit table, invalidation flush) into that pipeline (paper §II.A, §III).
+package standby
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbimadg/internal/core"
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/service"
+	"dbimadg/internal/transport"
+	"dbimadg/internal/txn"
+)
+
+// Config tunes the standby instance.
+type Config struct {
+	// ApplyWorkers is the number of recovery worker processes (default 4).
+	ApplyWorkers int
+	// CheckpointInterval is the recovery coordinator's QuerySCN advancement
+	// period (default 2ms).
+	CheckpointInterval time.Duration
+	// CommitTableParts partitions the IM-ADG Commit Table (default 4).
+	CommitTableParts int
+	// JournalBuckets sizes the IM-ADG Journal hash table (0 = derived from
+	// the apply parallelism).
+	JournalBuckets int
+	// DisableCoopFlush turns off cooperative flush: only the coordinator
+	// drains worklinks (the paper's serial alternative, for ablation).
+	DisableCoopFlush bool
+	// FlushBatch is the worklink batch size claimed per helper (default 8).
+	FlushBatch int
+	// RowsPerBlock must match the primary's block capacity.
+	RowsPerBlock int
+
+	// Population engine settings (see imcs.Config).
+	BlocksPerIMCU      int
+	PopulationWorkers  int
+	PopulationInterval time.Duration
+	RepopThreshold     float64
+	TailThreshold      float64
+	MemLimitBytes      int
+
+	// HomeInstances and LocalInstance configure the RAC home-location map
+	// (§III.F); defaults are a single-instance standby.
+	HomeInstances int
+	LocalInstance int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ApplyWorkers <= 0 {
+		c.ApplyWorkers = 4
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 2 * time.Millisecond
+	}
+	if c.CommitTableParts <= 0 {
+		c.CommitTableParts = 4
+	}
+	if c.FlushBatch <= 0 {
+		c.FlushBatch = 8
+	}
+	if c.BlocksPerIMCU <= 0 {
+		c.BlocksPerIMCU = 64
+	}
+	if c.HomeInstances <= 0 {
+		c.HomeInstances = 1
+	}
+	return c
+}
+
+// Stats reports the standby's health.
+type Stats struct {
+	QuerySCN         scn.SCN
+	AppliedWatermark scn.SCN
+	DispatchedSCN    scn.SCN
+	RecordsApplied   int64
+	CVsApplied       int64
+	MinedRecords     int64
+	FlushedRecords   int64
+	CoarseInvals     int64
+	QuerySCNAdvances int64
+	JournalTxns      int
+	CommitTablePend  int
+}
+
+// Instance is the standby database instance performing redo apply (the SIRA
+// master with RAC, §III.F).
+type Instance struct {
+	cfg      Config
+	db       *rowstore.Database
+	txns     *txn.Table
+	store    *imcs.Store
+	services *service.Registry
+	engine   *imcs.Engine
+
+	journal *core.Journal
+	commits *core.CommitTable
+	ddl     *core.DDLTable
+	miner   *core.Miner
+	flusher *core.Flusher
+
+	querySCN atomic.Uint64
+	quiesce  sync.RWMutex // the Quiesce lock (§III.A)
+
+	src            transport.Source
+	startSCN       scn.SCN // apply resumes at records with SCN > startSCN
+	workers        []*applyWorker
+	lastDispatched atomic.Uint64
+	watermark      atomic.Uint64
+	pendingWL      atomic.Pointer[core.Worklink]
+
+	remote    core.RemoteSink
+	onPublish func(q scn.SCN, markers []*MarkerEvent)
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	recordsApplied atomic.Int64
+	cvsApplied     atomic.Int64
+	advances       atomic.Int64
+}
+
+// New builds a standby instance with an empty replica database. The catalog
+// is populated by replicated create-table markers as redo applies.
+func New(cfg Config) *Instance {
+	cfg = cfg.withDefaults()
+	inst := &Instance{
+		cfg:      cfg,
+		db:       rowstore.NewDatabase(cfg.RowsPerBlock),
+		txns:     txn.NewTable(),
+		services: service.NewRegistry(),
+	}
+	inst.initVolatile()
+	return inst
+}
+
+// initVolatile (re)creates everything with no persistent footprint: the IMCS,
+// journal, commit table, DDL table and their glue (§III.E: "DBIM-on-ADG
+// components lose all their state in case of instance restart").
+func (inst *Instance) initVolatile() {
+	inst.store = imcs.NewStore()
+	inst.journal = core.NewJournal(inst.cfg.JournalBuckets, inst.cfg.ApplyWorkers)
+	inst.commits = core.NewCommitTable(inst.cfg.CommitTableParts)
+	inst.ddl = core.NewDDLTable()
+	inst.miner = core.NewMiner(inst.journal, inst.commits, inst.ddl, &standbyPolicy{inst: inst})
+	home := imcs.HomeMap{Instances: inst.cfg.HomeInstances}
+	inst.flusher = core.NewFlusher(inst.journal, inst.store, home, inst.cfg.LocalInstance, inst.cfg.BlocksPerIMCU, inst.remote)
+	inst.engine = imcs.NewEngine(inst.store, inst.txns, &quiesceSnapshotter{inst: inst}, inst.populationTargets, imcs.Config{
+		BlocksPerIMCU:  inst.cfg.BlocksPerIMCU,
+		Workers:        inst.cfg.PopulationWorkers,
+		Interval:       inst.cfg.PopulationInterval,
+		RepopThreshold: inst.cfg.RepopThreshold,
+		TailThreshold:  inst.cfg.TailThreshold,
+		MemLimitBytes:  inst.cfg.MemLimitBytes,
+		HomeFilter:     inst.homeFilter(home),
+	})
+}
+
+func (inst *Instance) homeFilter(home imcs.HomeMap) func(rowstore.ObjID, rowstore.BlockNo) bool {
+	if inst.cfg.HomeInstances <= 1 {
+		return nil
+	}
+	local := inst.cfg.LocalInstance
+	return func(obj rowstore.ObjID, start rowstore.BlockNo) bool {
+		return home.HomeOf(obj, start) == local
+	}
+}
+
+// SetRemoteSink wires the RAC invalidation-group transport; must be called
+// before Start.
+func (inst *Instance) SetRemoteSink(sink core.RemoteSink) {
+	inst.remote = sink
+	inst.initVolatile()
+}
+
+// SetPublishHook registers a callback invoked after each QuerySCN
+// publication with the new QuerySCN and the DDL markers applied at that
+// consistency point; the RAC layer uses it to drive non-master instances'
+// local recovery coordinators (§III.F).
+func (inst *Instance) SetPublishHook(f func(q scn.SCN, markers []*MarkerEvent)) {
+	inst.onPublish = f
+}
+
+// DB returns the replica database.
+func (inst *Instance) DB() *rowstore.Database { return inst.db }
+
+// Txns returns the standby transaction table (maintained by redo apply).
+func (inst *Instance) Txns() *txn.Table { return inst.txns }
+
+// Store returns this instance's In-Memory Column Store.
+func (inst *Instance) Store() *imcs.Store { return inst.store }
+
+// Services returns the standby's service registry.
+func (inst *Instance) Services() *service.Registry { return inst.services }
+
+// Engine returns the population engine (for tests and observability).
+func (inst *Instance) Engine() *imcs.Engine { return inst.engine }
+
+// QuerySCN returns the published consistency point: the CR snapshot for
+// queries on the standby.
+func (inst *Instance) QuerySCN() scn.SCN { return scn.SCN(inst.querySCN.Load()) }
+
+// Attach connects the redo source. Must be called before Start.
+func (inst *Instance) Attach(src transport.Source) {
+	inst.src = src
+}
+
+// Start launches redo apply, the recovery coordinator and population.
+func (inst *Instance) Start() {
+	if inst.started {
+		panic("standby: already started")
+	}
+	if inst.src == nil {
+		panic("standby: no redo source attached")
+	}
+	inst.started = true
+	inst.stop = make(chan struct{})
+	inst.workers = make([]*applyWorker, inst.cfg.ApplyWorkers)
+	for i := range inst.workers {
+		w := &applyWorker{id: i, ch: make(chan applyTask, 1024)}
+		inst.workers[i] = w
+		inst.wg.Add(1)
+		go inst.workerLoop(w)
+	}
+	inst.wg.Add(2)
+	go inst.mergerLoop()
+	go inst.coordinatorLoop()
+	inst.engine.Start()
+}
+
+// Stop halts the pipeline and returns the checkpoint SCN: the applied
+// watermark from which apply can resume.
+func (inst *Instance) Stop() scn.SCN {
+	if !inst.started {
+		return scn.SCN(inst.watermark.Load())
+	}
+	inst.started = false
+	close(inst.stop)
+	inst.wg.Wait()
+	inst.engine.Stop()
+	return scn.SCN(inst.watermark.Load())
+}
+
+// Restart simulates a standby instance restart (§III.E): apply stops, all
+// volatile DBIM-on-ADG state (IMCS, journal, commit table, DDL table) is
+// lost, and recovery resumes from the checkpoint against the surviving
+// physical replica (the applied blocks and transaction table, which are
+// durable in the real system). src supplies the redo threads again (the
+// archived logs); records at or below the checkpoint are skipped.
+func (inst *Instance) Restart(src transport.Source) {
+	checkpoint := inst.Stop()
+	inst.initVolatile()
+	inst.querySCN.Store(uint64(checkpoint))
+	inst.watermark.Store(uint64(checkpoint))
+	inst.lastDispatched.Store(uint64(checkpoint))
+	inst.startSCN = checkpoint
+	inst.src = src
+	inst.Start()
+}
+
+// Stats returns a snapshot of the standby's counters.
+func (inst *Instance) Stats() Stats {
+	return Stats{
+		QuerySCN:         inst.QuerySCN(),
+		AppliedWatermark: scn.SCN(inst.watermark.Load()),
+		DispatchedSCN:    scn.SCN(inst.lastDispatched.Load()),
+		RecordsApplied:   inst.recordsApplied.Load(),
+		CVsApplied:       inst.cvsApplied.Load(),
+		MinedRecords:     inst.miner.MinedRecords(),
+		FlushedRecords:   inst.flusher.FlushedRecords(),
+		CoarseInvals:     inst.flusher.CoarseInvalidations(),
+		QuerySCNAdvances: inst.advances.Load(),
+		JournalTxns:      inst.journal.Len(),
+		CommitTablePend:  inst.commits.Len(),
+	}
+}
+
+// WaitForSCN blocks until the QuerySCN reaches at least target or the timeout
+// expires; it reports whether the target was reached. It is the standby
+// analogue of "wait until the standby has caught up with the primary".
+func (inst *Instance) WaitForSCN(target scn.SCN, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if inst.QuerySCN() >= target {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return inst.QuerySCN() >= target
+}
+
+// quiesceSnapshotter captures population snapshots under the quiesce lock
+// (§III.A): while the lock is held shared, the recovery coordinator cannot be
+// mid-publication, so the captured QuerySCN is a stable consistency point.
+type quiesceSnapshotter struct {
+	inst *Instance
+}
+
+func (q *quiesceSnapshotter) CaptureSnapshot() scn.SCN {
+	q.inst.quiesce.RLock()
+	defer q.inst.quiesce.RUnlock()
+	return q.inst.QuerySCN()
+}
+
+// standbyPolicy resolves which objects are IMCS-enabled on this standby from
+// the replicated INMEMORY attributes and the service registry.
+type standbyPolicy struct {
+	inst *Instance
+}
+
+func (p *standbyPolicy) Enabled(obj rowstore.ObjID) bool {
+	seg, ok := p.inst.db.Segment(obj)
+	if !ok {
+		return false
+	}
+	tbl, err := p.inst.db.Table(seg.Tenant(), seg.TableName())
+	if err != nil {
+		return false
+	}
+	part, err := tbl.PartitionByName(seg.PartName())
+	if err != nil {
+		return false
+	}
+	attr := part.InMemory()
+	return attr.Enabled && p.inst.services.RunsOn(attr.Service, service.RoleStandby)
+}
+
+// populationTargets lists standby-enabled segments for the population engine.
+func (inst *Instance) populationTargets() []imcs.Target {
+	var out []imcs.Target
+	for _, tbl := range inst.db.Tables() {
+		for _, part := range tbl.Partitions() {
+			attr := part.InMemory()
+			if attr.Enabled && inst.services.RunsOn(attr.Service, service.RoleStandby) {
+				out = append(out, imcs.Target{Seg: part.Seg, Table: tbl, Priority: attr.Priority})
+			}
+		}
+	}
+	return out
+}

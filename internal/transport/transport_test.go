@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+func mkStream(thread uint16, scns ...scn.SCN) *redo.Stream {
+	s := redo.NewStream(thread)
+	for _, v := range scns {
+		s.Append(&redo.Record{SCN: v, Thread: thread, CVs: []redo.CV{{
+			Kind: redo.CVInsert, Txn: 1, DBA: rowstore.MakeDBA(1, 0),
+			Row: rowstore.Row{Nums: []int64{int64(v)}},
+		}}})
+	}
+	return s
+}
+
+func TestInProc(t *testing.T) {
+	s1 := mkStream(1, 1, 2, 3)
+	src := NewInProc(s1)
+	if len(src.Streams()) != 1 || src.Streams()[0] != s1 {
+		t.Fatal("in-proc source does not expose the stream")
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drain(t *testing.T, s *redo.Stream, want int, timeout time.Duration) []*redo.Record {
+	t.Helper()
+	var out []*redo.Record
+	rd := redo.NewReader(s, 0)
+	deadline := time.Now().Add(timeout)
+	for len(out) < want && time.Now().Before(deadline) {
+		rec, ok, eol := rd.TryNext()
+		if ok {
+			out = append(out, rec)
+			continue
+		}
+		if eol {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return out
+}
+
+func TestTCPShipsRecords(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30)
+	s2 := mkStream(2, 15, 25)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1, s2)
+	defer srv.Close()
+
+	rcv, err := Connect(srv.Addr(), []uint16{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	m1 := drain(t, rcv.Streams()[0], 3, 5*time.Second)
+	m2 := drain(t, rcv.Streams()[1], 2, 5*time.Second)
+	if len(m1) != 3 || len(m2) != 2 {
+		t.Fatalf("mirrored %d/%d records, want 3/2", len(m1), len(m2))
+	}
+	if m1[2].SCN != 30 || m1[2].CVs[0].Row.Nums[0] != 30 {
+		t.Fatalf("record content mangled: %+v", m1[2])
+	}
+	// Live append flows through.
+	s1.Append(&redo.Record{SCN: 40, Thread: 1})
+	if got := drain(t, rcv.Streams()[0], 4, 5*time.Second); len(got) != 4 || got[3].SCN != 40 {
+		t.Fatalf("live record not shipped: %d", len(got))
+	}
+}
+
+func TestTCPReattachAtSCN(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30, 40)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+
+	rcv, err := Connect(srv.Addr(), []uint16{1}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 2, 5*time.Second)
+	if len(got) != 2 || got[0].SCN != 30 || got[1].SCN != 40 {
+		t.Fatalf("reattach shipped wrong records: %+v", got)
+	}
+}
+
+func TestTCPEndOfLog(t *testing.T) {
+	s1 := mkStream(1, 1, 2)
+	s1.Close()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	rcv, err := Connect(srv.Addr(), []uint16{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	// Mirror must close after draining both records.
+	rd := redo.NewReader(rcv.Streams()[0], 0)
+	n := 0
+	for {
+		_, ok := rd.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d records, want 2", n)
+	}
+	if rcv.Err() != nil {
+		t.Fatalf("unexpected pump error: %v", rcv.Err())
+	}
+}
+
+func TestTCPUnknownThread(t *testing.T) {
+	s1 := mkStream(1, 1)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	rcv, err := Connect(srv.Addr(), []uint16{9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	// Server closes immediately; mirror drains empty.
+	rd := redo.NewReader(rcv.Streams()[0], 0)
+	if _, ok := rd.Next(); ok {
+		t.Fatal("record shipped for unknown thread")
+	}
+}

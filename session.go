@@ -1,0 +1,139 @@
+package dbimadg
+
+import (
+	"fmt"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/sqlmini"
+)
+
+// Session executes transactions and queries against one side of the
+// deployment. Primary sessions are read-write; standby sessions are
+// read-only (they query at the published QuerySCN, like any ADG client).
+// A Session is safe for concurrent use; each transaction it begins is not.
+type Session struct {
+	c        *Cluster
+	primary  bool
+	instance int
+	exec     *scanengine.Executor
+	snap     func() scn.SCN
+}
+
+// PrimarySession opens a session against primary instance i.
+func (c *Cluster) PrimarySession(i int) *Session {
+	return &Session{
+		c: c, primary: true, instance: i,
+		exec: scanengine.NewExecutor(c.pri.Txns(), c.priStore),
+		snap: c.pri.Snapshot,
+	}
+}
+
+// StandbySession opens a read-only session against the standby. With a
+// standby RAC, queries behave like parallel queries spanning all instances'
+// column stores, at the master's QuerySCN.
+func (c *Cluster) StandbySession() *Session {
+	return &Session{
+		c:    c,
+		exec: scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...),
+		snap: func() scn.SCN { return c.sc.Master.QuerySCN() },
+	}
+}
+
+// StandbyReaderSession opens a session against one standby RAC reader
+// instance: queries run at that instance's locally published QuerySCN and
+// still reach all instances' column stores (parallel query slaves).
+func (c *Cluster) StandbyReaderSession(i int) (*Session, error) {
+	readers := c.sc.Readers()
+	if i < 0 || i >= len(readers) {
+		return nil, fmt.Errorf("dbimadg: no standby reader %d", i)
+	}
+	r := readers[i]
+	return &Session{
+		c:    c,
+		exec: scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...),
+		snap: func() scn.SCN { return r.QuerySCN() },
+	}, nil
+}
+
+// ReadOnly reports whether the session is bound to the standby.
+func (s *Session) ReadOnly() bool { return !s.primary }
+
+// Begin starts a read-write transaction; it fails on standby sessions
+// (the standby is open read-only).
+func (s *Session) Begin() (*Txn, error) {
+	if !s.primary {
+		return nil, fmt.Errorf("dbimadg: standby database is read-only")
+	}
+	return s.c.pri.Instance(s.instance).Begin(), nil
+}
+
+// Snapshot returns the session's current Consistent Read snapshot: the
+// commit-gated current SCN on the primary, the published QuerySCN on the
+// standby.
+func (s *Session) Snapshot() SCN { return s.snap() }
+
+// Query executes a scan at the session's current snapshot.
+func (s *Session) Query(q *Query) (*Result, error) {
+	return s.exec.Run(q, s.snap())
+}
+
+// QueryAt executes a scan at an explicit snapshot (for example a previously
+// captured Snapshot(), to run several consistent queries).
+func (s *Session) QueryAt(q *Query, at SCN) (*Result, error) {
+	return s.exec.Run(q, at)
+}
+
+// FetchByID performs an index point-read of the row with the given identity
+// key at the session's snapshot.
+func (s *Session) FetchByID(tbl *Table, id int64) (Row, bool, error) {
+	idx := tbl.Index()
+	if idx == nil {
+		return Row{}, false, fmt.Errorf("dbimadg: table %q has no identity index", tbl.Name)
+	}
+	rid, ok := idx.Get(id)
+	if !ok {
+		return Row{}, false, nil
+	}
+	db := s.c.pri.DB()
+	view := s.c.pri.Txns()
+	if !s.primary {
+		db = s.c.sc.Master.DB()
+		view = s.c.sc.Master.Txns()
+	}
+	seg, ok := db.Segment(rid.DBA.Obj())
+	if !ok {
+		return Row{}, false, fmt.Errorf("dbimadg: no segment %d", rid.DBA.Obj())
+	}
+	blk := seg.Block(rid.DBA.Block())
+	if blk == nil {
+		return Row{}, false, nil
+	}
+	row, ok := blk.ReadRow(rid.Slot, s.snap(), view, scn.InvalidTxn)
+	return row, ok, nil
+}
+
+// StoreStats is re-exported for observability.
+type StoreStats = imcs.StoreStats
+
+// Bind is a SQL bind-variable value.
+type Bind = sqlmini.Bind
+
+// NumBind builds a numeric bind value.
+func NumBind(v int64) Bind { return sqlmini.NumBind(v) }
+
+// StrBind builds a string bind value.
+func StrBind(v string) Bind { return sqlmini.StrBind(v) }
+
+// QuerySQL parses and executes a SELECT against tbl at the session's current
+// snapshot. The supported subset covers the paper's workload: SELECT */cols/
+// aggregate FROM t WHERE col op literal [AND ...], with :name binds, e.g.
+// Table 1's "SELECT * FROM C101 WHERE n1 = :1".
+func (s *Session) QuerySQL(tbl *Table, sql string, binds map[string]Bind) (*Result, error) {
+	q, err := sqlmini.ParseAndCompile(sql, tbl, binds)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(q)
+}

@@ -1,0 +1,74 @@
+package dbimadg_test
+
+import (
+	"testing"
+	"time"
+
+	"dbimadg"
+)
+
+func TestQuerySQLEndToEnd(t *testing.T) {
+	c, err := dbimadg.Open(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tbl, _ := c.CreateTable(simpleSpec("T", 1))
+	_ = c.AlterInMemory(1, "T", "", dbimadg.InMemoryAttr{Enabled: true, Service: dbimadg.ServiceStandbyOnly})
+	insertRows(t, c, tbl, 0, 100)
+	if !c.WaitStandbyCaughtUp(10*time.Second) || !c.WaitPopulated(10*time.Second) {
+		t.Fatal("sync failed")
+	}
+	sTbl, _ := c.StandbyTable(1, "T")
+	sby := c.StandbySession()
+
+	// Q1 shape with a bind (paper Table 1).
+	res, err := sby.QuerySQL(sTbl, "SELECT * FROM T WHERE n1 = :1",
+		map[string]dbimadg.Bind{"1": dbimadg.NumBind(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("Q1 rows = %d, want 10", len(res.Rows))
+	}
+	// Q2 shape with a string bind.
+	res, err = sby.QuerySQL(sTbl, "SELECT * FROM T WHERE c1 = :2",
+		map[string]dbimadg.Bind{"2": dbimadg.StrBind("v2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("Q2 rows = %d, want 20", len(res.Rows))
+	}
+	// Aggregate with literal predicate and conjunction.
+	res, err = sby.QuerySQL(sTbl, "SELECT SUM(id) FROM T WHERE n1 >= 5 AND c1 = 'v2'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := sby.Query(&dbimadg.Query{
+		Table: sTbl,
+		Filters: []dbimadg.Filter{
+			{Col: 1, Op: dbimadg.GE, Num: 5},
+			dbimadg.EqStr(2, "v2"),
+		},
+		Agg: dbimadg.AggSum, AggCol: 0,
+	})
+	if res.Sum != base.Sum || res.Count != base.Count {
+		t.Fatalf("SQL aggregate %d/%d != typed query %d/%d", res.Sum, res.Count, base.Sum, base.Count)
+	}
+	// Projection.
+	res, err = sby.QuerySQL(sTbl, "SELECT id, c1 FROM T WHERE id = 7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Num(sTbl.Schema(), 0) != 7 {
+		t.Fatalf("projection result: %+v", res.Rows)
+	}
+	// Errors surface.
+	if _, err := sby.QuerySQL(sTbl, "DELETE FROM T", nil); err == nil {
+		t.Fatal("non-SELECT accepted")
+	}
+	if _, err := sby.QuerySQL(sTbl, "SELECT * FROM T WHERE nope = 1", nil); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
