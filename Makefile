@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy trees: the telemetry registry/trace, the
+# standby apply pipeline, and the mining/journal/flush core.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/standby/... ./internal/core/...
+
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -5,6 +5,7 @@
 //
 //	adgbench [-experiment fig9|fig10|table2|fig11|cpu|all]
 //	         [-rows N] [-duration D] [-ops N] [-threads N] [-seed N]
+//	         [-telemetry]
 //
 // The paper's setup is 6M rows at 4000 ops/s for an hour on Exadata; the
 // defaults here (300k rows, 10s per phase) reproduce the shapes — who wins
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"dbimadg/internal/experiments"
+	"dbimadg/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 		ops      = flag.Int("ops", 0, "target DML throughput, ops/s (0 = auto-scale with rows; paper: 4000 on 6M rows)")
 		threads  = flag.Int("threads", 0, "workload driver threads (0 = auto)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		telem    = flag.Bool("telemetry", false, "print the standby telemetry registry snapshot after each measured phase")
 	)
 	flag.Parse()
 
@@ -38,6 +41,11 @@ func main() {
 		TargetOps: *ops,
 		Threads:   *threads,
 		Seed:      *seed,
+	}
+	if *telem {
+		p.SnapshotSink = func(phase string, snap obs.Snapshot) {
+			fmt.Printf("--- standby telemetry (%s) ---\n%s\n", phase, snap.String())
+		}
 	}
 
 	type runner struct {

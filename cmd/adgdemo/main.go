@@ -18,6 +18,8 @@ import (
 
 func main() {
 	rows := flag.Int("rows", 50000, "wide-table rows to load")
+	metrics := flag.String("metrics", "", "serve /metrics and /debug/stats on this host:port (e.g. 127.0.0.1:9187 for adgtop)")
+	hold := flag.Duration("hold", 0, "keep the deployment (and metrics endpoint) alive this long after the tour")
 	flag.Parse()
 
 	step := func(format string, args ...any) {
@@ -25,11 +27,17 @@ func main() {
 	}
 
 	step("opening deployment: 1 primary instance -> redo -> 1 standby instance")
-	c, err := dbimadg.Open(dbimadg.Config{})
+	c, err := dbimadg.Open(dbimadg.Config{
+		MetricsAddr:       *metrics,
+		LagSampleInterval: 100 * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	if addr := c.MetricsAddr(); addr != "" {
+		fmt.Printf("   telemetry: http://%s/metrics  /debug/stats  /debug/trace  (try: adgtop -addr %s)\n", addr, addr)
+	}
 
 	step("CREATE TABLE C101 (the paper's 101-column wide table) + INMEMORY on the standby")
 	tbl, err := c.Primary().Instance(0).CreateTable(workload.WideTableSpec("C101", 1))
@@ -124,6 +132,18 @@ func main() {
 	fmt.Printf("   pipeline totals: mined=%d flushed=%d advances=%d coarse=%d\n",
 		st.Standby.MinedRecords, st.Standby.FlushedRecords,
 		st.Standby.QuerySCNAdvances, st.Standby.CoarseInvals)
+
+	step("telemetry registry snapshot (every counter/gauge/stage histogram)")
+	fmt.Print(c.Observability().Snapshot().String())
+
+	if *hold > 0 {
+		if addr := c.MetricsAddr(); addr != "" {
+			step("holding deployment for %v — poll it with: adgtop -addr %s", *hold, addr)
+		} else {
+			step("holding deployment for %v", *hold)
+		}
+		time.Sleep(*hold)
+	}
 
 	step("done — see cmd/adgbench for the full evaluation and EXPERIMENTS.md for results")
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dbimadg/internal/imcs"
+	"dbimadg/internal/obs"
 	"dbimadg/internal/primary"
 	"dbimadg/internal/rac"
 	"dbimadg/internal/redo"
@@ -76,6 +77,13 @@ type Config struct {
 	// HeartbeatInterval enables primary redo heartbeats (required for
 	// multi-instance primaries; default 1ms when PrimaryInstances > 1).
 	HeartbeatInterval time.Duration
+	// MetricsAddr, when non-empty, serves the standby master's observability
+	// endpoints (/metrics, /debug/stats, /debug/trace) on this address;
+	// "127.0.0.1:0" binds an ephemeral port (see Cluster.MetricsAddr).
+	MetricsAddr string
+	// LagSampleInterval, when > 0, samples the standby lag gauges into time
+	// series (see standby.Instance.LagSeries).
+	LagSampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +150,8 @@ func Open(cfg Config) (*Cluster, error) {
 		PopulationInterval: cfg.PopulationInterval,
 		RepopThreshold:     cfg.RepopThreshold,
 		MemLimitBytes:      cfg.MemLimitBytes,
+		MetricsAddr:        cfg.MetricsAddr,
+		LagSampleInterval:  cfg.LagSampleInterval,
 	}
 	c.sc = rac.NewStandbyCluster(sbyCfg, cfg.StandbyReaders)
 
@@ -206,6 +216,15 @@ func (c *Cluster) StandbyReaders() []*rac.Reader { return c.sc.Readers() }
 
 // PrimaryStore exposes the primary-side column store.
 func (c *Cluster) PrimaryStore() *imcs.Store { return c.priStore }
+
+// Observability returns the standby master's metric registry — every
+// pipeline counter, lag gauge and stage histogram. Snapshot it for end-of-run
+// reports or scrape it via MetricsAddr.
+func (c *Cluster) Observability() *obs.Registry { return c.sc.Master.Obs() }
+
+// MetricsAddr returns the standby master's bound observability address, or ""
+// when Config.MetricsAddr was unset.
+func (c *Cluster) MetricsAddr() string { return c.sc.Master.MetricsAddr() }
 
 // PrimaryPopulation exposes the primary-side population engine.
 func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }

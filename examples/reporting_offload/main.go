@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -140,5 +141,9 @@ func runPhase(useDBIM bool) metrics.LatencySummary {
 	wg.Wait()
 	sum := rec.Summary()
 	fmt.Printf("  %d reports, %s\n", sum.Count, sum)
+	fmt.Printf("  standby telemetry at end of phase:\n")
+	for _, line := range strings.Split(strings.TrimRight(c.Observability().Snapshot().String(), "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
+	}
 	return sum
 }

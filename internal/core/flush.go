@@ -3,8 +3,10 @@ package core
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"dbimadg/internal/imcs"
+	"dbimadg/internal/obs"
 	"dbimadg/internal/rowstore"
 )
 
@@ -50,7 +52,13 @@ type Flusher struct {
 
 	flushedRecords atomic.Int64
 	coarseCount    atomic.Int64
+
+	trace atomic.Pointer[obs.PipelineTrace]
 }
+
+// SetTrace attaches an optional pipeline trace; flush-stage latency is
+// observed per commit node when set.
+func (f *Flusher) SetTrace(t *obs.PipelineTrace) { f.trace.Store(t) }
 
 // NewFlusher assembles the flush component. chunk is the population engine's
 // BlocksPerIMCU, which determines IMCU boundaries and hence group homes.
@@ -75,6 +83,18 @@ func (f *Flusher) CoarseInvalidations() int64 { return f.coarseCount.Load() }
 // transaction has been applied (the chop SCN is an apply watermark), so the
 // anchor is complete and no worker is still appending to it.
 func (f *Flusher) FlushNode(n *CommitNode) {
+	tr := f.trace.Load()
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	f.flushNode(n)
+	if tr != nil {
+		tr.Observe(obs.StageFlush, uint64(n.CommitSCN), time.Since(start))
+	}
+}
+
+func (f *Flusher) flushNode(n *CommitNode) {
 	anchor := n.Anchor
 	if anchor == nil {
 		// The commit CV may have been applied (and mined) before some of the

@@ -3,7 +3,9 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dbimadg/internal/obs"
 	"dbimadg/internal/redo"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scn"
@@ -29,6 +31,8 @@ type Miner struct {
 
 	mined   atomic.Int64 // invalidation records mined
 	commitN atomic.Int64 // commit nodes created
+
+	trace atomic.Pointer[obs.PipelineTrace]
 }
 
 // NewMiner assembles the mining component.
@@ -36,17 +40,41 @@ func NewMiner(journal *Journal, commits *CommitTable, ddl *DDLTable, policy Stan
 	return &Miner{journal: journal, commits: commits, ddl: ddl, policy: policy}
 }
 
+// SetTrace attaches an optional pipeline trace; mine and journal stage
+// latencies are observed per change vector when set.
+func (m *Miner) SetTrace(t *obs.PipelineTrace) { m.trace.Store(t) }
+
 // MineCV sniffs one change vector applied by recovery worker w at record SCN
 // recSCN (§III.B).
 func (m *Miner) MineCV(w int, recSCN scn.SCN, cv *redo.CV) {
+	tr := m.trace.Load()
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	m.mineCV(w, recSCN, cv)
+	if tr != nil {
+		tr.Observe(obs.StageMine, uint64(recSCN), time.Since(start))
+	}
+}
+
+func (m *Miner) mineCV(w int, recSCN scn.SCN, cv *redo.CV) {
 	switch cv.Kind {
 	case redo.CVBegin:
 		m.journal.EnsureAnchor(cv.Txn, cv.Tenant, true)
 	case redo.CVInsert, redo.CVUpdate, redo.CVDelete:
 		if m.policy.Enabled(cv.DBA.Obj()) {
+			tr := m.trace.Load()
+			var start time.Time
+			if tr != nil {
+				start = time.Now()
+			}
 			m.journal.Add(w, cv.Txn, cv.Tenant, InvalRecord{
 				Obj: cv.DBA.Obj(), Blk: cv.DBA.Block(), Slot: cv.Slot,
 			})
+			if tr != nil {
+				tr.Observe(obs.StageJournal, uint64(recSCN), time.Since(start))
+			}
 			m.mined.Add(1)
 		}
 	case redo.CVCommit:

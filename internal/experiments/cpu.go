@@ -60,6 +60,11 @@ func RunCPU(p Params) (*CPUResult, error) {
 		}
 		settle()
 		rep, err := drv.Run(p.Duration)
+		if offload {
+			d.emitSnapshot(p, "scans offloaded")
+		} else {
+			d.emitSnapshot(p, "scans on primary")
+		}
 		d.close()
 		if err != nil {
 			return nil, err

@@ -14,6 +14,7 @@ import (
 
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/metrics"
+	"dbimadg/internal/obs"
 	"dbimadg/internal/primary"
 	"dbimadg/internal/rac"
 	"dbimadg/internal/redo"
@@ -49,6 +50,11 @@ type Params struct {
 	ScanParallel int
 	// Seed makes runs reproducible.
 	Seed int64
+	// SnapshotSink, when set, receives the standby telemetry registry
+	// snapshot at the end of each measured phase (the phase name identifies
+	// which side of a with/without comparison produced it). cmd/adgbench uses
+	// it to print end-of-run pipeline counters next to the figure tables.
+	SnapshotSink func(phase string, snap obs.Snapshot)
 }
 
 // WithDefaults fills zero fields with bench-scale defaults.
@@ -192,6 +198,14 @@ func (d *deployment) waitPopulated(timeout time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// emitSnapshot hands the standby master's telemetry snapshot to the
+// experiment's SnapshotSink, if one is configured.
+func (d *deployment) emitSnapshot(p Params, phase string) {
+	if p.SnapshotSink != nil {
+		p.SnapshotSink(phase, d.sc.Master.Obs().Snapshot())
+	}
 }
 
 // sbyTable resolves the standby replica of the wide table.

@@ -215,6 +215,7 @@ func RunFig11(p Params) (*Fig11Result, error) {
 	res.CVsApplied = st.CVsApplied
 	res.MinedRecords = st.MinedRecords
 	res.Flushed = st.FlushedRecords
+	d.emitSnapshot(p, "redo apply")
 	return res, nil
 }
 

@@ -34,8 +34,10 @@ type SpeedupResult struct {
 // standby scans either through the IMCS or through the row store.
 func runScanSide(p Params, mix workload.Mix, useIMCS bool) (*workload.Report, string, error) {
 	svc := ""
+	phase := "without DBIM"
 	if useIMCS {
 		svc = service.StandbyOnly
+		phase = "with DBIM"
 	}
 	d, err := openDeployment(p, 1, 0, svc)
 	if err != nil {
@@ -69,7 +71,8 @@ func runScanSide(p Params, mix workload.Mix, useIMCS bool) (*workload.Report, st
 	}
 	// Keep version chains bounded, as a production deployment would.
 	d.pri.Vacuum(d.sc.Master.QuerySCN())
-	stats := fmt.Sprintf("%+v", d.sc.Master.Stats())
+	d.emitSnapshot(p, phase)
+	stats := d.sc.Master.Obs().Snapshot().String()
 	return rep, stats, nil
 }
 

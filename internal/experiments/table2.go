@@ -54,6 +54,7 @@ func RunTable2(p Params) (*Table2Result, error) {
 		}
 		settle()
 		rep, err := drv.Run(p.Duration)
+		d.emitSnapshot(p, "scans on "+side)
 		d.close()
 		if err != nil {
 			return nil, err

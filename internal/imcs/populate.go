@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dbimadg/internal/obs"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scn"
 )
@@ -45,6 +46,8 @@ type Config struct {
 	// instance (RAC home-location map, §III.F): a unit starting at startBlk
 	// of obj is populated here only when HomeFilter returns true.
 	HomeFilter func(obj rowstore.ObjID, startBlk rowstore.BlockNo) bool
+	// Trace, when set, records populate-stage latency per IMCU build.
+	Trace *obs.PipelineTrace
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +133,9 @@ func (e *Engine) Stop() {
 	close(e.stop)
 	e.wg.Wait()
 }
+
+// Pending returns the number of population tasks queued or in flight.
+func (e *Engine) Pending() int64 { return e.pending.Load() }
 
 // Stats returns activity counters.
 func (e *Engine) Stats() EngineStats {
@@ -284,8 +290,10 @@ func (e *Engine) worker() {
 }
 
 func (e *Engine) runTask(t popTask) {
+	start := time.Now()
 	imcu := e.BuildIMCU(t.target, t.unit)
 	t.unit.Attach(imcu)
+	e.cfg.Trace.Observe(obs.StagePopulate, uint64(imcu.SnapSCN), time.Since(start))
 	if t.repop {
 		e.repopulated.Add(1)
 	} else {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbimadg/internal/rowstore"
 )
@@ -14,6 +15,9 @@ import (
 type Store struct {
 	mu   sync.RWMutex
 	objs map[rowstore.ObjID]*objectUnits
+
+	rowInvals    atomic.Int64 // row-level invalidations applied (slots)
+	coarseInvals atomic.Int64 // units coarse-invalidated (object/tenant-wide)
 }
 
 type objectUnits struct {
@@ -96,6 +100,7 @@ func (s *Store) UnitForBlock(obj rowstore.ObjID, blk rowstore.BlockNo) (*Unit, b
 func (s *Store) InvalidateRows(obj rowstore.ObjID, blk rowstore.BlockNo, slots []uint16) {
 	if u, ok := s.UnitForBlock(obj, blk); ok {
 		u.InvalidateRows(blk, slots)
+		s.rowInvals.Add(int64(len(slots)))
 	}
 }
 
@@ -103,6 +108,7 @@ func (s *Store) InvalidateRows(obj rowstore.ObjID, blk rowstore.BlockNo, slots [
 func (s *Store) InvalidateObject(obj rowstore.ObjID) {
 	for _, u := range s.Units(obj) {
 		u.InvalidateAll()
+		s.coarseInvals.Add(1)
 	}
 }
 
@@ -128,8 +134,16 @@ func (s *Store) InvalidateTenant(tenant rowstore.TenantID) int {
 			n++
 		}
 	}
+	s.coarseInvals.Add(int64(n))
 	return n
 }
+
+// RowsInvalidated returns the total row slots invalidated via InvalidateRows.
+func (s *Store) RowsInvalidated() int64 { return s.rowInvals.Load() }
+
+// UnitsInvalidated returns the total units coarse-invalidated (object drop or
+// tenant-wide fallback).
+func (s *Store) UnitsInvalidated() int64 { return s.coarseInvals.Load() }
 
 // DropObject removes all units of an object (DDL, §III.G). In-flight scans
 // holding ScanViews complete against the dropped IMCUs safely (they are

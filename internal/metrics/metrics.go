@@ -7,35 +7,46 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
+
+	"dbimadg/internal/obs"
 )
 
-// LatencyRecorder accumulates duration samples.
+// recorderBuckets covers 250ns..100s at 8 buckets per doubling (~9% relative
+// bucket width), so summary quantiles stay within single-digit-percent error
+// of the exact nearest-rank value while memory stays bounded.
+var recorderBuckets = obs.DurationBuckets(250*time.Nanosecond, 100*time.Second, 8)
+
+// LatencyRecorder accumulates duration samples into a bounded bucketed
+// histogram (see obs.Histogram). Count, sum, min and max are exact; Median
+// and P95 are bucket-interpolated estimates, so memory is O(buckets) no
+// matter how long the run — the previous implementation kept every sample in
+// an unbounded slice, which grew without limit in long experiments.
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	h *obs.Histogram
 }
 
 // NewLatencyRecorder returns an empty recorder.
 func NewLatencyRecorder() *LatencyRecorder {
-	return &LatencyRecorder{}
+	return &LatencyRecorder{h: obs.NewHistogram(recorderBuckets)}
 }
 
 // Record adds one sample.
 func (r *LatencyRecorder) Record(d time.Duration) {
-	r.mu.Lock()
-	r.samples = append(r.samples, d)
-	r.mu.Unlock()
+	r.h.ObserveDuration(d)
 }
 
 // Count returns the number of samples.
 func (r *LatencyRecorder) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.h.Count())
 }
+
+// Histogram exposes the backing histogram (for registering on an obs
+// registry or rendering bucket detail).
+func (r *LatencyRecorder) Histogram() *obs.Histogram { return r.h }
 
 // LatencySummary is the median/average/95th-percentile triple reported
 // throughout the paper's evaluation.
@@ -48,13 +59,25 @@ type LatencySummary struct {
 	Max    time.Duration
 }
 
-// Summary computes the summary statistics over all recorded samples.
+// Summary computes the summary statistics over all recorded samples. Avg,
+// Min, Max and Count are exact; Median and P95 carry at most one histogram
+// bucket of error (~9% relative) and are exact for single-sample recorders.
 func (r *LatencyRecorder) Summary() LatencySummary {
-	r.mu.Lock()
-	samples := make([]time.Duration, len(r.samples))
-	copy(samples, r.samples)
-	r.mu.Unlock()
-	return Summarize(samples)
+	snap := r.h.Snapshot()
+	s := LatencySummary{Count: int(snap.Count)}
+	if snap.Count == 0 {
+		return s
+	}
+	s.Median = secondsToDuration(snap.Quantile(0.50))
+	s.P95 = secondsToDuration(snap.Quantile(0.95))
+	s.Avg = secondsToDuration(snap.Mean())
+	s.Min = secondsToDuration(snap.Min)
+	s.Max = secondsToDuration(snap.Max)
+	return s
+}
+
+func secondsToDuration(sec float64) time.Duration {
+	return time.Duration(math.Round(sec * float64(time.Second)))
 }
 
 // Summarize computes summary statistics over a sample set.
@@ -77,19 +100,21 @@ func Summarize(samples []time.Duration) LatencySummary {
 }
 
 // percentile returns the p-quantile (0 < p <= 1) of sorted samples using the
-// nearest-rank method.
+// nearest-rank method: the value at rank ceil(p*n). Unlike the previous
+// rounded-rank variant this is exact at the edges — p=1.0 always returns the
+// maximum and a single-sample set returns that sample for every p.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(p*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }
 
 // Speedup returns how many times faster b is than a (a/b), e.g. the paper's

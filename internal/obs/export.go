@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so output is
+// stable for golden tests and diffing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for n, h := range r.help {
+		help[n] = h
+	}
+	r.mu.RUnlock()
+
+	var names []string
+	kind := make(map[string]string)
+	for n := range s.Counters {
+		names = append(names, n)
+		kind[n] = "counter"
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+		kind[n] = "gauge"
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+		kind[n] = "histogram"
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		if h := help[n]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, kind[n]); err != nil {
+			return err
+		}
+		var err error
+		switch kind[n] {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %s\n", n, formatFloat(s.Counters[n]))
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", n, formatFloat(s.Gauges[n]))
+		case "histogram":
+			err = writePromHistogram(w, n, s.Histograms[n])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}
+
+// StatsFunc produces one component's JSON-marshalable stats snapshot.
+type StatsFunc func() any
+
+// Handler serves the observability endpoints:
+//
+//	/metrics      Prometheus text format of every registered metric
+//	/debug/stats  JSON snapshot of every registered component's Stats
+//	/debug/trace  recent pipeline trace events (?n=256 limits the window)
+type Handler struct {
+	reg   *Registry
+	trace *PipelineTrace
+
+	mu    sync.Mutex
+	stats map[string]StatsFunc
+	mux   *http.ServeMux
+}
+
+// NewHandler builds the endpoint handler; trace may be nil.
+func NewHandler(reg *Registry, trace *PipelineTrace) *Handler {
+	h := &Handler{reg: reg, trace: trace, stats: make(map[string]StatsFunc)}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("/metrics", h.serveMetrics)
+	h.mux.HandleFunc("/debug/stats", h.serveStats)
+	h.mux.HandleFunc("/debug/trace", h.serveTrace)
+	return h
+}
+
+// AddStats registers a named component stats source for /debug/stats.
+func (h *Handler) AddStats(name string, fn StatsFunc) {
+	h.mu.Lock()
+	h.stats[name] = fn
+	h.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.reg.WritePrometheus(w)
+}
+
+func (h *Handler) serveStats(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	fns := make(map[string]StatsFunc, len(h.stats))
+	for n, fn := range h.stats {
+		fns[n] = fn
+	}
+	h.mu.Unlock()
+	out := make(map[string]any, len(fns)+1)
+	for n, fn := range fns {
+		out[n] = fn()
+	}
+	out["gauges"] = h.reg.Snapshot().Gauges
+	writeJSON(w, out)
+}
+
+func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {
+	n := 256
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	writeJSON(w, map[string]any{"events": h.trace.Events(n)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving h on addr (use ":0" / "127.0.0.1:0" for an ephemeral
+// port) and returns once the listener is bound.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

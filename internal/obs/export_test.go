@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte: sorted
+// metric names, HELP/TYPE headers, cumulative buckets with a +Inf terminator,
+// and _sum/_count series.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("batch_total", "batches processed").Add(42)
+	reg.Gauge("apply_lag", "scn lag").Set(3)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(0.75)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP apply_lag scn lag
+# TYPE apply_lag gauge
+apply_lag 3
+# HELP batch_total batches processed
+# TYPE batch_total counter
+batch_total 42
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 1
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="2"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 6.75
+lat_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "hits").Add(7)
+	tr := NewPipelineTrace(reg, 16)
+	tr.Observe(StageApply, 99, time.Millisecond)
+
+	h := NewHandler(reg, tr)
+	h.AddStats("demo", func() any { return map[string]int{"answer": 41} })
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	metrics := string(get("/metrics"))
+	if !strings.Contains(metrics, "hits_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `pipeline_stage_apply_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("/metrics missing stage histogram:\n%s", metrics)
+	}
+
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["demo"]; !ok {
+		t.Fatalf("/debug/stats missing component: %v", stats)
+	}
+	if _, ok := stats["gauges"]; !ok {
+		t.Fatalf("/debug/stats missing gauges: %v", stats)
+	}
+
+	var traceOut struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(get("/debug/trace?n=8"), &traceOut); err != nil {
+		t.Fatal(err)
+	}
+	if len(traceOut.Events) != 1 || traceOut.Events[0].Stage != "apply" || traceOut.Events[0].SCN != 99 {
+		t.Fatalf("/debug/trace: %+v", traceOut.Events)
+	}
+}

@@ -1,0 +1,243 @@
+// Package obs is the repo's unified telemetry subsystem (stdlib only): a
+// central Registry of named counters, gauges and bounded bucketed histograms,
+// a pipeline trace layer stamping redo batches through every standby stage,
+// a sampler feeding derived lag gauges into time series, and an HTTP exporter
+// serving Prometheus text metrics plus JSON debug snapshots. It mirrors the
+// observability the paper's evaluation relies on (Figs. 9-11, Table 2): every
+// claim about the standby pipeline — apply rate, invalidation lag, QuerySCN
+// advancement — is backed here by a named, scrapeable metric.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type fnMetric struct {
+	help string
+	fn   func() float64
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for an
+// existing name of the same kind returns the existing metric, so components
+// recreated across a standby restart keep appending to the same counters.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	counterFns map[string]fnMetric
+	gauges     map[string]*Gauge
+	gaugeFns   map[string]fnMetric
+	hists      map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		counterFns: make(map[string]fnMetric),
+		gauges:     make(map[string]*Gauge),
+		gaugeFns:   make(map[string]fnMetric),
+		hists:      make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.help[name] = help
+	return c
+}
+
+// CounterFunc registers a derived counter evaluated at snapshot/scrape time
+// (used to export pre-existing atomic counters without double accounting).
+// Re-registering a name replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFns[name] = fnMetric{help: help, fn: fn}
+	r.help[name] = help
+}
+
+// Gauge registers (or returns the existing) settable gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.help[name] = help
+	return g
+}
+
+// GaugeFunc registers a derived gauge evaluated at snapshot/scrape time.
+// Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fnMetric{help: help, fn: fn}
+	r.help[name] = help
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds)
+	r.hists[name] = h
+	r.help[name] = help
+	return h
+}
+
+// GaugeValue evaluates the named gauge (settable or derived); ok is false
+// when no gauge of that name is registered.
+func (r *Registry) GaugeValue(name string) (v float64, ok bool) {
+	r.mu.RLock()
+	g, isG := r.gauges[name]
+	f, isF := r.gaugeFns[name]
+	r.mu.RUnlock()
+	if isG {
+		return g.Value(), true
+	}
+	if isF {
+		return f.fn(), true
+	}
+	return 0, false
+}
+
+// Snapshot is a point-in-time evaluation of every registered metric.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot evaluates every metric, including derived counters and gauges.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	counterFns := make(map[string]fnMetric, len(r.counterFns))
+	for n, f := range r.counterFns {
+		counterFns[n] = f
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	gaugeFns := make(map[string]fnMetric, len(r.gaugeFns))
+	for n, f := range r.gaugeFns {
+		gaugeFns[n] = f
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	// Derived metrics are evaluated outside the registry lock: their closures
+	// may themselves take component locks (store stats, journal length).
+	s := Snapshot{
+		Counters:   make(map[string]float64, len(counters)+len(counterFns)),
+		Gauges:     make(map[string]float64, len(gauges)+len(gaugeFns)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for n, c := range counters {
+		s.Counters[n] = float64(c.Value())
+	}
+	for n, f := range counterFns {
+		s.Counters[n] = f.fn()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, f := range gaugeFns {
+		s.Gauges[n] = f.fn()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot as sorted "name value" lines; histograms render
+// as count/mean/p50/p95/max summaries. Used for end-of-run prints.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-44s %s\n", n, formatFloat(s.Counters[n]))
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-44s %s\n", n, formatFloat(s.Gauges[n]))
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-44s n=%d mean=%s p50=%s p95=%s max=%s\n",
+			n, h.Count, formatFloat(h.Mean()), formatFloat(h.Quantile(0.5)),
+			formatFloat(h.Quantile(0.95)), formatFloat(h.Max))
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler periodically evaluates registry gauges and feeds each value to a
+// per-gauge sink. The standby wires the derived lag gauges (apply lag, query
+// staleness, journal residency, commit-table pending) through a sampler into
+// metrics.Series, producing the Fig.-11-style lag-over-time plots without obs
+// depending on the metrics package.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	sinks    map[string]func(float64)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewSampler builds a sampler polling the named gauges every interval.
+func NewSampler(reg *Registry, interval time.Duration, sinks map[string]func(float64)) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Sampler{reg: reg, interval: interval, sinks: sinks, stop: make(chan struct{})}
+}
+
+// Start launches the sampling loop.
+func (s *Sampler) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.SampleOnce()
+			}
+		}
+	}()
+}
+
+// SampleOnce evaluates every tracked gauge once (also used by tests).
+func (s *Sampler) SampleOnce() {
+	for name, sink := range s.sinks {
+		if v, ok := s.reg.GaugeValue(name); ok {
+			sink(v)
+		}
+	}
+}
+
+// Stop halts the sampling loop; safe to call more than once.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}

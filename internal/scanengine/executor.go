@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/rowstore"
@@ -62,12 +63,54 @@ type Result struct {
 	UnitsScanned int64
 }
 
+// PathStats accumulates scan-path counters across every query run by the
+// executors that share it — the per-instance view of the per-query Result
+// counters. All fields are updated atomically; read them with the accessors.
+type PathStats struct {
+	queries      atomic.Int64
+	rowsIMCS     atomic.Int64
+	rowsRowStore atomic.Int64
+	unitsPruned  atomic.Int64
+	unitsScanned atomic.Int64
+}
+
+// Queries returns the number of scans accumulated.
+func (p *PathStats) Queries() int64 { return p.queries.Load() }
+
+// RowsFromIMCS returns matching rows served from the column store.
+func (p *PathStats) RowsFromIMCS() int64 { return p.rowsIMCS.Load() }
+
+// RowsFromRowStore returns matching rows served from the row store (gaps,
+// invalid rows, edge tails, and baseline scans).
+func (p *PathStats) RowsFromRowStore() int64 { return p.rowsRowStore.Load() }
+
+// UnitsPruned returns IMCUs skipped entirely via storage indexes.
+func (p *PathStats) UnitsPruned() int64 { return p.unitsPruned.Load() }
+
+// UnitsScanned returns IMCUs whose columns were actually evaluated.
+func (p *PathStats) UnitsScanned() int64 { return p.unitsScanned.Load() }
+
+func (p *PathStats) add(r *Result) {
+	if p == nil {
+		return
+	}
+	p.queries.Add(1)
+	p.rowsIMCS.Add(r.FromIMCS)
+	p.rowsRowStore.Add(r.FromRowStore)
+	p.unitsPruned.Add(r.UnitsPruned)
+	p.unitsScanned.Add(r.UnitsScanned)
+}
+
 // Executor runs scans at a snapshot against the row store and any number of
 // column stores (multiple stores model RAC instances whose IMCUs a parallel
 // query can reach; an empty list is the paper's "without DBIM" baseline).
 type Executor struct {
 	view   rowstore.TxnView
 	stores []*imcs.Store
+
+	// Obs, when set, accumulates every Run's path counters (shared across the
+	// executors of one instance for instance-level observability).
+	Obs *PathStats
 }
 
 // NewExecutor builds an executor. stores may be empty.
@@ -138,7 +181,9 @@ func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
 			merged.merge(r)
 		}
 	}
-	return merged.finish(q), nil
+	res := merged.finish(q)
+	ex.Obs.add(res)
+	return res, nil
 }
 
 // prunePartitions applies partition pruning on the partition-key column.

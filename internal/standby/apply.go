@@ -4,15 +4,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dbimadg/internal/obs"
 	"dbimadg/internal/redo"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scn"
 )
 
-// applyTask is one change vector handed to a recovery worker.
+// applyTask is one change vector handed to a recovery worker. enq is the
+// dispatch timestamp: the worker observes apply-stage latency (queueing +
+// apply + mine) against it.
 type applyTask struct {
 	scn scn.SCN
 	cv  *redo.CV
+	enq time.Time
 }
 
 // applyWorker is one recovery worker process. The merger routes change
@@ -43,6 +47,7 @@ func (inst *Instance) mergerLoop() {
 	streams := inst.src.Streams()
 	readers := make([]*redo.Reader, len(streams))
 	peeks := make([]*redo.Record, len(streams))
+	peekAt := make([]time.Time, len(streams)) // merge-stage entry per peek
 	eol := make([]bool, len(streams))
 	lastSeen := make([]scn.SCN, len(streams))
 	for i, s := range streams {
@@ -63,6 +68,7 @@ func (inst *Instance) mergerLoop() {
 			rec, ok, end := readers[i].TryNext()
 			if ok {
 				peeks[i] = rec
+				peekAt[i] = time.Now()
 				progress = true
 			} else if end {
 				eol[i] = true
@@ -92,6 +98,9 @@ func (inst *Instance) mergerLoop() {
 				}
 			}
 			if safe {
+				// Merge latency: how long the record waited at the merger for
+				// the cross-thread SCN-order proof before release.
+				inst.trace.Observe(obs.StageMerge, uint64(r.SCN), time.Since(peekAt[best]))
 				if !inst.dispatch(r) {
 					return // stopping
 				}
@@ -121,6 +130,7 @@ func (inst *Instance) mergerLoop() {
 // are applied inline behind a worker barrier (DDL is rare and must order
 // against every data CV). It returns false when the instance is stopping.
 func (inst *Instance) dispatch(r *redo.Record) bool {
+	start := time.Now()
 	for k := range r.CVs {
 		cv := &r.CVs[k]
 		if cv.Kind == redo.CVMarker {
@@ -132,7 +142,7 @@ func (inst *Instance) dispatch(r *redo.Record) bool {
 		w := inst.workerFor(cv)
 		w.dispatched.Add(1)
 		select {
-		case w.ch <- applyTask{scn: r.SCN, cv: cv}:
+		case w.ch <- applyTask{scn: r.SCN, cv: cv, enq: time.Now()}:
 		case <-inst.stop:
 			return false
 		}
@@ -141,6 +151,7 @@ func (inst *Instance) dispatch(r *redo.Record) bool {
 	// Publish the dispatch frontier only after every CV is enqueued: the
 	// coordinator's watermark proof depends on this ordering.
 	inst.lastDispatched.Store(uint64(r.SCN))
+	inst.trace.Observe(obs.StageDispatch, uint64(r.SCN), time.Since(start))
 	return true
 }
 
@@ -169,6 +180,7 @@ func (inst *Instance) workerLoop(w *applyWorker) {
 			w.appliedSCN.Store(uint64(t.scn))
 			w.applied.Add(1)
 			inst.cvsApplied.Add(1)
+			inst.trace.Observe(obs.StageApply, uint64(t.scn), time.Since(t.enq))
 			if !inst.cfg.DisableCoopFlush {
 				if wl := inst.pendingWL.Load(); wl != nil {
 					inst.flusher.DrainWorklink(wl, inst.cfg.FlushBatch)
@@ -362,6 +374,12 @@ func (inst *Instance) advance() {
 	if target <= inst.QuerySCN() {
 		return
 	}
+	start := time.Now()
+	defer func() {
+		// Publish latency: the full advancement (chop + flush + DDL + publish),
+		// i.e. the quiesce-period cost per consistency point.
+		inst.trace.Observe(obs.StagePublish, uint64(target), time.Since(start))
+	}()
 	inst.quiesce.Lock()
 	defer inst.quiesce.Unlock()
 	wl := inst.commits.Chop(target)

@@ -13,7 +13,10 @@ import (
 
 	"dbimadg/internal/core"
 	"dbimadg/internal/imcs"
+	"dbimadg/internal/metrics"
+	"dbimadg/internal/obs"
 	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
 	"dbimadg/internal/service"
 	"dbimadg/internal/transport"
@@ -52,7 +55,38 @@ type Config struct {
 	// (§III.F); defaults are a single-instance standby.
 	HomeInstances int
 	LocalInstance int
+
+	// MetricsAddr, when non-empty, serves the observability endpoints
+	// (/metrics, /debug/stats, /debug/trace) on this address while the
+	// instance runs; "127.0.0.1:0" binds an ephemeral port (see MetricsAddr()
+	// for the bound address).
+	MetricsAddr string
+	// TraceRing is the pipeline trace event-ring capacity
+	// (default obs.DefaultTraceRing).
+	TraceRing int
+	// LagSampleInterval, when > 0, samples the derived lag gauges into
+	// metrics.Series (see LagSeries) at this period — the data behind the
+	// paper's Fig.-11-style lag-over-time plots.
+	LagSampleInterval time.Duration
 }
+
+// Gauge names for the derived lag metrics registered on every instance's
+// registry (and exported on /metrics).
+const (
+	// GaugeApplyLag is DispatchedSCN - AppliedWatermark: redo dispatched to
+	// workers but not yet fully applied.
+	GaugeApplyLag = "standby_apply_lag_scn"
+	// GaugeQueryStaleness is AppliedWatermark - QuerySCN: redo applied to the
+	// replica but not yet visible to queries (awaiting the next consistency
+	// point).
+	GaugeQueryStaleness = "standby_query_staleness_scn"
+	// GaugeJournalTxns is the number of transactions resident in the IM-ADG
+	// journal (anchors awaiting flush or abort).
+	GaugeJournalTxns = "standby_journal_resident_txns"
+	// GaugeCommitPending is the number of commit nodes buffered in the IM-ADG
+	// commit table, not yet chopped into a worklink.
+	GaugeCommitPending = "standby_committable_pending"
+)
 
 func (c Config) withDefaults() Config {
 	if c.ApplyWorkers <= 0 {
@@ -76,7 +110,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats reports the standby's health.
+// Stats reports the standby's health. Snapshots are SCN-coherent:
+// QuerySCN <= AppliedWatermark <= DispatchedSCN holds within any single
+// Stats value, so derived lags (apply lag, query staleness) are never
+// negative.
 type Stats struct {
 	QuerySCN         scn.SCN
 	AppliedWatermark scn.SCN
@@ -97,10 +134,13 @@ type Instance struct {
 	cfg      Config
 	db       *rowstore.Database
 	txns     *txn.Table
-	store    *imcs.Store
 	services *service.Registry
-	engine   *imcs.Engine
 
+	// stateMu guards the volatile component pointers below against Restart
+	// (initVolatile rewrites them while exporter gauge functions read them).
+	stateMu sync.RWMutex
+	store   *imcs.Store
+	engine  *imcs.Engine
 	journal *core.Journal
 	commits *core.CommitTable
 	ddl     *core.DDLTable
@@ -113,6 +153,7 @@ type Instance struct {
 	src            transport.Source
 	startSCN       scn.SCN // apply resumes at records with SCN > startSCN
 	workers        []*applyWorker
+	workersRef     atomic.Pointer[[]*applyWorker] // published copy for gauges
 	lastDispatched atomic.Uint64
 	watermark      atomic.Uint64
 	pendingWL      atomic.Pointer[core.Worklink]
@@ -127,6 +168,13 @@ type Instance struct {
 	recordsApplied atomic.Int64
 	cvsApplied     atomic.Int64
 	advances       atomic.Int64
+
+	reg       *obs.Registry
+	trace     *obs.PipelineTrace
+	scanStats *scanengine.PathStats
+	lagSeries map[string]*metrics.Series
+	sampler   *obs.Sampler
+	obsSrv    *obs.Server
 }
 
 // New builds a standby instance with an empty replica database. The catalog
@@ -134,12 +182,22 @@ type Instance struct {
 func New(cfg Config) *Instance {
 	cfg = cfg.withDefaults()
 	inst := &Instance{
-		cfg:      cfg,
-		db:       rowstore.NewDatabase(cfg.RowsPerBlock),
-		txns:     txn.NewTable(),
-		services: service.NewRegistry(),
+		cfg:       cfg,
+		db:        rowstore.NewDatabase(cfg.RowsPerBlock),
+		txns:      txn.NewTable(),
+		services:  service.NewRegistry(),
+		reg:       obs.NewRegistry(),
+		scanStats: &scanengine.PathStats{},
+	}
+	inst.trace = obs.NewPipelineTrace(inst.reg, cfg.TraceRing)
+	inst.lagSeries = map[string]*metrics.Series{
+		GaugeApplyLag:       metrics.NewSeries(GaugeApplyLag),
+		GaugeQueryStaleness: metrics.NewSeries(GaugeQueryStaleness),
+		GaugeJournalTxns:    metrics.NewSeries(GaugeJournalTxns),
+		GaugeCommitPending:  metrics.NewSeries(GaugeCommitPending),
 	}
 	inst.initVolatile()
+	inst.registerMetrics()
 	return inst
 }
 
@@ -147,13 +205,17 @@ func New(cfg Config) *Instance {
 // journal, commit table, DDL table and their glue (§III.E: "DBIM-on-ADG
 // components lose all their state in case of instance restart").
 func (inst *Instance) initVolatile() {
+	inst.stateMu.Lock()
+	defer inst.stateMu.Unlock()
 	inst.store = imcs.NewStore()
 	inst.journal = core.NewJournal(inst.cfg.JournalBuckets, inst.cfg.ApplyWorkers)
 	inst.commits = core.NewCommitTable(inst.cfg.CommitTableParts)
 	inst.ddl = core.NewDDLTable()
 	inst.miner = core.NewMiner(inst.journal, inst.commits, inst.ddl, &standbyPolicy{inst: inst})
+	inst.miner.SetTrace(inst.trace)
 	home := imcs.HomeMap{Instances: inst.cfg.HomeInstances}
 	inst.flusher = core.NewFlusher(inst.journal, inst.store, home, inst.cfg.LocalInstance, inst.cfg.BlocksPerIMCU, inst.remote)
+	inst.flusher.SetTrace(inst.trace)
 	inst.engine = imcs.NewEngine(inst.store, inst.txns, &quiesceSnapshotter{inst: inst}, inst.populationTargets, imcs.Config{
 		BlocksPerIMCU:  inst.cfg.BlocksPerIMCU,
 		Workers:        inst.cfg.PopulationWorkers,
@@ -162,7 +224,92 @@ func (inst *Instance) initVolatile() {
 		TailThreshold:  inst.cfg.TailThreshold,
 		MemLimitBytes:  inst.cfg.MemLimitBytes,
 		HomeFilter:     inst.homeFilter(home),
+		Trace:          inst.trace,
 	})
+}
+
+// components reads the volatile component pointers coherently (gauge
+// functions and Stats race with Restart's initVolatile otherwise).
+func (inst *Instance) components() (*imcs.Store, *imcs.Engine, *core.Journal, *core.CommitTable, *core.Miner, *core.Flusher) {
+	inst.stateMu.RLock()
+	defer inst.stateMu.RUnlock()
+	return inst.store, inst.engine, inst.journal, inst.commits, inst.miner, inst.flusher
+}
+
+// registerMetrics exposes the instance's counters and derived gauges on its
+// registry. Called once from New; the derived functions resolve the current
+// volatile components on every evaluation, so they survive restarts.
+func (inst *Instance) registerMetrics() {
+	r := inst.reg
+	r.CounterFunc("standby_records_applied_total", "redo records dispatched by the log merger",
+		func() float64 { return float64(inst.recordsApplied.Load()) })
+	r.CounterFunc("standby_cvs_applied_total", "change vectors applied by recovery workers",
+		func() float64 { return float64(inst.cvsApplied.Load()) })
+	r.CounterFunc("standby_queryscn_advances_total", "QuerySCN publications by the recovery coordinator",
+		func() float64 { return float64(inst.advances.Load()) })
+	r.CounterFunc("standby_mined_records_total", "invalidation records mined from redo",
+		func() float64 { _, _, _, _, m, _ := inst.components(); return float64(m.MinedRecords()) })
+	r.CounterFunc("standby_mined_commits_total", "commit nodes created by the mining component",
+		func() float64 { _, _, _, _, m, _ := inst.components(); return float64(m.MinedCommits()) })
+	r.CounterFunc("standby_flushed_records_total", "invalidation records flushed to SMUs",
+		func() float64 { _, _, _, _, _, f := inst.components(); return float64(f.FlushedRecords()) })
+	r.CounterFunc("standby_coarse_invalidations_total", "coarse tenant invalidation fallbacks",
+		func() float64 { _, _, _, _, _, f := inst.components(); return float64(f.CoarseInvalidations()) })
+
+	r.GaugeFunc("standby_query_scn", "published QuerySCN (query consistency point)",
+		func() float64 { q, _, _ := inst.scns(); return float64(q) })
+	r.GaugeFunc("standby_applied_watermark_scn", "apply watermark (all redo <= this SCN applied)",
+		func() float64 { _, w, _ := inst.scns(); return float64(w) })
+	r.GaugeFunc("standby_dispatched_scn", "dispatch frontier (last record routed to workers)",
+		func() float64 { _, _, d := inst.scns(); return float64(d) })
+	r.GaugeFunc(GaugeApplyLag, "SCNs dispatched to apply workers but not yet fully applied",
+		func() float64 { _, w, d := inst.scns(); return float64(d - w) })
+	r.GaugeFunc(GaugeQueryStaleness, "SCNs applied to the replica but not yet query-visible",
+		func() float64 { q, w, _ := inst.scns(); return float64(w - q) })
+	r.GaugeFunc(GaugeJournalTxns, "transactions resident in the IM-ADG journal",
+		func() float64 { _, _, j, _, _, _ := inst.components(); return float64(j.Len()) })
+	r.GaugeFunc(GaugeCommitPending, "commit nodes pending in the IM-ADG commit table",
+		func() float64 { _, _, _, c, _, _ := inst.components(); return float64(c.Len()) })
+	r.GaugeFunc("standby_apply_queue_depth", "change vectors queued at recovery workers",
+		func() float64 {
+			ws := inst.workersRef.Load()
+			if ws == nil {
+				return 0
+			}
+			var depth int64
+			for _, w := range *ws {
+				depth += w.dispatched.Load() - w.applied.Load()
+			}
+			return float64(depth)
+		})
+
+	r.GaugeFunc("imcs_population_pending", "population tasks queued or in flight",
+		func() float64 { _, e, _, _, _, _ := inst.components(); return float64(e.Pending()) })
+	r.CounterFunc("imcs_units_populated_total", "IMCUs populated",
+		func() float64 { _, e, _, _, _, _ := inst.components(); return float64(e.Stats().UnitsPopulated) })
+	r.CounterFunc("imcs_units_repopulated_total", "IMCUs repopulated",
+		func() float64 { _, e, _, _, _, _ := inst.components(); return float64(e.Stats().UnitsRepopulated) })
+	r.CounterFunc("imcs_rows_invalidated_total", "row slots invalidated in SMUs",
+		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.RowsInvalidated()) })
+	r.CounterFunc("imcs_units_coarse_invalidated_total", "units coarse-invalidated (object drop or tenant fallback)",
+		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.UnitsInvalidated()) })
+	r.GaugeFunc("imcs_populated_units", "IMCUs currently populated",
+		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.Stats().PopulatedUnits) })
+	r.GaugeFunc("imcs_invalid_rows", "rows currently marked invalid across SMUs",
+		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.Stats().InvalidRows) })
+	r.GaugeFunc("imcs_mem_bytes", "column store memory footprint",
+		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.Stats().MemBytes) })
+
+	r.CounterFunc("scan_queries_total", "scans executed on this instance",
+		func() float64 { return float64(inst.scanStats.Queries()) })
+	r.CounterFunc("scan_rows_from_imcs_total", "matching rows served from the column store",
+		func() float64 { return float64(inst.scanStats.RowsFromIMCS()) })
+	r.CounterFunc("scan_rows_from_rowstore_total", "matching rows served from the row store",
+		func() float64 { return float64(inst.scanStats.RowsFromRowStore()) })
+	r.CounterFunc("scan_units_pruned_total", "IMCUs skipped via storage indexes",
+		func() float64 { return float64(inst.scanStats.UnitsPruned()) })
+	r.CounterFunc("scan_units_scanned_total", "IMCUs whose columns were evaluated",
+		func() float64 { return float64(inst.scanStats.UnitsScanned()) })
 }
 
 func (inst *Instance) homeFilter(home imcs.HomeMap) func(rowstore.ObjID, rowstore.BlockNo) bool {
@@ -197,24 +344,61 @@ func (inst *Instance) DB() *rowstore.Database { return inst.db }
 func (inst *Instance) Txns() *txn.Table { return inst.txns }
 
 // Store returns this instance's In-Memory Column Store.
-func (inst *Instance) Store() *imcs.Store { return inst.store }
+func (inst *Instance) Store() *imcs.Store {
+	s, _, _, _, _, _ := inst.components()
+	return s
+}
 
 // Services returns the standby's service registry.
 func (inst *Instance) Services() *service.Registry { return inst.services }
 
 // Engine returns the population engine (for tests and observability).
-func (inst *Instance) Engine() *imcs.Engine { return inst.engine }
+func (inst *Instance) Engine() *imcs.Engine {
+	_, e, _, _, _, _ := inst.components()
+	return e
+}
+
+// Obs returns the instance's metric registry.
+func (inst *Instance) Obs() *obs.Registry { return inst.reg }
+
+// Trace returns the instance's pipeline trace.
+func (inst *Instance) Trace() *obs.PipelineTrace { return inst.trace }
+
+// ScanStats returns the accumulator the instance's scan executors report
+// into; attach it as Executor.Obs when building sessions.
+func (inst *Instance) ScanStats() *scanengine.PathStats { return inst.scanStats }
+
+// LagSeries returns the sampled lag time series keyed by gauge name (empty
+// series unless Config.LagSampleInterval is set).
+func (inst *Instance) LagSeries() map[string]*metrics.Series { return inst.lagSeries }
+
+// MetricsAddr returns the bound observability listen address, or "" when the
+// exporter is not running.
+func (inst *Instance) MetricsAddr() string {
+	inst.stateMu.RLock()
+	defer inst.stateMu.RUnlock()
+	if inst.obsSrv == nil {
+		return ""
+	}
+	return inst.obsSrv.Addr()
+}
 
 // QuerySCN returns the published consistency point: the CR snapshot for
 // queries on the standby.
 func (inst *Instance) QuerySCN() scn.SCN { return scn.SCN(inst.querySCN.Load()) }
 
-// Attach connects the redo source. Must be called before Start.
+// Attach connects the redo source. Must be called before Start. Sources that
+// support pipeline tracing (the TCP Receiver) get the instance's trace
+// attached so ship-stage latency is observed.
 func (inst *Instance) Attach(src transport.Source) {
 	inst.src = src
+	if t, ok := src.(interface{ SetTrace(*obs.PipelineTrace) }); ok {
+		t.SetTrace(inst.trace)
+	}
 }
 
-// Start launches redo apply, the recovery coordinator and population.
+// Start launches redo apply, the recovery coordinator, population, and (when
+// configured) the observability exporter and lag sampler.
 func (inst *Instance) Start() {
 	if inst.started {
 		panic("standby: already started")
@@ -231,10 +415,40 @@ func (inst *Instance) Start() {
 		inst.wg.Add(1)
 		go inst.workerLoop(w)
 	}
+	inst.workersRef.Store(&inst.workers)
 	inst.wg.Add(2)
 	go inst.mergerLoop()
 	go inst.coordinatorLoop()
 	inst.engine.Start()
+	inst.startObservability()
+}
+
+// startObservability brings up the HTTP exporter and the lag sampler per the
+// instance configuration. Failures to bind are silent (observability is
+// best-effort and must never take down apply); MetricsAddr() returns "" then.
+func (inst *Instance) startObservability() {
+	if inst.cfg.LagSampleInterval > 0 {
+		sinks := make(map[string]func(float64), len(inst.lagSeries))
+		for name, series := range inst.lagSeries {
+			sinks[name] = series.Sample
+		}
+		inst.sampler = obs.NewSampler(inst.reg, inst.cfg.LagSampleInterval, sinks)
+		inst.sampler.Start()
+	}
+	if inst.cfg.MetricsAddr == "" {
+		return
+	}
+	h := obs.NewHandler(inst.reg, inst.trace)
+	h.AddStats("standby", func() any { return inst.Stats() })
+	h.AddStats("imcs", func() any { s, _, _, _, _, _ := inst.components(); return s.Stats() })
+	h.AddStats("population", func() any { _, e, _, _, _, _ := inst.components(); return e.Stats() })
+	srv, err := obs.Serve(inst.cfg.MetricsAddr, h)
+	if err != nil {
+		return
+	}
+	inst.stateMu.Lock()
+	inst.obsSrv = srv
+	inst.stateMu.Unlock()
 }
 
 // Stop halts the pipeline and returns the checkpoint SCN: the applied
@@ -247,6 +461,17 @@ func (inst *Instance) Stop() scn.SCN {
 	close(inst.stop)
 	inst.wg.Wait()
 	inst.engine.Stop()
+	if inst.sampler != nil {
+		inst.sampler.Stop()
+		inst.sampler = nil
+	}
+	inst.stateMu.Lock()
+	srv := inst.obsSrv
+	inst.obsSrv = nil
+	inst.stateMu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
 	return scn.SCN(inst.watermark.Load())
 }
 
@@ -267,20 +492,45 @@ func (inst *Instance) Restart(src transport.Source) {
 	inst.Start()
 }
 
-// Stats returns a snapshot of the standby's counters.
+// scns returns a coherent (QuerySCN, watermark, dispatch frontier) triple
+// with q <= w <= d. All three counters are monotone and advance in reverse
+// pipeline order (a record is dispatched before it is applied, and applied
+// before it is published), so loading the most-downstream value first and
+// clamping upward yields a snapshot in which each lag difference is >= 0 —
+// the documented guarantee behind Stats and the lag gauges: the applied
+// watermark never exceeds the dispatch frontier, and the QuerySCN never
+// exceeds the watermark.
+func (inst *Instance) scns() (q, w, d scn.SCN) {
+	q = scn.SCN(inst.querySCN.Load())
+	w = scn.SCN(inst.watermark.Load())
+	d = scn.SCN(inst.lastDispatched.Load())
+	if w < q {
+		w = q
+	}
+	if d < w {
+		d = w
+	}
+	return q, w, d
+}
+
+// Stats returns a snapshot of the standby's counters. The three SCN fields
+// are mutually coherent: QuerySCN <= AppliedWatermark <= DispatchedSCN always
+// holds within one snapshot (see scns).
 func (inst *Instance) Stats() Stats {
+	q, w, d := inst.scns()
+	_, _, journal, commits, miner, flusher := inst.components()
 	return Stats{
-		QuerySCN:         inst.QuerySCN(),
-		AppliedWatermark: scn.SCN(inst.watermark.Load()),
-		DispatchedSCN:    scn.SCN(inst.lastDispatched.Load()),
+		QuerySCN:         q,
+		AppliedWatermark: w,
+		DispatchedSCN:    d,
 		RecordsApplied:   inst.recordsApplied.Load(),
 		CVsApplied:       inst.cvsApplied.Load(),
-		MinedRecords:     inst.miner.MinedRecords(),
-		FlushedRecords:   inst.flusher.FlushedRecords(),
-		CoarseInvals:     inst.flusher.CoarseInvalidations(),
+		MinedRecords:     miner.MinedRecords(),
+		FlushedRecords:   flusher.FlushedRecords(),
+		CoarseInvals:     flusher.CoarseInvalidations(),
 		QuerySCNAdvances: inst.advances.Load(),
-		JournalTxns:      inst.journal.Len(),
-		CommitTablePend:  inst.commits.Len(),
+		JournalTxns:      journal.Len(),
+		CommitTablePend:  commits.Len(),
 	}
 }
 

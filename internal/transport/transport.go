@@ -19,8 +19,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dbimadg/internal/obs"
 	"dbimadg/internal/redo"
 	"dbimadg/internal/scn"
 )
@@ -149,9 +151,22 @@ type Receiver struct {
 	conns   []net.Conn
 	wg      sync.WaitGroup
 
+	trace   atomic.Pointer[obs.PipelineTrace]
+	records atomic.Int64 // redo records received across all threads
+	bytes   atomic.Int64 // encoded redo bytes received
 	mu      sync.Mutex
 	lastErr error
 }
+
+// SetTrace attaches an optional pipeline trace; ship-stage latency (time to
+// receive each frame, including network wait) is observed per record when set.
+func (r *Receiver) SetTrace(t *obs.PipelineTrace) { r.trace.Store(t) }
+
+// RecordsReceived returns the redo records pumped into mirror streams.
+func (r *Receiver) RecordsReceived() int64 { return r.records.Load() }
+
+// BytesReceived returns the encoded redo bytes pumped into mirror streams.
+func (r *Receiver) BytesReceived() int64 { return r.bytes.Load() }
 
 // Connect dials addr for each thread and begins pumping records with
 // SCN >= from into fresh mirror streams.
@@ -184,6 +199,7 @@ func (r *Receiver) pump(conn net.Conn, mirror *redo.Stream) {
 	defer r.wg.Done()
 	defer mirror.Close()
 	for {
+		start := time.Now()
 		rec, err := redo.ReadFrame(conn)
 		if err != nil {
 			if err != io.EOF {
@@ -196,6 +212,9 @@ func (r *Receiver) pump(conn net.Conn, mirror *redo.Stream) {
 			return
 		}
 		mirror.Append(rec)
+		r.records.Add(1)
+		r.bytes.Add(int64(redo.EncodedSize(rec)))
+		r.trace.Load().Observe(obs.StageShip, uint64(rec.SCN), time.Since(start))
 	}
 }
 

@@ -34,9 +34,11 @@ func (c *Cluster) PrimarySession(i int) *Session {
 // standby RAC, queries behave like parallel queries spanning all instances'
 // column stores, at the master's QuerySCN.
 func (c *Cluster) StandbySession() *Session {
+	ex := scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...)
+	ex.Obs = c.sc.Master.ScanStats()
 	return &Session{
 		c:    c,
-		exec: scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...),
+		exec: ex,
 		snap: func() scn.SCN { return c.sc.Master.QuerySCN() },
 	}
 }
@@ -50,9 +52,11 @@ func (c *Cluster) StandbyReaderSession(i int) (*Session, error) {
 		return nil, fmt.Errorf("dbimadg: no standby reader %d", i)
 	}
 	r := readers[i]
+	ex := scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...)
+	ex.Obs = c.sc.Master.ScanStats()
 	return &Session{
 		c:    c,
-		exec: scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...),
+		exec: ex,
 		snap: func() scn.SCN { return r.QuerySCN() },
 	}, nil
 }
