@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet fmt test race verify bench bench-json
 
 all: verify
 
@@ -10,15 +10,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file is not gofmt-clean; prints the offending paths.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy trees: the telemetry registry/trace, the
-# standby apply pipeline, and the mining/journal/flush core.
+# standby apply pipeline, the mining/journal/flush core, the parallel scan
+# engine and its SQL front end, role-based service routing, and the public
+# Session API.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/standby/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/standby/... ./internal/core/... \
+		./internal/scanengine/... ./internal/sqlmini/... ./internal/service/... .
 
-verify: vet build test race
+verify: fmt vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Machine-readable benchmark results: runs the root benchmarks and converts
+# the -bench output into BENCH_<date>.json via cmd/benchjson.
+bench-json:
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json

@@ -21,6 +21,7 @@ import (
 
 	"dbimadg/internal/experiments"
 	"dbimadg/internal/obs"
+	"dbimadg/internal/scanengine"
 )
 
 func main() {
@@ -45,6 +46,28 @@ func main() {
 	if *telem {
 		p.SnapshotSink = func(phase string, snap obs.Snapshot) {
 			fmt.Printf("--- standby telemetry (%s) ---\n%s\n", phase, snap.String())
+		}
+		p.QueryLogSink = func(phase string, recs []obs.QueryRecord) {
+			if len(recs) == 0 {
+				return
+			}
+			const show = 5
+			fmt.Printf("--- recent query profiles (%s; last %d of %d recorded) ---\n",
+				phase, min(show, len(recs)), len(recs))
+			for _, r := range recs[:min(show, len(recs))] {
+				slow := ""
+				if r.Slow {
+					slow = " SLOW"
+				}
+				fmt.Printf("  #%d %s path=%s rows=%d wall=%v%s\n",
+					r.Seq, r.Table, r.Path, r.Rows, r.Wall().Round(time.Microsecond), slow)
+				if p, ok := r.Profile.(*scanengine.Profile); ok {
+					fmt.Printf("     units scan=%d pruned=%d fallback=%d batches=%d | imcs=%d invalid=%d tail=%d rowstore=%d\n",
+						p.UnitsScanned, p.UnitsPruned, p.UnitsFallback, p.Batches,
+						p.RowsIMCS, p.RowsInvalid, p.RowsTail, p.RowsRowStore)
+				}
+			}
+			fmt.Println()
 		}
 	}
 

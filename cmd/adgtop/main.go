@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0]
+//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow]
 //
 // Run cmd/adgdemo with -metrics 127.0.0.1:9187 -hold 2m in one terminal and
-// adgtop in another to watch the pipeline drain.
+// adgtop in another to watch the pipeline drain. With -queries N, each sample
+// is followed by a pane of the N most recent query profiles from the
+// instance's /debug/queries endpoint (-slow restricts it to the slow-query
+// log).
 package main
 
 import (
@@ -42,18 +45,68 @@ type snapshot struct {
 	Gauges  map[string]float64 `json:"gauges"`
 }
 
+// queryEntry is the subset of a /debug/queries record adgtop renders.
+type queryEntry struct {
+	Seq       int64  `json:"seq"`
+	SQL       string `json:"sql"`
+	Table     string `json:"table"`
+	WallNanos int64  `json:"wall_ns"`
+	Rows      int64  `json:"rows"`
+	Path      string `json:"path"`
+	Slow      bool   `json:"slow"`
+}
+
+// queriesDoc is the /debug/queries response envelope.
+type queriesDoc struct {
+	SlowThresholdMS float64      `json:"slow_threshold_ms"`
+	Total           int64        `json:"total"`
+	SlowTotal       int64        `json:"slow_total"`
+	Queries         []queryEntry `json:"queries"`
+}
+
 func fetch(client *http.Client, url string) (snapshot, error) {
 	var s snapshot
+	err := fetchJSON(client, url, &s)
+	return s, err
+}
+
+func fetchJSON(client *http.Client, url string, v any) error {
 	resp, err := client.Get(url)
 	if err != nil {
-		return s, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return s, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
-	err = json.NewDecoder(resp.Body).Decode(&s)
-	return s, err
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// printQueries renders the recent-queries pane under a sample line.
+func printQueries(client *http.Client, addr string, n int, slowOnly bool) {
+	url := fmt.Sprintf("http://%s/debug/queries?n=%d", addr, n)
+	if slowOnly {
+		url += "&slow=1"
+	}
+	var doc queriesDoc
+	if err := fetchJSON(client, url, &doc); err != nil {
+		fmt.Printf("  queries: %v\n", err)
+		return
+	}
+	fmt.Printf("  queries: %d recorded, %d slow (threshold %.0fms)\n",
+		doc.Total, doc.SlowTotal, doc.SlowThresholdMS)
+	for _, q := range doc.Queries {
+		mark := " "
+		if q.Slow {
+			mark = "!"
+		}
+		label := q.SQL
+		if label == "" {
+			label = "scan " + q.Table
+		}
+		fmt.Printf("  %s #%-6d %-8s %8.3fms %8d rows  %s\n",
+			mark, q.Seq, q.Path, float64(q.WallNanos)/1e6, q.Rows, label)
+	}
 }
 
 const headerEvery = 20
@@ -69,6 +122,8 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:9187", "standby metrics endpoint (host:port)")
 		interval = flag.Duration("interval", time.Second, "poll interval")
 		count    = flag.Int("n", 0, "number of samples to print (0 = until interrupted)")
+		queries  = flag.Int("queries", 0, "show the N most recent query profiles under each sample (0 = off)")
+		slowOnly = flag.Bool("slow", false, "with -queries, show only slow-query-log entries")
 	)
 	flag.Parse()
 
@@ -112,6 +167,9 @@ func main() {
 			cur.Gauges[standby.GaugeCommitPending],
 			cur.Gauges["imcs_population_pending"],
 		)
+		if *queries > 0 {
+			printQueries(client, *addr, *queries, *slowOnly)
+		}
 		prev, prevAt = cur, now
 	}
 }

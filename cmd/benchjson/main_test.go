@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: dbimadg
+cpu: Fake CPU @ 3.00GHz
+BenchmarkScan/imcs-8         	    1203	    987654 ns/op	     320 B/op	       7 allocs/op
+BenchmarkScan/rowstore-8     	      61	  19876543 ns/op	 1048576 B/op	    2048 allocs/op	  52.5 cvs/s
+some test log line
+PASS
+ok  	dbimadg	4.321s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "dbimadg" {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkScan/imcs-8" || b.Iterations != 1203 {
+		t.Fatalf("bad benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 987654 || b.Metrics["allocs/op"] != 7 {
+		t.Fatalf("bad metrics: %+v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics["cvs/s"] != 52.5 {
+		t.Fatalf("custom metric not parsed: %+v", doc.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnly",
+		"BenchmarkOddFields-8 100 123",
+		"BenchmarkBadIters-8 abc 123 ns/op",
+		"BenchmarkBadValue-8 100 abc ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted malformed line", line)
+		}
+	}
+}

@@ -84,6 +84,12 @@ type Config struct {
 	// LagSampleInterval, when > 0, samples the standby lag gauges into time
 	// series (see standby.Instance.LagSeries).
 	LagSampleInterval time.Duration
+	// SlowQueryThreshold is the wall time at or above which a standby query
+	// lands in the slow-query log (default 100ms; negative disables).
+	SlowQueryThreshold time.Duration
+	// QueryLogSize is the recent/slow query ring capacity behind
+	// Cluster.QueryLog and /debug/queries (default 128).
+	QueryLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +158,8 @@ func Open(cfg Config) (*Cluster, error) {
 		MemLimitBytes:      cfg.MemLimitBytes,
 		MetricsAddr:        cfg.MetricsAddr,
 		LagSampleInterval:  cfg.LagSampleInterval,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		QueryLogSize:       cfg.QueryLogSize,
 	}
 	c.sc = rac.NewStandbyCluster(sbyCfg, cfg.StandbyReaders)
 
@@ -225,6 +233,11 @@ func (c *Cluster) Observability() *obs.Registry { return c.sc.Master.Obs() }
 // MetricsAddr returns the standby master's bound observability address, or ""
 // when Config.MetricsAddr was unset.
 func (c *Cluster) MetricsAddr() string { return c.sc.Master.MetricsAddr() }
+
+// QueryLog returns the standby master's recent/slow query log: every query a
+// standby session runs is profiled and recorded here (and served on
+// /debug/queries when MetricsAddr is set).
+func (c *Cluster) QueryLog() *QueryLog { return c.sc.Master.QueryLog() }
 
 // PrimaryPopulation exposes the primary-side population engine.
 func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }

@@ -141,6 +141,26 @@ func runPhase(useDBIM bool) metrics.LatencySummary {
 	wg.Wait()
 	sum := rec.Summary()
 	fmt.Printf("  %d reports, %s\n", sum.Count, sum)
+
+	// EXPLAIN ANALYZE of the same report query: which IMCUs were pruned and
+	// which path (column store, invalid-row fallback, tails, row store)
+	// served each matching row — the "why" behind the latencies above.
+	prof, err := sby.ExplainSQL(sTbl, "EXPLAIN ANALYZE SELECT * FROM FACTS WHERE n1 = :v",
+		map[string]dbimadg.Bind{"v": dbimadg.NumBind(qrng.Int63n(1000))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := prof.RowsIMCS + prof.RowsInvalid + prof.RowsTail + prof.RowsRowStore; got != prof.ResultRows {
+		log.Fatalf("profile paths sum to %d, result cardinality %d", got, prof.ResultRows)
+	}
+	fmt.Printf("  EXPLAIN ANALYZE of the report query:\n")
+	for _, line := range strings.Split(strings.TrimRight(prof.String(), "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
+	}
+	total, slow := c.QueryLog().Totals()
+	fmt.Printf("  query log: %d queries recorded, %d slow (threshold %v)\n",
+		total, slow, c.QueryLog().SlowThreshold())
+
 	fmt.Printf("  standby telemetry at end of phase:\n")
 	for _, line := range strings.Split(strings.TrimRight(c.Observability().Snapshot().String(), "\n"), "\n") {
 		fmt.Printf("    %s\n", line)

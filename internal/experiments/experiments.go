@@ -55,6 +55,11 @@ type Params struct {
 	// which side of a with/without comparison produced it). cmd/adgbench uses
 	// it to print end-of-run pipeline counters next to the figure tables.
 	SnapshotSink func(phase string, snap obs.Snapshot)
+	// QueryLogSink, when set, receives the standby master's recorded query
+	// profiles at the end of each measured phase (newest first). Standby
+	// scans run profiled when it is set, so cmd/adgbench -telemetry can print
+	// per-query EXPLAIN ANALYZE summaries.
+	QueryLogSink func(phase string, recs []obs.QueryRecord)
 }
 
 // WithDefaults fills zero fields with bench-scale defaults.
@@ -201,10 +206,14 @@ func (d *deployment) waitPopulated(timeout time.Duration) error {
 }
 
 // emitSnapshot hands the standby master's telemetry snapshot to the
-// experiment's SnapshotSink, if one is configured.
+// experiment's SnapshotSink, if one is configured, and the recorded query
+// profiles to QueryLogSink.
 func (d *deployment) emitSnapshot(p Params, phase string) {
 	if p.SnapshotSink != nil {
 		p.SnapshotSink(phase, d.sc.Master.Obs().Snapshot())
+	}
+	if p.QueryLogSink != nil {
+		p.QueryLogSink(phase, d.sc.Master.QueryLog().Recent(0))
 	}
 }
 
@@ -253,6 +262,10 @@ func (d *deployment) driver(p Params, mix workload.Mix, scanOnStandby, useIMCS b
 			drv.ScanExec = scanengine.NewExecutor(d.sc.Master.Txns(), d.sc.Stores()...)
 		} else {
 			drv.ScanExec = scanengine.NewExecutor(d.sc.Master.Txns())
+		}
+		drv.ScanExec.Obs = d.sc.Master.ScanStats()
+		if p.QueryLogSink != nil {
+			drv.ScanExec.Profiles = d.sc.Master.RecordQuery
 		}
 	} else {
 		drv.ScanTable = d.tbl

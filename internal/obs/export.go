@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -89,16 +90,19 @@ type StatsFunc func() any
 
 // Handler serves the observability endpoints:
 //
-//	/metrics      Prometheus text format of every registered metric
-//	/debug/stats  JSON snapshot of every registered component's Stats
-//	/debug/trace  recent pipeline trace events (?n=256 limits the window)
+//	/metrics        Prometheus text format of every registered metric
+//	/debug/stats    JSON snapshot of every registered component's Stats
+//	/debug/trace    recent pipeline trace events (?n=256 limits the window)
+//	/debug/queries  recent query profiles (?n=32 limits, ?slow=1 slow-only)
+//	/debug/pprof/*  the standard net/http/pprof profiles
 type Handler struct {
 	reg   *Registry
 	trace *PipelineTrace
 
-	mu    sync.Mutex
-	stats map[string]StatsFunc
-	mux   *http.ServeMux
+	mu      sync.Mutex
+	stats   map[string]StatsFunc
+	queries *QueryLog
+	mux     *http.ServeMux
 }
 
 // NewHandler builds the endpoint handler; trace may be nil.
@@ -108,6 +112,14 @@ func NewHandler(reg *Registry, trace *PipelineTrace) *Handler {
 	h.mux.HandleFunc("/metrics", h.serveMetrics)
 	h.mux.HandleFunc("/debug/stats", h.serveStats)
 	h.mux.HandleFunc("/debug/trace", h.serveTrace)
+	h.mux.HandleFunc("/debug/queries", h.serveQueries)
+	// net/http/pprof registers on http.DefaultServeMux; the metrics listener
+	// uses its own mux, so route the handlers explicitly.
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return h
 }
 
@@ -115,6 +127,13 @@ func NewHandler(reg *Registry, trace *PipelineTrace) *Handler {
 func (h *Handler) AddStats(name string, fn StatsFunc) {
 	h.mu.Lock()
 	h.stats[name] = fn
+	h.mu.Unlock()
+}
+
+// SetQueryLog attaches the query log backing /debug/queries; nil detaches it.
+func (h *Handler) SetQueryLog(l *QueryLog) {
+	h.mu.Lock()
+	h.queries = l
 	h.mu.Unlock()
 }
 
@@ -141,6 +160,33 @@ func (h *Handler) serveStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	out["gauges"] = h.reg.Snapshot().Gauges
 	writeJSON(w, out)
+}
+
+func (h *Handler) serveQueries(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	l := h.queries
+	h.mu.Unlock()
+	if l == nil {
+		http.Error(w, "no query log attached", http.StatusNotFound)
+		return
+	}
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	recs := l.Recent(n)
+	if q := r.URL.Query().Get("slow"); q == "1" || q == "true" {
+		recs = l.Slow(n)
+	}
+	total, slow := l.Totals()
+	writeJSON(w, map[string]any{
+		"slow_threshold_ms": float64(l.SlowThreshold()) / float64(time.Millisecond),
+		"total":             total,
+		"slow_total":        slow,
+		"queries":           recs,
+	})
 }
 
 func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryRecord is one executed query as kept by the QueryLog: identifying
+// fields for list views plus the full profile document for drill-down.
+type QueryRecord struct {
+	// Seq is a monotonically increasing sequence number (1-based).
+	Seq int64 `json:"seq"`
+	// At is when the query finished.
+	At time.Time `json:"at"`
+	// SQL is the originating statement text, when known.
+	SQL string `json:"sql,omitempty"`
+	// Table is the scanned table.
+	Table string `json:"table"`
+	// WallNanos is the query's wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// Rows is the result cardinality.
+	Rows int64 `json:"rows"`
+	// Path is the dominant serving path ("imcs", "rowstore" or "mixed").
+	Path string `json:"path"`
+	// Slow marks queries at or above the log's slow threshold.
+	Slow bool `json:"slow"`
+	// Profile is the full EXPLAIN ANALYZE document (a *scanengine.Profile;
+	// typed any to keep obs free of scan-engine imports).
+	Profile any `json:"profile,omitempty"`
+}
+
+// Wall returns the query's wall time.
+func (r *QueryRecord) Wall() time.Duration { return time.Duration(r.WallNanos) }
+
+// QueryLog keeps a bounded ring of the most recent query profiles plus a
+// separate ring of slow queries — those at or above an adjustable wall-time
+// threshold — so a burst of fast queries cannot evict the slow outliers an
+// operator is hunting. It is safe for concurrent use.
+type QueryLog struct {
+	threshold atomic.Int64 // nanoseconds; 0 disables the slow log
+
+	mu        sync.Mutex
+	seq       int64
+	total     int64
+	slowTotal int64
+	recent    ring
+	slow      ring
+}
+
+// DefaultQueryLogSize is the per-ring capacity when NewQueryLog is given a
+// non-positive capacity.
+const DefaultQueryLogSize = 128
+
+// NewQueryLog builds a query log holding the last capacity queries (and,
+// separately, the last capacity slow queries).
+func NewQueryLog(capacity int) *QueryLog {
+	if capacity <= 0 {
+		capacity = DefaultQueryLogSize
+	}
+	return &QueryLog{
+		recent: ring{buf: make([]QueryRecord, capacity)},
+		slow:   ring{buf: make([]QueryRecord, capacity)},
+	}
+}
+
+// SetSlowThreshold sets the wall-time threshold at or above which a query is
+// also recorded in the slow ring; 0 disables slow-query capture.
+func (l *QueryLog) SetSlowThreshold(d time.Duration) { l.threshold.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-query threshold.
+func (l *QueryLog) SlowThreshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// Record appends one finished query. It stamps Seq, At (when zero) and Slow.
+func (l *QueryLog) Record(rec QueryRecord) {
+	thr := l.threshold.Load()
+	rec.Slow = thr > 0 && rec.WallNanos >= thr
+	if rec.At.IsZero() {
+		rec.At = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.total++
+	rec.Seq = l.seq
+	l.recent.push(rec)
+	if rec.Slow {
+		l.slowTotal++
+		l.slow.push(rec)
+	}
+}
+
+// Recent returns up to n of the most recent queries, newest first.
+// n <= 0 returns everything retained.
+func (l *QueryLog) Recent(n int) []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recent.newestFirst(n)
+}
+
+// Slow returns up to n of the most recent slow queries, newest first.
+func (l *QueryLog) Slow(n int) []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slow.newestFirst(n)
+}
+
+// Totals returns the lifetime number of recorded queries and slow queries
+// (including any already evicted from the rings).
+func (l *QueryLog) Totals() (total, slow int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total, l.slowTotal
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer of QueryRecords.
+type ring struct {
+	buf  []QueryRecord
+	next int // index the next record is written to
+	size int // records held, <= len(buf)
+}
+
+func (r *ring) push(rec QueryRecord) {
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+func (r *ring) newestFirst(n int) []QueryRecord {
+	if n <= 0 || n > r.size {
+		n = r.size
+	}
+	out := make([]QueryRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueryLogRingEviction(t *testing.T) {
+	l := NewQueryLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Record(QueryRecord{Table: "T", WallNanos: int64(i)})
+	}
+	recs := l.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	// Newest first: seq 10, 9, 8, 7.
+	for i, r := range recs {
+		if want := int64(10 - i); r.Seq != want {
+			t.Fatalf("recs[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	total, slow := l.Totals()
+	if total != 10 || slow != 0 {
+		t.Fatalf("totals = %d/%d, want 10/0", total, slow)
+	}
+}
+
+// TestQueryLogSlowRetention is the reason the slow ring exists: a burst of
+// fast queries must not evict the slow outliers.
+func TestQueryLogSlowRetention(t *testing.T) {
+	l := NewQueryLog(8)
+	l.SetSlowThreshold(time.Millisecond)
+	l.Record(QueryRecord{Table: "T", WallNanos: int64(5 * time.Millisecond)})
+	for i := 0; i < 100; i++ {
+		l.Record(QueryRecord{Table: "T", WallNanos: int64(time.Microsecond)})
+	}
+	if got := l.Recent(0); len(got) != 8 || got[0].Slow {
+		t.Fatalf("recent ring: %d records, head slow=%v", len(got), got[0].Slow)
+	}
+	slowRecs := l.Slow(0)
+	if len(slowRecs) != 1 || !slowRecs[0].Slow || slowRecs[0].Seq != 1 {
+		t.Fatalf("slow ring lost the outlier: %+v", slowRecs)
+	}
+	total, slow := l.Totals()
+	if total != 101 || slow != 1 {
+		t.Fatalf("totals = %d/%d, want 101/1", total, slow)
+	}
+	// Exactly at the threshold counts as slow; just below does not.
+	l.Record(QueryRecord{Table: "T", WallNanos: int64(time.Millisecond)})
+	if got := l.Recent(1); !got[0].Slow {
+		t.Fatal("wall == threshold not marked slow")
+	}
+	l.Record(QueryRecord{Table: "T", WallNanos: int64(time.Millisecond) - 1})
+	if got := l.Recent(1); got[0].Slow {
+		t.Fatal("wall < threshold marked slow")
+	}
+	// Threshold 0 disables capture.
+	l.SetSlowThreshold(0)
+	l.Record(QueryRecord{Table: "T", WallNanos: int64(time.Hour)})
+	if got := l.Recent(1); got[0].Slow {
+		t.Fatal("slow capture not disabled by zero threshold")
+	}
+}
+
+func TestQueryLogConcurrent(t *testing.T) {
+	l := NewQueryLog(16)
+	l.SetSlowThreshold(time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Record(QueryRecord{Table: "T", WallNanos: int64(g+1) * int64(time.Microsecond)})
+				l.Recent(4)
+				l.Slow(4)
+				l.Totals()
+			}
+		}(g)
+	}
+	wg.Wait()
+	total, _ := l.Totals()
+	if total != 1600 {
+		t.Fatalf("total = %d, want 1600", total)
+	}
+}
+
+func TestDebugQueriesEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHandler(reg, nil)
+	l := NewQueryLog(8)
+	l.SetSlowThreshold(time.Millisecond)
+	h.SetQueryLog(l)
+	for i := 1; i <= 5; i++ {
+		l.Record(QueryRecord{
+			Table: "C101", SQL: fmt.Sprintf("SELECT %d", i), Path: "imcs",
+			WallNanos: int64(i) * int64(time.Millisecond) / 2, Rows: int64(i),
+		})
+	}
+
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var doc struct {
+		SlowThresholdMS float64       `json:"slow_threshold_ms"`
+		Total           int64         `json:"total"`
+		SlowTotal       int64         `json:"slow_total"`
+		Queries         []QueryRecord `json:"queries"`
+	}
+	if err := json.Unmarshal(get("/debug/queries"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 5 || doc.SlowTotal != 4 || doc.SlowThresholdMS != 1 {
+		t.Fatalf("envelope: %+v", doc)
+	}
+	if len(doc.Queries) != 5 || doc.Queries[0].Seq != 5 {
+		t.Fatalf("queries: %+v", doc.Queries)
+	}
+
+	if err := json.Unmarshal(get("/debug/queries?n=2"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queries) != 2 {
+		t.Fatalf("?n=2 returned %d", len(doc.Queries))
+	}
+
+	if err := json.Unmarshal(get("/debug/queries?slow=1"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queries) != 4 {
+		t.Fatalf("?slow=1 returned %d", len(doc.Queries))
+	}
+	for _, q := range doc.Queries {
+		if !q.Slow {
+			t.Fatalf("fast query in slow view: %+v", q)
+		}
+	}
+
+	// pprof is mounted on the same mux.
+	if body := string(get("/debug/pprof/")); !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%.200s", body)
+	}
+}
+
+func TestDebugQueriesWithoutLog(t *testing.T) {
+	h := NewHandler(NewRegistry(), nil)
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}

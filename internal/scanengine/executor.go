@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/rowstore"
@@ -56,22 +59,33 @@ type Result struct {
 
 	// FromIMCS / FromRowStore count matching rows by serving path, and
 	// UnitsPruned counts IMCUs skipped entirely via storage indexes —
-	// observability mirroring the paper's scan statistics.
+	// observability mirroring the paper's scan statistics. FromInvalid and
+	// FromTail break FromRowStore down: SMU-invalidated rows re-read from the
+	// row store, and rows appended to blocks after population; the remainder
+	// is plain row-store range scanning (gaps and fallbacks).
 	FromIMCS     int64
 	FromRowStore int64
+	FromInvalid  int64
+	FromTail     int64
 	UnitsPruned  int64
 	UnitsScanned int64
+	// UnitsFallback counts populated units whose whole block range fell back
+	// to the row store (unit unusable, snapshot too old, or schema drift).
+	UnitsFallback int64
+	// Batches counts vectorized predicate-evaluation batches run.
+	Batches int64
 }
 
 // PathStats accumulates scan-path counters across every query run by the
 // executors that share it — the per-instance view of the per-query Result
 // counters. All fields are updated atomically; read them with the accessors.
 type PathStats struct {
-	queries      atomic.Int64
-	rowsIMCS     atomic.Int64
-	rowsRowStore atomic.Int64
-	unitsPruned  atomic.Int64
-	unitsScanned atomic.Int64
+	queries       atomic.Int64
+	rowsIMCS      atomic.Int64
+	rowsRowStore  atomic.Int64
+	unitsPruned   atomic.Int64
+	unitsScanned  atomic.Int64
+	unitsFallback atomic.Int64
 }
 
 // Queries returns the number of scans accumulated.
@@ -90,6 +104,10 @@ func (p *PathStats) UnitsPruned() int64 { return p.unitsPruned.Load() }
 // UnitsScanned returns IMCUs whose columns were actually evaluated.
 func (p *PathStats) UnitsScanned() int64 { return p.unitsScanned.Load() }
 
+// UnitsFallback returns populated units whose block range fell back to a
+// row-store scan.
+func (p *PathStats) UnitsFallback() int64 { return p.unitsFallback.Load() }
+
 func (p *PathStats) add(r *Result) {
 	if p == nil {
 		return
@@ -99,6 +117,7 @@ func (p *PathStats) add(r *Result) {
 	p.rowsRowStore.Add(r.FromRowStore)
 	p.unitsPruned.Add(r.UnitsPruned)
 	p.unitsScanned.Add(r.UnitsScanned)
+	p.unitsFallback.Add(r.UnitsFallback)
 }
 
 // Executor runs scans at a snapshot against the row store and any number of
@@ -111,6 +130,11 @@ type Executor struct {
 	// Obs, when set, accumulates every Run's path counters (shared across the
 	// executors of one instance for instance-level observability).
 	Obs *PathStats
+
+	// Profiles, when set, receives the per-query Profile of every Run —
+	// EXPLAIN ANALYZE actuals collected inline. RunProfiled returns the
+	// profile to its caller instead of delivering it here.
+	Profiles func(*Profile)
 }
 
 // NewExecutor builds an executor. stores may be empty.
@@ -120,8 +144,8 @@ func NewExecutor(view rowstore.TxnView, stores ...*imcs.Store) *Executor {
 
 const batchSize = 1024 // rows per vectorized evaluation batch (multiple of 64)
 
-// Run executes a query at snapshot snap.
-func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
+// validate checks a query's shape against the table's current schema.
+func (ex *Executor) validate(q *Query) (*rowstore.Schema, error) {
 	if q.Table == nil {
 		return nil, fmt.Errorf("scanengine: query has no table")
 	}
@@ -136,13 +160,54 @@ func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
 			return nil, fmt.Errorf("scanengine: aggregate column %d must be a NUMBER column", q.AggCol)
 		}
 	}
+	return schema, nil
+}
 
-	var tasks []scanTask
-	for _, part := range ex.prunePartitions(q, schema) {
-		tasks = append(tasks, ex.planSegment(q, part.Seg)...)
+// Run executes a query at snapshot snap. When the Profiles sink is set, the
+// scan is profiled and the Profile delivered to it.
+func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
+	if ex.Profiles != nil {
+		res, prof, err := ex.exec(q, snap, true)
+		if err == nil {
+			ex.Profiles(prof)
+		}
+		return res, err
+	}
+	res, _, err := ex.exec(q, snap, false)
+	return res, err
+}
+
+// RunProfiled executes a query and returns its EXPLAIN ANALYZE profile —
+// per-partition and per-IMCU pruning decisions, per-path row counts, batch
+// counts and wall times. The profile is not delivered to the Profiles sink.
+func (ex *Executor) RunProfiled(q *Query, snap scn.SCN) (*Result, *Profile, error) {
+	return ex.exec(q, snap, true)
+}
+
+func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profile, error) {
+	schema, err := ex.validate(q)
+	if err != nil {
+		return nil, nil, err
 	}
 
+	decs := ex.partitionDecisions(q)
+	var tasks []scanTask
+	for pi, d := range decs {
+		if !d.keep {
+			continue
+		}
+		for _, t := range ex.planSegment(q, d.part.Seg) {
+			t.part = pi
+			tasks = append(tasks, t)
+		}
+	}
+
+	var start time.Time
+	if profile {
+		start = time.Now()
+	}
 	merged := newTaskResult(q)
+	merged.profiling = profile
 	if q.Parallel <= 1 || len(tasks) <= 1 {
 		for _, t := range tasks {
 			ex.runTask(q, schema, t, snap, merged)
@@ -161,6 +226,7 @@ func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			results[w] = newTaskResult(q)
+			results[w].profiling = profile
 			go func(w int) {
 				defer wg.Done()
 				for {
@@ -183,35 +249,144 @@ func (ex *Executor) Run(q *Query, snap scn.SCN) (*Result, error) {
 	}
 	res := merged.finish(q)
 	ex.Obs.add(res)
-	return res, nil
+	if !profile {
+		return res, nil, nil
+	}
+	prof := buildProfile(q, schema, snap, decs, merged.profs, true)
+	prof.WallNanos = time.Since(start).Nanoseconds()
+	prof.ResultRows = res.Count
+	prof.RowsIMCS = res.FromIMCS
+	prof.RowsInvalid = res.FromInvalid
+	prof.RowsTail = res.FromTail
+	prof.RowsRowStore = res.FromRowStore - res.FromInvalid - res.FromTail
+	prof.UnitsScanned = res.UnitsScanned
+	prof.UnitsPruned = res.UnitsPruned
+	prof.UnitsFallback = res.UnitsFallback
+	prof.Batches = res.Batches
+	return res, prof, nil
 }
 
-// prunePartitions applies partition pruning on the partition-key column.
-func (ex *Executor) prunePartitions(q *Query, schema *rowstore.Schema) []*rowstore.Partition {
+// Explain plans a query without executing it: partition pruning decisions
+// plus, per planned task, the IMCU pruning verdict the scan would reach at
+// snapshot snap. No rows are read.
+func (ex *Executor) Explain(q *Query, snap scn.SCN) (*Profile, error) {
+	schema, err := ex.validate(q)
+	if err != nil {
+		return nil, err
+	}
+	decs := ex.partitionDecisions(q)
+	var profs []taskProf
+	for pi, d := range decs {
+		if !d.keep {
+			continue
+		}
+		for _, t := range ex.planSegment(q, d.part.Seg) {
+			tp := TaskProfile{From: t.from, To: t.to}
+			if t.unit == nil {
+				tp.Kind = "rowstore"
+				tp.Decision = DecisionRowStore
+			} else {
+				tp.Kind = "imcu"
+				imcu, _, usable := t.unit.ScanView()
+				switch {
+				case !usable:
+					tp.Decision = DecisionFallbackUnusable
+				case imcu.SnapSCN > snap:
+					tp.Decision = DecisionFallbackSnapshot
+				case imcu.Schema() != schema:
+					tp.Decision = DecisionFallbackSchema
+				case imcu.Rows() == 0:
+					tp.Rows = 0
+					tp.Decision = DecisionEmpty
+				default:
+					tp.Rows = imcu.Rows()
+					if pr := pruneIMCU(schema, imcu, q.Filters); pr != nil {
+						pr.fill(&tp, schema)
+					} else {
+						tp.Decision = DecisionScan
+					}
+				}
+			}
+			profs = append(profs, taskProf{part: pi, tp: tp})
+		}
+	}
+	return buildProfile(q, schema, snap, decs, profs, false), nil
+}
+
+// partDecision records one partition's pruning verdict.
+type partDecision struct {
+	part *rowstore.Partition
+	keep bool
+	by   Filter // the filter that pruned, when !keep
+}
+
+// partitionDecisions applies partition pruning on the partition-key column,
+// recording which filter eliminated each pruned partition.
+func (ex *Executor) partitionDecisions(q *Query) []partDecision {
 	parts := q.Table.Partitions()
 	pc := q.Table.PartitionCol
-	if pc < 0 {
-		return parts
-	}
-	out := parts[:0:0]
+	out := make([]partDecision, 0, len(parts))
 	for _, p := range parts {
-		keep := true
-		for _, f := range q.Filters {
-			if f.Col != pc {
-				continue
-			}
-			// Partition covers [Lo, Hi); prune when the filter cannot match
-			// any key in that interval.
-			if !numRangeOverlaps(p.Lo, p.Hi-1, f.Op, f.Num) {
-				keep = false
-				break
+		d := partDecision{part: p, keep: true}
+		if pc >= 0 {
+			for _, f := range q.Filters {
+				if f.Col != pc {
+					continue
+				}
+				// Partition covers [Lo, Hi); prune when the filter cannot
+				// match any key in that interval.
+				if !numRangeOverlaps(p.Lo, p.Hi-1, f.Op, f.Num) {
+					d.keep = false
+					d.by = f
+					break
+				}
 			}
 		}
-		if keep {
-			out = append(out, p)
-		}
+		out = append(out, d)
 	}
 	return out
+}
+
+// buildProfile assembles a Profile skeleton from partition decisions and the
+// per-task profiles collected (or predicted) for the kept partitions.
+func buildProfile(q *Query, schema *rowstore.Schema, snap scn.SCN, decs []partDecision, profs []taskProf, analyze bool) *Profile {
+	prof := &Profile{
+		Table:    q.Table.Name,
+		SnapSCN:  snap,
+		Analyze:  analyze,
+		Parallel: q.Parallel,
+	}
+	for pi, d := range decs {
+		pp := &PartitionProfile{Name: d.part.Name, Lo: d.part.Lo, Hi: d.part.Hi}
+		if !d.keep {
+			pp.Pruned = true
+			pp.PruneCol = schema.Col(d.by.Col).Name
+			pp.PruneOp = d.by.Op.String()
+			pp.PruneLit = strconv.FormatInt(d.by.Num, 10)
+		} else {
+			for _, t := range profs {
+				if t.part == pi {
+					pp.Tasks = append(pp.Tasks, t.tp)
+				}
+			}
+			sort.Slice(pp.Tasks, func(i, j int) bool { return pp.Tasks[i].From < pp.Tasks[j].From })
+		}
+		prof.Partitions = append(prof.Partitions, pp)
+		if !analyze {
+			// Plan-only: fold predicted per-task verdicts into the totals.
+			for i := range pp.Tasks {
+				switch pp.Tasks[i].Decision {
+				case DecisionScan:
+					prof.UnitsScanned++
+				case DecisionPrunedMinMax, DecisionPrunedDict:
+					prof.UnitsPruned++
+				case DecisionFallbackUnusable, DecisionFallbackSnapshot, DecisionFallbackSchema:
+					prof.UnitsFallback++
+				}
+			}
+		}
+	}
+	return prof
 }
 
 // scanTask is one unit of scan work: either a populated column-store unit or
@@ -221,6 +396,7 @@ type scanTask struct {
 	unit *imcs.Unit // nil for a row-store range task
 	from rowstore.BlockNo
 	to   rowstore.BlockNo
+	part int // index into the query's partition decisions
 }
 
 // planSegment builds tasks covering all blocks of a segment: column-store
@@ -264,19 +440,46 @@ func sortUnits(units []*imcs.Unit) {
 
 // taskResult accumulates one worker's output.
 type taskResult struct {
-	rows         []rowstore.Row
-	count        int64
-	sum          int64
-	min          int64
-	max          int64
-	fromIMCS     int64
-	fromRowStore int64
-	unitsPruned  int64
-	unitsScanned int64
+	rows          []rowstore.Row
+	count         int64
+	sum           int64
+	min           int64
+	max           int64
+	fromIMCS      int64
+	fromRowStore  int64
+	fromInvalid   int64
+	fromTail      int64
+	unitsPruned   int64
+	unitsScanned  int64
+	unitsFallback int64
+	batches       int64
+
+	// profiling makes runTask record a TaskProfile per task into profs.
+	profiling bool
+	profs     []taskProf
 
 	numScratch []int64
 	auxScratch []int64
 	match      []uint64
+}
+
+// taskProf is a collected TaskProfile tagged with its partition index.
+type taskProf struct {
+	part int
+	tp   TaskProfile
+}
+
+// pathCounters is a snapshot of a taskResult's per-path counters, used to
+// attribute deltas to one task under profiling.
+type pathCounters struct {
+	imcs, rowstore, invalid, tail, batches int64
+}
+
+func (r *taskResult) counters() pathCounters {
+	return pathCounters{
+		imcs: r.fromIMCS, rowstore: r.fromRowStore,
+		invalid: r.fromInvalid, tail: r.fromTail, batches: r.batches,
+	}
 }
 
 func newTaskResult(q *Query) *taskResult {
@@ -301,15 +504,22 @@ func (r *taskResult) merge(o *taskResult) {
 	}
 	r.fromIMCS += o.fromIMCS
 	r.fromRowStore += o.fromRowStore
+	r.fromInvalid += o.fromInvalid
+	r.fromTail += o.fromTail
 	r.unitsPruned += o.unitsPruned
 	r.unitsScanned += o.unitsScanned
+	r.unitsFallback += o.unitsFallback
+	r.batches += o.batches
+	r.profs = append(r.profs, o.profs...)
 }
 
 func (r *taskResult) finish(q *Query) *Result {
 	res := &Result{
 		Rows: r.rows, Count: r.count, Sum: r.sum, Min: r.min, Max: r.max,
 		FromIMCS: r.fromIMCS, FromRowStore: r.fromRowStore,
+		FromInvalid: r.fromInvalid, FromTail: r.fromTail,
 		UnitsPruned: r.unitsPruned, UnitsScanned: r.unitsScanned,
+		UnitsFallback: r.unitsFallback, Batches: r.batches,
 	}
 	if q.Agg == AggNone {
 		res.Count = int64(len(r.rows))
@@ -359,18 +569,58 @@ func projectRow(q *Query, schema *rowstore.Schema, row rowstore.Row) rowstore.Ro
 }
 
 func (ex *Executor) runTask(q *Query, schema *rowstore.Schema, t scanTask, snap scn.SCN, res *taskResult) {
+	if !res.profiling {
+		ex.runTaskInner(q, schema, t, snap, res, nil)
+		return
+	}
+	tp := TaskProfile{From: t.from, To: t.to}
+	before := res.counters()
+	start := time.Now()
+	ex.runTaskInner(q, schema, t, snap, res, &tp)
+	tp.WallNanos = time.Since(start).Nanoseconds()
+	after := res.counters()
+	tp.RowsIMCS = after.imcs - before.imcs
+	tp.RowsInvalid = after.invalid - before.invalid
+	tp.RowsTail = after.tail - before.tail
+	tp.RowsRowStore = (after.rowstore - before.rowstore) - tp.RowsInvalid - tp.RowsTail
+	tp.Batches = after.batches - before.batches
+	res.profs = append(res.profs, taskProf{part: t.part, tp: tp})
+}
+
+func (ex *Executor) runTaskInner(q *Query, schema *rowstore.Schema, t scanTask, snap scn.SCN, res *taskResult, tp *TaskProfile) {
 	if t.unit == nil {
+		if tp != nil {
+			tp.Kind = "rowstore"
+			tp.Decision = DecisionRowStore
+		}
 		ex.scanBlocks(q, schema, t.seg, t.from, t.to, snap, res)
 		return
+	}
+	if tp != nil {
+		tp.Kind = "imcu"
 	}
 	imcu, invalid, usable := t.unit.ScanView()
 	// An IMCU can only serve snapshots at or after its population snapshot,
 	// and only while the live schema matches the one it was built with.
 	if !usable || imcu.SnapSCN > snap || imcu.Schema() != schema {
+		if tp != nil {
+			switch {
+			case !usable:
+				tp.Decision = DecisionFallbackUnusable
+			case imcu.SnapSCN > snap:
+				tp.Decision = DecisionFallbackSnapshot
+			default:
+				tp.Decision = DecisionFallbackSchema
+			}
+		}
+		res.unitsFallback++
 		ex.scanBlocks(q, schema, t.seg, t.from, t.to, snap, res)
 		return
 	}
-	ex.scanIMCU(q, schema, imcu, invalid, res)
+	if tp != nil {
+		tp.Rows = imcu.Rows()
+	}
+	ex.scanIMCU(q, schema, imcu, invalid, res, tp)
 	ex.scanInvalidRows(q, schema, t.seg, imcu, invalid, snap, res)
 	ex.scanTails(q, schema, t.seg, imcu, snap, res)
 }
@@ -398,33 +648,90 @@ func (ex *Executor) scanBlocks(q *Query, schema *rowstore.Schema, seg *rowstore.
 	}
 }
 
-// scanIMCU is the columnar path: storage-index pruning then batched
-// evaluation over the compressed columns, honoring the presence bitmap and
-// the SMU's invalidity bitmap.
-func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, invalid []uint64, res *taskResult) {
-	rows := imcu.Rows()
-	if rows == 0 {
-		return
-	}
-	// Storage-index pruning: if any filter cannot match the column's
-	// min/max, no valid row in this IMCU qualifies.
-	for _, f := range q.Filters {
+// pruneInfo describes why an IMCU can be skipped: the responsible filter,
+// the pruning kind, and the storage-index bounds that caused it.
+type pruneInfo struct {
+	f        Filter
+	decision string // DecisionPrunedMinMax or DecisionPrunedDict
+	lit      string
+	min, max string
+}
+
+func (p *pruneInfo) fill(tp *TaskProfile, schema *rowstore.Schema) {
+	tp.Decision = p.decision
+	tp.PruneCol = schema.Col(p.f.Col).Name
+	tp.PruneOp = p.f.Op.String()
+	tp.PruneLit = p.lit
+	tp.PruneMin = p.min
+	tp.PruneMax = p.max
+}
+
+// pruneIMCU applies storage-index pruning: if any filter cannot match the
+// column's min/max (or, for equality on a dictionary column, the literal is
+// absent from the sorted dictionary), no valid row in the IMCU qualifies.
+// It returns nil when the IMCU must be scanned.
+func pruneIMCU(schema *rowstore.Schema, imcu *imcs.IMCU, filters []Filter) *pruneInfo {
+	for _, f := range filters {
 		col := schema.Col(f.Col)
 		if col.Kind == rowstore.KindNumber {
 			c := imcu.NumCol(col.Slot())
 			if mn, mx := c.MinMax(); !numRangeOverlaps(mn, mx, f.Op, f.Num) {
-				res.unitsPruned++
-				return
+				return &pruneInfo{
+					f: f, decision: DecisionPrunedMinMax,
+					lit: strconv.FormatInt(f.Num, 10),
+					min: strconv.FormatInt(mn, 10),
+					max: strconv.FormatInt(mx, 10),
+				}
 			}
-		} else {
-			c := imcu.StrCol(col.Slot())
-			if mn, mx := c.MinMax(); c.DictSize() > 0 && !strRangeOverlaps(mn, mx, f.Op, f.Str) {
-				res.unitsPruned++
-				return
+			continue
+		}
+		c := imcu.StrCol(col.Slot())
+		if c.DictSize() == 0 {
+			continue
+		}
+		mn, mx := c.MinMax()
+		if !strRangeOverlaps(mn, mx, f.Op, f.Str) {
+			return &pruneInfo{
+				f: f, decision: DecisionPrunedMinMax,
+				lit: f.Str, min: mn, max: mx,
+			}
+		}
+		// Dictionary prune: equality with a literal inside [min, max] but
+		// absent from the sorted dictionary matches no captured row.
+		if f.Op == EQ {
+			if _, found := c.Code(f.Str); !found {
+				return &pruneInfo{
+					f: f, decision: DecisionPrunedDict,
+					lit: f.Str, min: mn, max: mx,
+				}
 			}
 		}
 	}
+	return nil
+}
+
+// scanIMCU is the columnar path: storage-index pruning then batched
+// evaluation over the compressed columns, honoring the presence bitmap and
+// the SMU's invalidity bitmap.
+func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, invalid []uint64, res *taskResult, tp *TaskProfile) {
+	rows := imcu.Rows()
+	if rows == 0 {
+		if tp != nil {
+			tp.Decision = DecisionEmpty
+		}
+		return
+	}
+	if pr := pruneIMCU(schema, imcu, q.Filters); pr != nil {
+		res.unitsPruned++
+		if tp != nil {
+			pr.fill(tp, schema)
+		}
+		return
+	}
 	res.unitsScanned++
+	if tp != nil {
+		tp.Decision = DecisionScan
+	}
 
 	present := imcu.PresentWords()
 	match := res.match
@@ -447,6 +754,7 @@ func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU,
 		if live == 0 {
 			continue
 		}
+		res.batches++
 		for _, f := range q.Filters {
 			if !ex.evalFilterBatch(schema, imcu, f, base, n, match, res) {
 				live = 0
@@ -657,6 +965,7 @@ func (ex *Executor) scanInvalidRows(q *Query, schema *rowstore.Schema, seg *rows
 				continue
 			}
 			res.fromRowStore++
+			res.fromInvalid++
 			res.accept(q, schema, row)
 		}
 	}
@@ -683,6 +992,7 @@ func (ex *Executor) scanTails(q *Query, schema *rowstore.Schema, seg *rowstore.S
 				continue
 			}
 			res.fromRowStore++
+			res.fromTail++
 			res.accept(q, schema, row)
 		}
 	}

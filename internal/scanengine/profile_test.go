@@ -1,0 +1,355 @@
+package scanengine_test
+
+import (
+	"strings"
+	"testing"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scn"
+)
+
+// The fixture populates with 32 rows/block and 8 blocks/IMCU, so ascending
+// ids land 256 per IMCU: with 512 rows, IMCU#0 holds ids [0,255] and IMCU#1
+// ids [256,511].
+const rowsPerIMCU = 256
+
+// TestMinMaxPruneBoundaries pins the storage-index comparison at the exact
+// min/max bounds: a predicate equal to a unit's boundary value must still
+// scan that unit (and find the row), while the strict comparison one step
+// past the bound must prune it.
+func TestMinMaxPruneBoundaries(t *testing.T) {
+	f := newFixture(t, 2*rowsPerIMCU, true)
+	snap := f.c.Snapshot()
+	run := func(op scanengine.CmpOp, v int64) (*scanengine.Result, *scanengine.Profile) {
+		q := &scanengine.Query{Table: f.tbl, Filters: []scanengine.Filter{{Col: 0, Op: op, Num: v}}}
+		res, prof, err := f.exec().RunProfiled(q, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cross-check cardinality against the pure row-store path.
+		base, err := f.execNoIMCS().Run(q, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(base.Rows) {
+			t.Fatalf("op %v lit %d: imcs=%d rowstore=%d rows", op, v, len(res.Rows), len(base.Rows))
+		}
+		return res, prof
+	}
+
+	cases := []struct {
+		name    string
+		op      scanengine.CmpOp
+		lit     int64
+		rows    int
+		scanned int64
+		pruned  int64
+	}{
+		// GE at the exact max of the last unit: only that unit scans.
+		{"GE-at-max", scanengine.GE, 511, 1, 1, 1},
+		// GT one past it prunes everything.
+		{"GT-at-max", scanengine.GT, 511, 0, 0, 2},
+		// LE at the exact min of the first unit: only that unit scans.
+		{"LE-at-min", scanengine.LE, 0, 1, 1, 1},
+		// LT at the min prunes everything.
+		{"LT-at-min", scanengine.LT, 0, 0, 0, 2},
+		// Boundaries between the two units.
+		{"LE-at-first-max", scanengine.LE, 255, rowsPerIMCU, 1, 1},
+		{"GE-at-second-min", scanengine.GE, 256, rowsPerIMCU, 1, 1},
+		// Equality at both edges of the inter-unit boundary.
+		{"EQ-at-first-max", scanengine.EQ, 255, 1, 1, 1},
+		{"EQ-at-second-min", scanengine.EQ, 256, 1, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, prof := run(tc.op, tc.lit)
+			if len(res.Rows) != tc.rows {
+				t.Fatalf("rows = %d, want %d", len(res.Rows), tc.rows)
+			}
+			if res.UnitsScanned != tc.scanned || res.UnitsPruned != tc.pruned {
+				t.Fatalf("units scanned/pruned = %d/%d, want %d/%d",
+					res.UnitsScanned, res.UnitsPruned, tc.scanned, tc.pruned)
+			}
+			if prof.UnitsScanned != tc.scanned || prof.UnitsPruned != tc.pruned {
+				t.Fatalf("profile units scanned/pruned = %d/%d, want %d/%d",
+					prof.UnitsScanned, prof.UnitsPruned, tc.scanned, tc.pruned)
+			}
+		})
+	}
+}
+
+// TestEmptyIMCUDecision installs a unit whose IMCU captured zero rows over
+// populated blocks: the columnar path records "empty" and every row is still
+// served — through the tail re-read, since no slot was captured.
+func TestEmptyIMCUDecision(t *testing.T) {
+	f := newFixture(t, 64, false)
+	seg := f.tbl.Segments()[0]
+	u, err := f.store.CreateUnit(seg.Obj(), 1, 0, rowstore.BlockNo(seg.BlockCount()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := imcs.NewBuilder(seg.Obj(), 1, f.tbl.Schema(), f.c.Snapshot(), 0, rowstore.BlockNo(seg.BlockCount()))
+	u.Attach(b.Build())
+
+	snap := f.c.Snapshot()
+	res, prof, err := f.exec().RunProfiled(&scanengine.Query{Table: f.tbl}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 64 {
+		t.Fatalf("rows = %d, want 64", len(res.Rows))
+	}
+	if prof.RowsTail != 64 || prof.RowsIMCS != 0 {
+		t.Fatalf("path split imcs=%d tail=%d, want 0/64", prof.RowsIMCS, prof.RowsTail)
+	}
+	tasks := prof.Partitions[0].Tasks
+	if len(tasks) != 1 || tasks[0].Decision != scanengine.DecisionEmpty {
+		t.Fatalf("task decisions = %+v, want one %q", tasks, scanengine.DecisionEmpty)
+	}
+}
+
+// TestDictAbsentPrune covers the dictionary probe: "mars" sorts inside the
+// [amber, red] min/max range of every unit, so only the sorted-dictionary
+// lookup can prune — and it must, on every unit.
+func TestDictAbsentPrune(t *testing.T) {
+	f := newFixture(t, 2*rowsPerIMCU, true)
+	snap := f.c.Snapshot()
+	res, prof, err := f.exec().RunProfiled(&scanengine.Query{
+		Table:   f.tbl,
+		Filters: []scanengine.Filter{scanengine.EqStr(2, "mars")},
+	}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(res.Rows))
+	}
+	if res.UnitsPruned != 2 || res.UnitsScanned != 0 {
+		t.Fatalf("units pruned/scanned = %d/%d, want 2/0", res.UnitsPruned, res.UnitsScanned)
+	}
+	for _, task := range prof.Partitions[0].Tasks {
+		if task.Kind != "imcu" {
+			continue
+		}
+		if task.Decision != scanengine.DecisionPrunedDict {
+			t.Fatalf("decision = %q, want %q", task.Decision, scanengine.DecisionPrunedDict)
+		}
+		if task.PruneCol != "c1" || task.PruneLit != "mars" {
+			t.Fatalf("prune attribution = %s %s, want c1 mars", task.PruneCol, task.PruneLit)
+		}
+	}
+	// A value below every dictionary entry prunes via min/max, not the dict.
+	_, prof, err = f.exec().RunProfiled(&scanengine.Query{
+		Table:   f.tbl,
+		Filters: []scanengine.Filter{scanengine.EqStr(2, "aaa")},
+	}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := prof.Partitions[0].Tasks[0].Decision; d != scanengine.DecisionPrunedMinMax {
+		t.Fatalf("out-of-range literal decision = %q, want %q", d, scanengine.DecisionPrunedMinMax)
+	}
+}
+
+// TestProfileTotalsMatchCardinality is the EXPLAIN ANALYZE bookkeeping
+// invariant: after updates (invalid rows), post-population inserts (tails)
+// and a hybrid scan, the per-path row counts sum to the result cardinality.
+func TestProfileTotalsMatchCardinality(t *testing.T) {
+	f := newFixture(t, 300, true)
+	s := f.tbl.Schema()
+	tx := f.c.Instance(0).Begin()
+	for _, id := range []int64{10, 20, 30} {
+		if err := tx.UpdateByID(f.tbl, id, []uint16{1}, func(r *rowstore.Row) {
+			r.Nums[s.Col(1).Slot()] = 7777
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seg := f.tbl.Segments()[0]
+	for _, id := range []int64{10, 20, 30} {
+		rid, _ := f.tbl.Index().Get(id)
+		f.store.InvalidateRows(seg.Obj(), rid.DBA.Block(), []uint16{rid.Slot})
+	}
+	f.insert(t, 300, 330)
+
+	snap := f.c.Snapshot()
+	res, prof, err := f.exec().RunProfiled(&scanengine.Query{Table: f.tbl, Parallel: 4}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.ResultRows != int64(len(res.Rows)) || prof.ResultRows != 330 {
+		t.Fatalf("ResultRows = %d, rows = %d, want 330", prof.ResultRows, len(res.Rows))
+	}
+	if got := prof.RowsIMCS + prof.RowsInvalid + prof.RowsTail + prof.RowsRowStore; got != prof.ResultRows {
+		t.Fatalf("paths sum to %d, cardinality %d (%+v)", got, prof.ResultRows, prof)
+	}
+	if prof.RowsInvalid != 3 {
+		t.Fatalf("RowsInvalid = %d, want 3", prof.RowsInvalid)
+	}
+	if prof.RowsTail == 0 {
+		t.Fatal("post-population inserts not attributed to the tail path")
+	}
+	if !prof.Analyze || prof.WallNanos <= 0 {
+		t.Fatalf("ANALYZE actuals missing: analyze=%v wall=%d", prof.Analyze, prof.WallNanos)
+	}
+	// Per-task totals roll up to the query totals.
+	var imcsRows, batches int64
+	for _, part := range prof.Partitions {
+		for _, task := range part.Tasks {
+			imcsRows += task.RowsIMCS
+			batches += task.Batches
+		}
+	}
+	if imcsRows != prof.RowsIMCS || batches != prof.Batches {
+		t.Fatalf("task rollup imcs=%d batches=%d, totals %d/%d",
+			imcsRows, batches, prof.RowsIMCS, prof.Batches)
+	}
+	if prof.Path() != scanengine.PathMixed {
+		t.Fatalf("path = %q, want %q", prof.Path(), scanengine.PathMixed)
+	}
+}
+
+// TestPartitionPruneRecorded checks that partition pruning lands in the
+// profile with the responsible filter.
+func TestPartitionPruneRecorded(t *testing.T) {
+	f, tbl := newPartitionedFixture(t)
+	ex := scanengine.NewExecutor(f.Txns())
+	_, prof, err := ex.RunProfiled(&scanengine.Query{
+		Table:   tbl,
+		Filters: []scanengine.Filter{scanengine.EqNum(1, 3)},
+	}, f.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Partitions) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(prof.Partitions))
+	}
+	byName := map[string]*scanengine.PartitionProfile{}
+	for _, p := range prof.Partitions {
+		byName[p.Name] = p
+	}
+	if p := byName["H1"]; p == nil || p.Pruned {
+		t.Fatalf("H1 pruned or missing: %+v", p)
+	}
+	p := byName["H2"]
+	if p == nil || !p.Pruned {
+		t.Fatalf("H2 not pruned: %+v", p)
+	}
+	if p.PruneCol != "month" || p.PruneOp != "=" || p.PruneLit != "3" {
+		t.Fatalf("prune attribution = %s %s %s, want month = 3", p.PruneCol, p.PruneOp, p.PruneLit)
+	}
+	if len(p.Tasks) != 0 {
+		t.Fatal("pruned partition has planned tasks")
+	}
+}
+
+// TestExplainPlanOnly checks that Explain predicts pruning without executing:
+// no actuals, but the same unit verdicts a real run reaches.
+func TestExplainPlanOnly(t *testing.T) {
+	f := newFixture(t, 2*rowsPerIMCU, true)
+	snap := f.c.Snapshot()
+	q := &scanengine.Query{Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqNum(0, 5)}}
+	plan, err := f.exec().Explain(q, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Analyze || plan.WallNanos != 0 || plan.ResultRows != 0 {
+		t.Fatalf("plan carries actuals: %+v", plan)
+	}
+	if plan.UnitsScanned != 1 || plan.UnitsPruned != 1 {
+		t.Fatalf("predicted units scanned/pruned = %d/%d, want 1/1", plan.UnitsScanned, plan.UnitsPruned)
+	}
+	// The prediction matches what execution records.
+	_, actual, err := f.exec().RunProfiled(q, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual.UnitsScanned != plan.UnitsScanned || actual.UnitsPruned != plan.UnitsPruned {
+		t.Fatalf("plan predicted %d/%d, run recorded %d/%d",
+			plan.UnitsScanned, plan.UnitsPruned, actual.UnitsScanned, actual.UnitsPruned)
+	}
+	out := plan.String()
+	if !strings.HasPrefix(out, "scan T ") || !strings.Contains(out, "totals:") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+	if strings.Contains(out, "wall=") {
+		t.Fatalf("plan-only rendering shows wall time:\n%s", out)
+	}
+	if !strings.Contains(f.mustAnalyze(t, q, snap), "wall=") {
+		t.Fatal("ANALYZE rendering missing wall time")
+	}
+}
+
+// TestProfilesSink checks the Executor-level hook Run uses for the
+// slow-query log: every Run delivers one profile.
+func TestProfilesSink(t *testing.T) {
+	f := newFixture(t, 100, true)
+	ex := f.exec()
+	var got []*scanengine.Profile
+	ex.Profiles = func(p *scanengine.Profile) { got = append(got, p) }
+	snap := f.c.Snapshot()
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Run(&scanengine.Query{Table: f.tbl}, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("sink received %d profiles, want 3", len(got))
+	}
+	if got[0].ResultRows != 100 || !got[0].Analyze {
+		t.Fatalf("sink profile lacks actuals: %+v", got[0])
+	}
+}
+
+func (f *fixture) mustAnalyze(t *testing.T, q *scanengine.Query, snap scn.SCN) string {
+	t.Helper()
+	_, prof, err := f.exec().RunProfiled(q, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof.String()
+}
+
+// newPartitionedFixture builds the two-partition SALES table of
+// TestPartitionPruning for profile assertions.
+func newPartitionedFixture(t *testing.T) (*primary.Cluster, *rowstore.Table) {
+	t.Helper()
+	c := primary.NewCluster(1, 16)
+	tbl, err := c.Instance(0).CreateTable(&rowstore.TableSpec{
+		Name:   "SALES",
+		Tenant: 1,
+		Columns: []rowstore.Column{
+			{Name: "id", Kind: rowstore.KindNumber},
+			{Name: "month", Kind: rowstore.KindNumber},
+		},
+		IdentityCol:  0,
+		PartitionCol: 1,
+		Partitions: []rowstore.PartitionSpec{
+			{Name: "H1", Lo: 1, Hi: 7},
+			{Name: "H2", Lo: 7, Hi: 13},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema()
+	tx := c.Instance(0).Begin()
+	for i := int64(0); i < 120; i++ {
+		r := rowstore.NewRow(s)
+		r.Nums[0] = i
+		r.Nums[1] = i%12 + 1
+		if _, err := tx.Insert(tbl, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}

@@ -43,3 +43,46 @@ func TestRegister(t *testing.T) {
 		t.Fatalf("Services() = %v", r.Services())
 	}
 }
+
+// TestConcurrentRegistryAccess exercises the registry under the -race
+// detector: services are re-registered while readers resolve roles, the
+// pattern a live ALTER of a service policy produces.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			role := RoleStandby
+			if i%2 == 0 {
+				role = RolePrimary | RoleStandby
+			}
+			if err := r.Register("reporting", role); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		r.RunsOn("reporting", RoleStandby)
+		r.RunsOn(StandbyOnly, RoleStandby)
+		r.Services()
+	}
+	<-done
+	if !r.RunsOn("reporting", RoleStandby) {
+		t.Fatal("reporting service lost")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for role, want := range map[Role]string{
+		RolePrimary:               "PRIMARY",
+		RoleStandby:               "STANDBY",
+		RolePrimary | RoleStandby: "PRIMARY+STANDBY",
+		Role(0):                   "Role(0)",
+	} {
+		if got := role.String(); got != want {
+			t.Errorf("Role.String() = %q, want %q", got, want)
+		}
+	}
+}

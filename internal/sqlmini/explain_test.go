@@ -1,0 +1,72 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExplainPrefix(t *testing.T) {
+	cases := []struct {
+		sql              string
+		explain, analyze bool
+	}{
+		{"SELECT * FROM C101", false, false},
+		{"EXPLAIN SELECT * FROM C101", true, false},
+		{"explain select * from c101", true, false},
+		{"EXPLAIN ANALYZE SELECT * FROM C101 WHERE n1 = 5", true, true},
+		{"Explain Analyze SELECT COUNT(*) FROM C101", true, true},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if st.Explain != c.explain || st.Analyze != c.analyze {
+			t.Fatalf("%s: explain=%v analyze=%v, want %v/%v",
+				c.sql, st.Explain, st.Analyze, c.explain, c.analyze)
+		}
+	}
+}
+
+func TestParseExplainErrors(t *testing.T) {
+	bad := []string{
+		"EXPLAIN",
+		"EXPLAIN ANALYZE",
+		"EXPLAIN FROM C101",
+		"EXPLAIN EXPLAIN SELECT * FROM C101",
+		"EXPLAIN ANALYZE ANALYZE SELECT * FROM C101",
+		"EXPLAIN UPDATE C101 SET n1 = 1",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted bad EXPLAIN: %q", sql)
+		}
+	}
+	// Bare ANALYZE gets the dedicated hint, not a generic parse error.
+	_, err := Parse("ANALYZE SELECT * FROM C101")
+	if err == nil || !strings.Contains(err.Error(), "EXPLAIN ANALYZE") {
+		t.Fatalf("bare ANALYZE error = %v, want EXPLAIN ANALYZE hint", err)
+	}
+}
+
+// TestExplainCompiles checks that an EXPLAIN statement still compiles into
+// the same executable query as the bare SELECT — the executor decides
+// whether to run or only plan it.
+func TestExplainCompiles(t *testing.T) {
+	tbl := testTable(t)
+	plain, err := ParseAndCompile("SELECT * FROM C101 WHERE n1 = 7", tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Parse("EXPLAIN ANALYZE SELECT * FROM C101 WHERE n1 = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := st.Compile(tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != len(plain.Filters) || q.Filters[0] != plain.Filters[0] {
+		t.Fatalf("EXPLAIN compiled differently: %+v vs %+v", q.Filters, plain.Filters)
+	}
+}

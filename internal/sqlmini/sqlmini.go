@@ -4,7 +4,7 @@
 //
 // Grammar (case-insensitive keywords):
 //
-//	SELECT select_list FROM ident [WHERE cond {AND cond}]
+//	[EXPLAIN [ANALYZE]] SELECT select_list FROM ident [WHERE cond {AND cond}]
 //	select_list := '*' | agg | ident {',' ident}
 //	agg         := COUNT '(' '*' ')' | (SUM|MIN|MAX) '(' ident ')'
 //	cond        := ident op literal
@@ -46,6 +46,12 @@ type Statement struct {
 	Agg       scanengine.AggKind
 	AggCol    string // "" for COUNT(*)
 	Conds     []cond
+
+	// Explain marks an EXPLAIN-prefixed statement: return the scan plan.
+	// Analyze additionally executes the query and reports actuals
+	// (EXPLAIN ANALYZE).
+	Explain bool
+	Analyze bool
 }
 
 type cond struct {
@@ -142,7 +148,8 @@ func (p *parser) expect(tok string) error {
 	return nil
 }
 
-// Parse parses a SELECT statement.
+// Parse parses a SELECT statement, optionally prefixed with
+// EXPLAIN or EXPLAIN ANALYZE.
 func Parse(src string) (*Statement, error) {
 	toks, err := tokenize(src)
 	if err != nil {
@@ -150,6 +157,16 @@ func Parse(src string) (*Statement, error) {
 	}
 	p := &parser{toks: toks}
 	st := &Statement{Agg: scanengine.AggNone}
+	if strings.EqualFold(p.peek(), "EXPLAIN") {
+		st.Explain = true
+		p.pos++
+		if strings.EqualFold(p.peek(), "ANALYZE") {
+			st.Analyze = true
+			p.pos++
+		}
+	} else if strings.EqualFold(p.peek(), "ANALYZE") {
+		return nil, fmt.Errorf("sqlmini: ANALYZE requires EXPLAIN (use EXPLAIN ANALYZE)")
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}

@@ -68,6 +68,14 @@ type Config struct {
 	// metrics.Series (see LagSeries) at this period — the data behind the
 	// paper's Fig.-11-style lag-over-time plots.
 	LagSampleInterval time.Duration
+
+	// SlowQueryThreshold is the wall time at or above which a profiled query
+	// is also recorded in the slow-query log (default 100ms; negative
+	// disables slow-query capture).
+	SlowQueryThreshold time.Duration
+	// QueryLogSize is the capacity of the recent- and slow-query rings
+	// behind /debug/queries (default obs.DefaultQueryLogSize).
+	QueryLogSize int
 }
 
 // Gauge names for the derived lag metrics registered on every instance's
@@ -106,6 +114,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HomeInstances <= 0 {
 		c.HomeInstances = 1
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 100 * time.Millisecond
+	} else if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0
 	}
 	return c
 }
@@ -172,6 +185,8 @@ type Instance struct {
 	reg       *obs.Registry
 	trace     *obs.PipelineTrace
 	scanStats *scanengine.PathStats
+	queryLog  *obs.QueryLog
+	scanHist  map[string]*obs.Histogram // per scan path, keyed by Profile.Path()
 	lagSeries map[string]*metrics.Series
 	sampler   *obs.Sampler
 	obsSrv    *obs.Server
@@ -188,7 +203,9 @@ func New(cfg Config) *Instance {
 		services:  service.NewRegistry(),
 		reg:       obs.NewRegistry(),
 		scanStats: &scanengine.PathStats{},
+		queryLog:  obs.NewQueryLog(cfg.QueryLogSize),
 	}
+	inst.queryLog.SetSlowThreshold(cfg.SlowQueryThreshold)
 	inst.trace = obs.NewPipelineTrace(inst.reg, cfg.TraceRing)
 	inst.lagSeries = map[string]*metrics.Series{
 		GaugeApplyLag:       metrics.NewSeries(GaugeApplyLag),
@@ -310,7 +327,48 @@ func (inst *Instance) registerMetrics() {
 		func() float64 { return float64(inst.scanStats.UnitsPruned()) })
 	r.CounterFunc("scan_units_scanned_total", "IMCUs whose columns were evaluated",
 		func() float64 { return float64(inst.scanStats.UnitsScanned()) })
+	r.CounterFunc("scan_units_fallback_total", "populated IMCUs whose block range fell back to the row store",
+		func() float64 { return float64(inst.scanStats.UnitsFallback()) })
+	r.CounterFunc("scan_queries_recorded_total", "profiled queries recorded in the query log",
+		func() float64 { t, _ := inst.queryLog.Totals(); return float64(t) })
+	r.CounterFunc("scan_slow_queries_total", "recorded queries at or above the slow-query threshold",
+		func() float64 { _, s := inst.queryLog.Totals(); return float64(s) })
+
+	buckets := obs.DurationBuckets(50*time.Microsecond, 10*time.Second, 4)
+	inst.scanHist = map[string]*obs.Histogram{
+		scanengine.PathIMCS: r.Histogram("scan_latency_imcs_seconds",
+			"wall time of queries served entirely from the column store", buckets),
+		scanengine.PathRowStore: r.Histogram("scan_latency_rowstore_seconds",
+			"wall time of queries served entirely from the row store", buckets),
+		scanengine.PathMixed: r.Histogram("scan_latency_mixed_seconds",
+			"wall time of queries served from both stores", buckets),
+	}
 }
+
+// RecordQuery feeds one finished query's profile into the instance's query
+// log and the per-path scan-latency histogram. Plan-only EXPLAIN profiles
+// (and nil) are ignored — they carry no actuals.
+func (inst *Instance) RecordQuery(p *scanengine.Profile) {
+	if p == nil || !p.Analyze {
+		return
+	}
+	path := p.Path()
+	if h := inst.scanHist[path]; h != nil {
+		h.ObserveDuration(p.Wall())
+	}
+	inst.queryLog.Record(obs.QueryRecord{
+		SQL:       p.SQL,
+		Table:     p.Table,
+		WallNanos: p.WallNanos,
+		Rows:      p.ResultRows,
+		Path:      path,
+		Profile:   p,
+	})
+}
+
+// QueryLog returns the instance's recent/slow query log (backing the
+// /debug/queries endpoint).
+func (inst *Instance) QueryLog() *obs.QueryLog { return inst.queryLog }
 
 func (inst *Instance) homeFilter(home imcs.HomeMap) func(rowstore.ObjID, rowstore.BlockNo) bool {
 	if inst.cfg.HomeInstances <= 1 {
@@ -439,6 +497,7 @@ func (inst *Instance) startObservability() {
 		return
 	}
 	h := obs.NewHandler(inst.reg, inst.trace)
+	h.SetQueryLog(inst.queryLog)
 	h.AddStats("standby", func() any { return inst.Stats() })
 	h.AddStats("imcs", func() any { s, _, _, _, _, _ := inst.components(); return s.Stats() })
 	h.AddStats("population", func() any { _, e, _, _, _, _ := inst.components(); return e.Stats() })

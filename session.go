@@ -2,6 +2,7 @@ package dbimadg
 
 import (
 	"fmt"
+	"strings"
 
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/scanengine"
@@ -19,6 +20,9 @@ type Session struct {
 	instance int
 	exec     *scanengine.Executor
 	snap     func() scn.SCN
+	// record, when set, receives the profile of every executed query (the
+	// standby's query log / slow-query log / latency histograms).
+	record func(*scanengine.Profile)
 }
 
 // PrimarySession opens a session against primary instance i.
@@ -37,9 +41,10 @@ func (c *Cluster) StandbySession() *Session {
 	ex := scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...)
 	ex.Obs = c.sc.Master.ScanStats()
 	return &Session{
-		c:    c,
-		exec: ex,
-		snap: func() scn.SCN { return c.sc.Master.QuerySCN() },
+		c:      c,
+		exec:   ex,
+		snap:   func() scn.SCN { return c.sc.Master.QuerySCN() },
+		record: c.sc.Master.RecordQuery,
 	}
 }
 
@@ -55,9 +60,10 @@ func (c *Cluster) StandbyReaderSession(i int) (*Session, error) {
 	ex := scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...)
 	ex.Obs = c.sc.Master.ScanStats()
 	return &Session{
-		c:    c,
-		exec: ex,
-		snap: func() scn.SCN { return r.QuerySCN() },
+		c:      c,
+		exec:   ex,
+		snap:   func() scn.SCN { return r.QuerySCN() },
+		record: c.sc.Master.RecordQuery,
 	}, nil
 }
 
@@ -80,13 +86,69 @@ func (s *Session) Snapshot() SCN { return s.snap() }
 
 // Query executes a scan at the session's current snapshot.
 func (s *Session) Query(q *Query) (*Result, error) {
-	return s.exec.Run(q, s.snap())
+	if s.record == nil {
+		return s.runQueryFast(q, s.snap())
+	}
+	res, _, err := s.runQuery(q, s.snap(), "")
+	return res, err
 }
 
 // QueryAt executes a scan at an explicit snapshot (for example a previously
 // captured Snapshot(), to run several consistent queries).
 func (s *Session) QueryAt(q *Query, at SCN) (*Result, error) {
+	if s.record == nil {
+		return s.runQueryFast(q, at)
+	}
+	res, _, err := s.runQuery(q, at, "")
+	return res, err
+}
+
+// QueryProfiled executes a scan and returns its EXPLAIN ANALYZE profile
+// alongside the result.
+func (s *Session) QueryProfiled(q *Query) (*Result, *ScanProfile, error) {
+	return s.runQuery(q, s.snap(), "")
+}
+
+// runQuery is the common execution path. Sessions with a query-log hook
+// (standby sessions) profile every scan and record it; others run unprofiled
+// unless the caller asked for the profile.
+func (s *Session) runQuery(q *Query, at SCN, sql string) (*Result, *ScanProfile, error) {
+	if s.record == nil {
+		res, prof, err := s.exec.RunProfiled(q, at)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof.SQL = sql
+		return res, prof, nil
+	}
+	res, prof, err := s.exec.RunProfiled(q, at)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.SQL = sql
+	s.record(prof)
+	return res, prof, nil
+}
+
+// runQueryFast executes without profiling — the path for plain Query calls on
+// sessions with no query log attached.
+func (s *Session) runQueryFast(q *Query, at SCN) (*Result, error) {
 	return s.exec.Run(q, at)
+}
+
+// Explain plans a query at the session's current snapshot without executing
+// it: partition pruning decisions plus the per-IMCU verdict (scan, min-max or
+// dictionary prune, row-store fallback) the scan would reach.
+func (s *Session) Explain(q *Query) (*ScanProfile, error) {
+	return s.exec.Explain(q, s.snap())
+}
+
+// ExplainAnalyze executes a query at the session's current snapshot and
+// returns the plan with actuals: per-path row counts, predicate-evaluation
+// batches, and per-task wall times.
+func (s *Session) ExplainAnalyze(q *Query) (*ScanProfile, error) {
+	_, prof, err := s.runQuery(q, s.snap(), "")
+	return prof, err
 }
 
 // FetchByID performs an index point-read of the row with the given identity
@@ -133,11 +195,58 @@ func StrBind(v string) Bind { return sqlmini.StrBind(v) }
 // QuerySQL parses and executes a SELECT against tbl at the session's current
 // snapshot. The supported subset covers the paper's workload: SELECT */cols/
 // aggregate FROM t WHERE col op literal [AND ...], with :name binds, e.g.
-// Table 1's "SELECT * FROM C101 WHERE n1 = :1".
+// Table 1's "SELECT * FROM C101 WHERE n1 = :1". EXPLAIN-prefixed statements
+// are rejected — use ExplainSQL for those.
 func (s *Session) QuerySQL(tbl *Table, sql string, binds map[string]Bind) (*Result, error) {
-	q, err := sqlmini.ParseAndCompile(sql, tbl, binds)
+	st, err := sqlmini.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.Query(q)
+	if st.Explain {
+		return nil, fmt.Errorf("dbimadg: EXPLAIN statements return a plan, not rows; use ExplainSQL")
+	}
+	q, err := compileStatement(st, tbl, binds)
+	if err != nil {
+		return nil, err
+	}
+	if s.record == nil {
+		return s.runQueryFast(q, s.snap())
+	}
+	res, _, err := s.runQuery(q, s.snap(), sql)
+	return res, err
+}
+
+// ExplainSQL handles "EXPLAIN SELECT ..." (plan only, no execution) and
+// "EXPLAIN ANALYZE SELECT ..." (execute and report actuals) against tbl at
+// the session's current snapshot. A bare SELECT is treated as EXPLAIN.
+// Render the returned profile with its String method, or serialize it as
+// JSON (the /debug/queries representation).
+func (s *Session) ExplainSQL(tbl *Table, sql string, binds map[string]Bind) (*ScanProfile, error) {
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err := compileStatement(st, tbl, binds)
+	if err != nil {
+		return nil, err
+	}
+	if st.Analyze {
+		_, prof, err := s.runQuery(q, s.snap(), sql)
+		return prof, err
+	}
+	prof, err := s.exec.Explain(q, s.snap())
+	if err != nil {
+		return nil, err
+	}
+	prof.SQL = sql
+	return prof, nil
+}
+
+// compileStatement resolves a parsed statement against tbl, checking the
+// table name matches.
+func compileStatement(st *sqlmini.Statement, tbl *Table, binds map[string]Bind) (*Query, error) {
+	if !strings.EqualFold(st.TableName, tbl.Name) {
+		return nil, fmt.Errorf("sqlmini: statement targets %q, got table %q", st.TableName, tbl.Name)
+	}
+	return st.Compile(tbl, binds)
 }

@@ -1,6 +1,7 @@
 package dbimadg
 
 import (
+	"dbimadg/internal/obs"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
@@ -49,6 +50,19 @@ type (
 	CmpOp = scanengine.CmpOp
 	// AggKind selects a pushed-down aggregate.
 	AggKind = scanengine.AggKind
+
+	// ScanProfile is a per-query EXPLAIN / EXPLAIN ANALYZE document: the
+	// partition and IMCU pruning decisions plus (under ANALYZE) per-path
+	// row counts and wall times.
+	ScanProfile = scanengine.Profile
+	// PartitionProfile is one partition's entry in a ScanProfile.
+	PartitionProfile = scanengine.PartitionProfile
+	// TaskProfile is one scan task's entry in a ScanProfile.
+	TaskProfile = scanengine.TaskProfile
+	// QueryRecord is one entry of the standby's recent/slow query log.
+	QueryRecord = obs.QueryRecord
+	// QueryLog is the bounded recent/slow query log behind /debug/queries.
+	QueryLog = obs.QueryLog
 
 	// ServiceRole is a database role a service runs on.
 	ServiceRole = service.Role
