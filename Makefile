@@ -19,11 +19,12 @@ test:
 
 # Race-check the concurrency-heavy trees: the telemetry registry/trace, the
 # standby apply pipeline, the mining/journal/flush core, the parallel scan
-# engine and its SQL front end, role-based service routing, and the public
-# Session API.
+# engine and its SQL front end, role-based service routing, the role-transition
+# broker, the reconnecting TCP transport, and the public Session API.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/standby/... ./internal/core/... \
-		./internal/scanengine/... ./internal/sqlmini/... ./internal/service/... .
+		./internal/scanengine/... ./internal/sqlmini/... ./internal/service/... \
+		./internal/broker/... ./internal/transport/... .
 
 verify: fmt vet build test race
 

@@ -322,6 +322,82 @@ func BenchmarkAblationJournalMining(b *testing.B) {
 	})
 }
 
+// --- Role transitions: warm promotion vs cold IMCS rebuild -------------------
+
+// BenchmarkFailover measures the broker's whole failover (terminal recovery,
+// transport teardown, rollback, open with the column store retained WARM)
+// against the cost the warm promotion avoids: rebuilding the store from
+// scratch on the promoted node. Each iteration deploys, loads and syncs a
+// fresh pair, fails it over, then cold-populates a second store over the same
+// database. promote-ms vs coldrepop-ms is the paper's role-transition payoff.
+func BenchmarkFailover(b *testing.B) {
+	const rows = 8000
+	var promote, coldRepop time.Duration
+	for i := 0; i < b.N; i++ {
+		c, err := dbimadg.Open(dbimadg.Config{
+			CheckpointInterval: time.Millisecond,
+			PopulationInterval: 2 * time.Millisecond,
+			BlocksPerIMCU:      16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl, err := c.Primary().Instance(0).CreateTable(workload.WideTableSpec("C101", 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AlterInMemory(1, "C101", "", dbimadg.InMemoryAttr{Enabled: true, Service: dbimadg.ServiceStandbyOnly}); err != nil {
+			b.Fatal(err)
+		}
+		loadRows(b, c, tbl, 0, rows)
+		if !c.WaitStandbyCaughtUp(60*time.Second) || !c.WaitPopulated(60*time.Second) {
+			b.Fatal("fixture sync failed")
+		}
+
+		res, err := c.Failover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WarmUnits == 0 {
+			b.Fatal("promotion was not warm")
+		}
+		promote += res.Elapsed
+
+		// The ablation: what promotion would cost if the store were dropped and
+		// repopulated cold on the promoted node.
+		master := c.PromotedMaster()
+		pri := c.Primary()
+		coldStore := imcs.NewStore()
+		coldEng := imcs.NewEngine(coldStore, pri.Txns(), benchSnapshotter{pri.Snapshot},
+			func() []imcs.Target {
+				var out []imcs.Target
+				for _, tbl := range master.DB().Tables() {
+					for _, part := range tbl.Partitions() {
+						if part.InMemory().Enabled {
+							out = append(out, imcs.Target{Seg: part.Seg, Table: tbl})
+						}
+					}
+				}
+				return out
+			}, imcs.Config{BlocksPerIMCU: 16, Interval: time.Millisecond})
+		start := time.Now()
+		coldEng.Start()
+		if !coldEng.WaitIdle(120 * time.Second) {
+			b.Fatal("cold repopulation did not settle")
+		}
+		coldRepop += time.Since(start)
+		coldEng.Stop()
+		c.Close()
+	}
+	b.ReportMetric(promote.Seconds()*1e3/float64(b.N), "promote-ms")
+	b.ReportMetric(coldRepop.Seconds()*1e3/float64(b.N), "coldrepop-ms")
+}
+
+// benchSnapshotter adapts a snapshot func to imcs.Snapshotter.
+type benchSnapshotter struct{ f func() scn.SCN }
+
+func (s benchSnapshotter) CaptureSnapshot() scn.SCN { return s.f() }
+
 // --- Micro-benchmarks of the substrates --------------------------------------
 
 func BenchmarkMicroRedoCodecEncode(b *testing.B) {

@@ -112,9 +112,19 @@ func printQueries(client *http.Client, addr string, n int, slowOnly bool) {
 const headerEvery = 20
 
 func header() {
-	fmt.Printf("%8s  %9s  %9s  %9s  %9s  %8s  %8s  %7s  %7s  %7s\n",
-		"time", "applied/s", "mined/s", "flushed/s", "scnadv/s",
+	fmt.Printf("%8s  %7s  %9s  %9s  %9s  %9s  %8s  %8s  %7s  %7s  %7s\n",
+		"time", "role", "applied/s", "mined/s", "flushed/s", "scnadv/s",
 		"applyLag", "stale", "jrnTxn", "ctPend", "popPend")
+}
+
+// roleOf renders the node's broker role. The broker_role gauge is registered
+// by the role-transition broker and flips to 1 at promotion; a node without a
+// broker (or before any transition) reports STANDBY.
+func roleOf(g map[string]float64) string {
+	if g["broker_role"] >= 1 {
+		return "PRIMARY"
+	}
+	return "STANDBY"
 }
 
 func main() {
@@ -155,8 +165,9 @@ func main() {
 		if line%headerEvery == 0 {
 			header()
 		}
-		fmt.Printf("%8s  %9.0f  %9.0f  %9.0f  %9.1f  %8.0f  %8.0f  %7.0f  %7.0f  %7.0f\n",
+		fmt.Printf("%8s  %7s  %9.0f  %9.0f  %9.0f  %9.1f  %8.0f  %8.0f  %7.0f  %7.0f  %7.0f\n",
 			now.Format("15:04:05"),
+			roleOf(cur.Gauges),
 			rate(cur.Standby.RecordsApplied, prev.Standby.RecordsApplied),
 			rate(cur.Standby.MinedRecords, prev.Standby.MinedRecords),
 			rate(cur.Standby.FlushedRecords, prev.Standby.FlushedRecords),

@@ -41,6 +41,38 @@ type Doc struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Failover summarizes the role-transition benchmark when the run includes
+	// BenchmarkFailover: warm-promotion latency vs the cold IMCS rebuild it
+	// avoids, and the resulting speedup.
+	Failover *FailoverSummary `json:"failover,omitempty"`
+}
+
+// FailoverSummary is derived from BenchmarkFailover's reported metrics.
+type FailoverSummary struct {
+	PromoteMs   float64 `json:"promote_ms"`
+	ColdRepopMs float64 `json:"coldrepop_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// failoverSummary extracts the summary from a parsed benchmark set; nil when
+// the run did not include BenchmarkFailover (or its metrics are incomplete).
+func failoverSummary(benchmarks []Benchmark) *FailoverSummary {
+	for _, b := range benchmarks {
+		if name, _, _ := strings.Cut(b.Name, "-"); name != "BenchmarkFailover" {
+			continue
+		}
+		promote, okP := b.Metrics["promote-ms"]
+		cold, okC := b.Metrics["coldrepop-ms"]
+		if !okP || !okC || promote <= 0 {
+			return nil
+		}
+		return &FailoverSummary{
+			PromoteMs:   promote,
+			ColdRepopMs: cold,
+			Speedup:     cold / promote,
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -98,6 +130,7 @@ func parse(r io.Reader) (*Doc, error) {
 			}
 		}
 	}
+	doc.Failover = failoverSummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

@@ -38,6 +38,38 @@ ok  	dbimadg	4.321s
 	}
 }
 
+func TestFailoverSummary(t *testing.T) {
+	in := `goos: linux
+BenchmarkFailover-8 	       3	 342269399 ns/op	        97.79 coldrepop-ms	         0.09735 promote-ms
+PASS
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := doc.Failover
+	if fs == nil {
+		t.Fatal("failover summary not extracted")
+	}
+	if fs.PromoteMs != 0.09735 || fs.ColdRepopMs != 97.79 {
+		t.Fatalf("bad summary: %+v", fs)
+	}
+	if fs.Speedup < 1000 || fs.Speedup > 1010 {
+		t.Fatalf("speedup = %v, want ~1004", fs.Speedup)
+	}
+}
+
+func TestFailoverSummaryAbsent(t *testing.T) {
+	in := "BenchmarkScan-8 100 123 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Failover != nil {
+		t.Fatalf("spurious failover summary: %+v", doc.Failover)
+	}
+}
+
 func TestParseLineRejectsMalformed(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkOnly",

@@ -29,8 +29,10 @@ package dbimadg
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
+	"dbimadg/internal/broker"
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/obs"
 	"dbimadg/internal/primary"
@@ -114,27 +116,47 @@ const (
 
 // Cluster is an open deployment.
 type Cluster struct {
-	cfg Config
+	cfg    Config
+	sbyCfg standby.Config
 
+	// mu guards the role-mutable state below: Failover/Switchover swap the
+	// primary (and, for switchover, the standby) while sessions and Close read
+	// them.
+	mu       sync.Mutex
+	closed   bool
 	pri      *primary.Cluster
 	sc       *rac.StandbyCluster
+	brk      *broker.Broker
+	promoted *standby.Instance // the promoted standby master; nil in steady state
+
 	priStore *imcs.Store
 	priEng   *imcs.Engine
 
+	src         transport.Source
 	tcpServer   *transport.Server
 	tcpReceiver *transport.Receiver
 }
+
+// FailoverResult describes a completed promotion (see Cluster.Failover).
+type FailoverResult = broker.FailoverResult
+
+// SwitchoverResult describes a completed role swap (see Cluster.Switchover).
+type SwitchoverResult = broker.SwitchoverResult
 
 // Open builds and starts a deployment.
 func Open(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	c := &Cluster{cfg: cfg}
-	c.pri = primary.NewCluster(cfg.PrimaryInstances, cfg.RowsPerBlock)
+	pri := primary.NewCluster(cfg.PrimaryInstances, cfg.RowsPerBlock)
+	c.pri = pri
 
-	// Primary-side DBIM: column store + population engine + commit hook.
+	// Primary-side DBIM: column store + population engine + commit hook. The
+	// closures capture the original primary, not the mutable c.pri field: this
+	// engine belongs to that node (a role transition reassigns c.pri from
+	// another goroutine's point of view and stops this engine).
 	c.priStore = imcs.NewStore()
-	c.priEng = imcs.NewEngine(c.priStore, c.pri.Txns(), primarySnapshotter{c.pri},
-		func() []imcs.Target { return primaryTargets(c.pri) },
+	c.priEng = imcs.NewEngine(c.priStore, pri.Txns(), primarySnapshotter{pri},
+		func() []imcs.Target { return primaryTargets(pri) },
 		imcs.Config{
 			BlocksPerIMCU:  cfg.BlocksPerIMCU,
 			Workers:        cfg.PopulationWorkers,
@@ -161,6 +183,7 @@ func Open(cfg Config) (*Cluster, error) {
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
 		QueryLogSize:       cfg.QueryLogSize,
 	}
+	c.sbyCfg = sbyCfg
 	c.sc = rac.NewStandbyCluster(sbyCfg, cfg.StandbyReaders)
 
 	src, err := c.buildTransport()
@@ -168,6 +191,7 @@ func Open(cfg Config) (*Cluster, error) {
 		c.priEng.Stop()
 		return nil, err
 	}
+	c.src = src
 	c.sc.Attach(src)
 	c.sc.Start()
 	if cfg.HeartbeatInterval > 0 {
@@ -200,27 +224,147 @@ func (c *Cluster) buildTransport() (transport.Source, error) {
 	return rcv, nil
 }
 
-// Close shuts the deployment down.
+// Close shuts the deployment down. It is idempotent and role-transition
+// safe: a second Close is a no-op, and the teardown order — redo generation,
+// then transport, then standby apply, then population engines — holds whether
+// the cluster is in its steady state or was failed/switched over (components a
+// transition already stopped shut down as no-ops).
 func (c *Cluster) Close() {
-	c.pri.Close()
-	c.sc.Stop()
-	c.priEng.Stop()
-	if c.tcpReceiver != nil {
-		c.tcpReceiver.Close()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
 	}
-	if c.tcpServer != nil {
-		c.tcpServer.Close()
+	c.closed = true
+	pri, sc, promoted := c.pri, c.sc, c.promoted
+	rcv, srv, priEng := c.tcpReceiver, c.tcpServer, c.priEng
+	c.mu.Unlock()
+
+	pri.Close() // end redo generation (and heartbeats) first
+	if rcv != nil {
+		rcv.Close() // transport down before standby apply: mirrors end cleanly
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	sc.Stop()
+	priEng.Stop()
+	if promoted != nil {
+		// The promoted master's apply pipeline is long stopped; only the
+		// population engine RestartPopulation swapped in is still running.
+		promoted.Engine().Stop()
 	}
 }
 
-// Primary exposes the primary cluster (advanced use).
-func (c *Cluster) Primary() *primary.Cluster { return c.pri }
+// Failover promotes the standby to primary after primary loss (the old
+// primary, if still reachable, is closed to end redo generation — the
+// simulation of reading out its archived logs). Terminal recovery drains
+// every shipped record, in-flight transactions are rolled back, and the node
+// opens read-write with its column store retained WARM: analytics continue on
+// the IMCUs populated while it was a standby, no repopulation. After a
+// successful failover, PrimarySession targets the promoted node and
+// StandbySession serves read-only queries against it at live snapshots.
+func (c *Cluster) Failover() (*FailoverResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("dbimadg: cluster closed")
+	}
+	res, err := c.broker().Failover()
+	if err != nil {
+		return nil, err
+	}
+	c.completeTransition()
+	return res, nil
+}
 
-// StandbyMaster exposes the standby apply instance (advanced use).
-func (c *Cluster) StandbyMaster() *standby.Instance { return c.sc.Master }
+// Switchover performs a planned role swap: the standby is promoted exactly as
+// in Failover (gracefully — no redo is lost), and the old primary is rebuilt
+// as the new standby, applying the promoted node's redo from the promotion
+// SCN onward. StandbySession targets the rebuilt standby afterwards.
+func (c *Cluster) Switchover() (*SwitchoverResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("dbimadg: cluster closed")
+	}
+	res, err := c.broker().Switchover()
+	if err != nil {
+		return nil, err
+	}
+	c.completeTransition()
+	c.sc = res.NewStandby
+	return res, nil
+}
+
+// broker lazily builds the role broker over the current topology. Caller
+// holds c.mu.
+func (c *Cluster) broker() *broker.Broker {
+	if c.brk == nil {
+		c.brk = broker.New(broker.Config{
+			Primary:           c.pri,
+			Standby:           c.sc,
+			Source:            c.src,
+			Server:            c.tcpServer,
+			PromotedInstances: c.cfg.PrimaryInstances,
+			RebuildReaders:    c.cfg.StandbyReaders,
+			StandbyConfig:     c.sbyCfg,
+		})
+	}
+	return c.brk
+}
+
+// completeTransition installs the promoted cluster as the primary. Caller
+// holds c.mu.
+func (c *Cluster) completeTransition() {
+	c.promoted = c.sc.Master
+	c.pri = c.brk.Promoted()
+	// The old primary's column store died with it; stop its population engine.
+	c.priEng.Stop()
+}
+
+// Broker exposes the role broker (nil until the first transition is
+// requested).
+func (c *Cluster) Broker() *broker.Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brk
+}
+
+// Primary exposes the primary cluster (advanced use). After a role
+// transition this is the promoted cluster.
+func (c *Cluster) Primary() *primary.Cluster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pri
+}
+
+// StandbyMaster exposes the standby apply instance (advanced use). After a
+// switchover this is the rebuilt standby's master.
+func (c *Cluster) StandbyMaster() *standby.Instance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sc.Master
+}
+
+// PromotedMaster returns the standby instance that was promoted to primary,
+// or nil in steady state. Its store keeps serving the promoted node's
+// analytics.
+func (c *Cluster) PromotedMaster() *standby.Instance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.promoted
+}
 
 // StandbyReaders exposes the standby RAC readers.
-func (c *Cluster) StandbyReaders() []*rac.Reader { return c.sc.Readers() }
+func (c *Cluster) StandbyReaders() []*rac.Reader { return c.standbyCluster().Readers() }
+
+// standbyCluster reads the current standby cluster under the role lock.
+func (c *Cluster) standbyCluster() *rac.StandbyCluster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sc
+}
 
 // PrimaryStore exposes the primary-side column store.
 func (c *Cluster) PrimaryStore() *imcs.Store { return c.priStore }
@@ -247,29 +391,39 @@ func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }
 // CreateTable executes a CREATE TABLE on the primary; the definition (with
 // assigned object ids) replicates to the standby through a redo marker.
 func (c *Cluster) CreateTable(spec *TableSpec) (*Table, error) {
-	return c.pri.Instance(0).CreateTable(spec)
+	return c.Primary().Instance(0).CreateTable(spec)
 }
 
 // AlterInMemory sets INMEMORY attributes on a table or partition; the policy
 // replicates to the standby. The attribute's Service decides placement:
 // ServicePrimaryOnly, ServiceStandbyOnly or ServicePrimaryAndStandby.
 func (c *Cluster) AlterInMemory(tenant TenantID, table, partition string, attr InMemoryAttr) error {
-	return c.pri.Instance(0).AlterInMemory(tenant, table, partition, attr)
+	return c.Primary().Instance(0).AlterInMemory(tenant, table, partition, attr)
 }
 
 // Truncate truncates a table (or one partition of an unindexed table).
 func (c *Cluster) Truncate(tenant TenantID, table, partition string) error {
-	return c.pri.Instance(0).Truncate(tenant, table, partition)
+	return c.Primary().Instance(0).Truncate(tenant, table, partition)
 }
 
 // DropColumn performs a dictionary-level DROP COLUMN.
 func (c *Cluster) DropColumn(tenant TenantID, table, column string) error {
-	return c.pri.Instance(0).DropColumn(tenant, table, column)
+	return c.Primary().Instance(0).DropColumn(tenant, table, column)
 }
 
-// StandbyTable resolves a table in the standby's replicated catalog.
+// StandbyTable resolves a table in the standby's replicated catalog. After a
+// failover the "standby" catalog IS the promoted primary's catalog, so
+// handles resolved here stay valid across the transition.
 func (c *Cluster) StandbyTable(tenant TenantID, name string) (*Table, error) {
-	return c.sc.Master.DB().Table(tenant, name)
+	return c.standbyCluster().Master.DB().Table(tenant, name)
+}
+
+// PrimaryTable resolves a table in the current primary's catalog. In steady
+// state that is the catalog CreateTable populated; after a role transition it
+// is the promoted node's replica, so clients re-resolve their handles here to
+// keep writing after Failover/Switchover.
+func (c *Cluster) PrimaryTable(tenant TenantID, name string) (*Table, error) {
+	return c.Primary().DB().Table(tenant, name)
 }
 
 // --- synchronization --------------------------------------------------------

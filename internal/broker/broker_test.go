@@ -1,0 +1,306 @@
+package broker_test
+
+import (
+	"testing"
+	"time"
+
+	"dbimadg/internal/broker"
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/standby"
+	"dbimadg/internal/transport"
+)
+
+type pair struct {
+	pri *primary.Cluster
+	sc  *rac.StandbyCluster
+	tbl *rowstore.Table
+	brk *broker.Broker
+}
+
+func newPair(t *testing.T, readers int) *pair {
+	t.Helper()
+	pri := primary.NewCluster(1, 32)
+	sc := rac.NewStandbyCluster(standby.Config{
+		RowsPerBlock:       32,
+		CheckpointInterval: time.Millisecond,
+		PopulationInterval: time.Millisecond,
+		BlocksPerIMCU:      4,
+	}, readers)
+	var streams []*redo.Stream
+	for _, inst := range pri.Instances() {
+		streams = append(streams, inst.Stream())
+	}
+	src := transport.NewInProc(streams...)
+	sc.Attach(src)
+	sc.Start()
+
+	tbl, err := pri.Instance(0).CreateTable(&rowstore.TableSpec{
+		Name: "T", Tenant: 1,
+		Columns: []rowstore.Column{
+			{Name: "id", Kind: rowstore.KindNumber},
+			{Name: "n1", Kind: rowstore.KindNumber},
+		},
+		IdentityCol: 0, PartitionCol: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.Instance(0).AlterInMemory(1, "T", "", rowstore.InMemoryAttr{Enabled: true, Service: "standby"}); err != nil {
+		t.Fatal(err)
+	}
+	brk := broker.New(broker.Config{
+		Primary: pri,
+		Standby: sc,
+		Source:  src,
+		StandbyConfig: standby.Config{
+			CheckpointInterval: time.Millisecond,
+			PopulationInterval: time.Millisecond,
+			BlocksPerIMCU:      4,
+		},
+	})
+	return &pair{pri: pri, sc: sc, tbl: tbl, brk: brk}
+}
+
+func (p *pair) insert(t *testing.T, from, to int64) {
+	t.Helper()
+	s := p.tbl.Schema()
+	tx := p.pri.Instance(0).Begin()
+	for i := from; i < to; i++ {
+		r := rowstore.NewRow(s)
+		r.Nums[s.Col(0).Slot()] = i
+		r.Nums[s.Col(1).Slot()] = i % 10
+		if _, err := tx.Insert(p.tbl, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (p *pair) catchUp(t *testing.T) {
+	t.Helper()
+	if !p.sc.Master.WaitForSCN(p.pri.Snapshot(), 10*time.Second) {
+		t.Fatalf("standby did not catch up: %+v", p.sc.Master.Stats())
+	}
+	p.sc.Master.Engine().WaitIdle(10 * time.Second)
+}
+
+// countAt scans the promoted node's table through the retained store.
+func countAt(t *testing.T, master *standby.Instance, newPri *primary.Cluster, obj rowstore.ObjID, tbl *rowstore.Table) int64 {
+	t.Helper()
+	ex := scanengine.NewExecutor(newPri.Txns(), master.Store())
+	res, err := ex.Run(&scanengine.Query{Table: tbl, Agg: scanengine.AggCount}, newPri.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = obj
+	return res.Count
+}
+
+func TestFailoverPromotesWarm(t *testing.T) {
+	p := newPair(t, 0)
+	p.insert(t, 0, 300)
+	p.catchUp(t)
+
+	// One transaction begun but never committed: promotion must roll it back.
+	s := p.tbl.Schema()
+	tx := p.pri.Instance(0).Begin()
+	r := rowstore.NewRow(s)
+	r.Nums[s.Col(0).Slot()] = 9999
+	if _, err := tx.Insert(p.tbl, r); err != nil {
+		t.Fatal(err)
+	}
+	if !p.sc.Master.WaitForSCN(p.pri.Snapshot(), 10*time.Second) {
+		t.Fatal("in-flight redo did not ship")
+	}
+
+	res, err := p.brk.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.sc.Master.Engine().Stop()
+	if p.brk.State() != broker.StateFailedOver {
+		t.Fatalf("state = %v", p.brk.State())
+	}
+	if res.PromotedSCN == 0 || res.WarmUnits == 0 {
+		t.Fatalf("promotion not warm: %+v", res)
+	}
+	if res.RolledBackTxns != 1 {
+		t.Fatalf("rolled back %d txns, want 1", res.RolledBackTxns)
+	}
+	newPri := p.brk.Promoted()
+	if newPri == nil {
+		t.Fatal("no promoted cluster")
+	}
+
+	// Replicated commits visible, in-flight row gone.
+	pTbl, err := p.sc.Master.DB().Table(1, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAt(t, p.sc.Master, newPri, pTbl.Partitions()[0].Seg.Obj(), pTbl); got != 300 {
+		t.Fatalf("post-promotion count = %d, want 300", got)
+	}
+
+	// The promoted node accepts new transactions with monotonically advancing
+	// SCNs and fresh transaction ids.
+	tx2 := newPri.Instance(0).Begin()
+	r2 := rowstore.NewRow(s)
+	r2.Nums[s.Col(0).Slot()] = 300
+	if _, err := tx2.Insert(pTbl, r2); err != nil {
+		t.Fatal(err)
+	}
+	commitSCN, err := tx2.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commitSCN <= res.PromotedSCN {
+		t.Fatalf("commit SCN %d not past promotion SCN %d", commitSCN, res.PromotedSCN)
+	}
+	if got := countAt(t, p.sc.Master, newPri, pTbl.Partitions()[0].Seg.Obj(), pTbl); got != 301 {
+		t.Fatalf("count after promoted-node DML = %d, want 301", got)
+	}
+
+	// Warmness: the restarted engine found nothing to populate.
+	if got := p.sc.Master.Engine().Stats().UnitsPopulated; got != 0 {
+		t.Fatalf("restarted engine populated %d units over a warm store", got)
+	}
+
+	// The broker is a one-shot state machine.
+	if _, err := p.brk.Failover(); err == nil {
+		t.Fatal("second failover accepted")
+	}
+	if _, err := p.brk.Switchover(); err == nil {
+		t.Fatal("switchover accepted after failover")
+	}
+}
+
+func TestSwitchoverRebuildsStandby(t *testing.T) {
+	p := newPair(t, 0)
+	p.insert(t, 0, 200)
+	p.catchUp(t)
+
+	res, err := p.brk.Switchover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.sc.Master.Engine().Stop()
+	defer res.NewStandby.Stop()
+	if p.brk.State() != broker.StateSwitchedOver {
+		t.Fatalf("state = %v", p.brk.State())
+	}
+	if res.NewStandby == nil || p.brk.NewStandby() != res.NewStandby {
+		t.Fatal("rebuilt standby not exposed")
+	}
+	newPri := p.brk.Promoted()
+
+	// Redo from the promoted node reaches the rebuilt standby: the old
+	// primary's database keeps applying past the promotion SCN.
+	pTbl, err := p.sc.Master.DB().Table(1, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pTbl.Schema()
+	tx := newPri.Instance(0).Begin()
+	for i := int64(200); i < 230; i++ {
+		r := rowstore.NewRow(s)
+		r.Nums[s.Col(0).Slot()] = i
+		if _, err := tx.Insert(pTbl, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.NewStandby.Master.WaitForSCN(newPri.Snapshot(), 10*time.Second) {
+		t.Fatalf("rebuilt standby did not catch up: %+v", res.NewStandby.Master.Stats())
+	}
+	oldTbl, err := res.NewStandby.Master.DB().Table(1, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := scanengine.NewExecutor(res.NewStandby.Master.Txns(), res.NewStandby.Stores()...)
+	got, err := ex.Run(&scanengine.Query{Table: oldTbl, Agg: scanengine.AggCount},
+		res.NewStandby.Master.QuerySCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 230 {
+		t.Fatalf("rebuilt standby count = %d, want 230", got.Count)
+	}
+}
+
+// TestFailoverStopsReaders promotes a RAC standby: the reader instances are
+// stopped and detached (the promoted master serves all block ranges itself),
+// and the master's now-unfiltered engine repopulates the readers' abandoned
+// home shares.
+func TestFailoverStopsReaders(t *testing.T) {
+	p := newPair(t, 2)
+	p.insert(t, 0, 300)
+	p.catchUp(t)
+	for _, r := range p.sc.Readers() {
+		r.Engine().WaitIdle(10 * time.Second)
+	}
+
+	if _, err := p.brk.Failover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.sc.Master.Engine().Stop()
+	if got := len(p.sc.Readers()); got != 0 {
+		t.Fatalf("%d readers still attached after failover", got)
+	}
+	newPri := p.brk.Promoted()
+	pTbl, err := p.sc.Master.DB().Table(1, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The readers' home ranges were never in the master's store; the restarted
+	// engine (no home filter) populates them now.
+	p.sc.Master.Engine().WaitIdle(10 * time.Second)
+	if got := countAt(t, p.sc.Master, newPri, pTbl.Partitions()[0].Seg.Obj(), pTbl); got != 300 {
+		t.Fatalf("post-promotion count = %d, want 300", got)
+	}
+}
+
+func TestBrokerConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a config without a standby")
+		}
+	}()
+	broker.New(broker.Config{})
+}
+
+func TestSwitchoverNeedsPrimary(t *testing.T) {
+	p := newPair(t, 0)
+	p.brk = broker.New(broker.Config{Standby: p.sc})
+	if _, err := p.brk.Switchover(); err == nil {
+		t.Fatal("switchover accepted without a primary")
+	}
+	p.sc.Stop()
+	p.pri.Close()
+}
+
+// TestBrokerMetrics asserts the role gauge flips and the transition histogram
+// records the promotion.
+func TestBrokerMetrics(t *testing.T) {
+	p := newPair(t, 0)
+	p.insert(t, 0, 50)
+	p.catchUp(t)
+
+	if v, ok := p.sc.Master.Obs().GaugeValue("broker_role"); !ok || v != 0 {
+		t.Fatalf("broker_role before failover = %v (%v), want 0", v, ok)
+	}
+	if _, err := p.brk.Failover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.sc.Master.Engine().Stop()
+	if v, ok := p.sc.Master.Obs().GaugeValue("broker_role"); !ok || v != 1 {
+		t.Fatalf("broker_role after failover = %v (%v), want 1", v, ok)
+	}
+}

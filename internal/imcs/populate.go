@@ -87,10 +87,11 @@ type Engine struct {
 	targets func() []Target
 	cfg     Config
 
-	tasks   chan popTask
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	pending atomic.Int64
+	tasks    chan popTask
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	pending  atomic.Int64
 
 	populated   atomic.Int64
 	repopulated atomic.Int64
@@ -128,9 +129,11 @@ func (e *Engine) Start() {
 	go e.scheduler()
 }
 
-// Stop halts background population and waits for workers to drain.
+// Stop halts background population and waits for workers to drain. It is
+// idempotent: role transitions and deployment shutdown may both stop the same
+// engine.
 func (e *Engine) Stop() {
-	close(e.stop)
+	e.stopOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
 }
 

@@ -23,12 +23,16 @@ const (
 	StageFlush
 	StagePublish
 	StagePopulate
+	// StageTransition records role-transition milestones (terminal recovery,
+	// promotion, standby rebuild) driven by the broker; the SCN is the
+	// consistency point the milestone established.
+	StageTransition
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"ship", "merge", "dispatch", "apply", "mine", "journal", "flush",
-	"publish", "populate",
+	"publish", "populate", "transition",
 }
 
 // String returns the stage's short name.

@@ -25,6 +25,11 @@ type Cluster struct {
 	ids      scn.TxnIDAllocator
 	gate     sync.Mutex // commit gate: serializes commit publication with snapshots
 	services *service.Registry
+	// roles is the role set this cluster's node serves; a freshly created
+	// primary is RolePrimary, a standby promoted by failover also keeps serving
+	// its standby (reporting) services, so commit-time IMCS maintenance must
+	// consider both roles when deciding whether an object is populated here.
+	roles service.Role
 
 	mu        sync.Mutex
 	instances []*Instance
@@ -46,6 +51,7 @@ func NewCluster(n int, rowsPerBlock int) *Cluster {
 		txns:     txn.NewTable(),
 		db:       rowstore.NewDatabase(rowsPerBlock),
 		services: service.NewRegistry(),
+		roles:    service.RolePrimary,
 	}
 	for i := 0; i < n; i++ {
 		inst := newInstance(c, uint16(i+1))
@@ -53,6 +59,39 @@ func NewCluster(n int, rowsPerBlock int) *Cluster {
 	}
 	return c
 }
+
+// NewClusterFrom creates a primary cluster over an existing database: the row
+// store, transaction table and service registry are adopted in place (no
+// copy), and the SCN clock starts at startSCN so the first new commit SCN is
+// startSCN+1. roles is the role set the node serves after the transition. The
+// transaction-id allocator is seeded past every id the adopted table already
+// holds, so new transactions can never collide with replicated ones. This is
+// the promotion path: a failed-over standby's replica becomes the production
+// database without rebuilding anything.
+func NewClusterFrom(n int, db *rowstore.Database, txns *txn.Table, services *service.Registry, startSCN scn.SCN, roles service.Role) *Cluster {
+	if n < 1 {
+		panic("primary: cluster needs at least one instance")
+	}
+	if roles == 0 {
+		roles = service.RolePrimary
+	}
+	c := &Cluster{
+		clock:    scn.NewClock(startSCN),
+		txns:     txns,
+		db:       db,
+		services: services,
+		roles:    roles,
+	}
+	c.ids.Observe(txns.MaxID())
+	for i := 0; i < n; i++ {
+		inst := newInstance(c, uint16(i+1))
+		c.instances = append(c.instances, inst)
+	}
+	return c
+}
+
+// Roles returns the role set this cluster's node serves.
+func (c *Cluster) Roles() service.Role { return c.roles }
 
 // SetDBIMHook installs the primary-side column-store maintenance hook. It
 // must be set before transactional activity begins.
@@ -268,9 +307,12 @@ func (p *policyView) enabled(obj rowstore.ObjID, role service.Role) bool {
 	return attr.Enabled && p.c.services.RunsOn(attr.Service, role)
 }
 
-// EnabledPrimary implements txn.PopulationPolicy.
+// EnabledPrimary implements txn.PopulationPolicy: is the object populated in
+// a column store on THIS node? After a failover the node serves both roles,
+// so standby-service objects count too — their retained IMCUs must keep
+// receiving commit-time invalidations.
 func (p *policyView) EnabledPrimary(obj rowstore.ObjID) bool {
-	return p.enabled(obj, service.RolePrimary)
+	return p.enabled(obj, p.c.roles)
 }
 
 // EnabledStandby implements txn.PopulationPolicy.

@@ -20,6 +20,7 @@ import (
 	"dbimadg/internal/service"
 	"dbimadg/internal/standby"
 	"dbimadg/internal/transport"
+	"dbimadg/internal/txn"
 )
 
 // readerMsg is one message on a reader's pipeline: either a batch of
@@ -49,8 +50,21 @@ type Reader struct {
 	ch      chan readerMsg
 	applied atomic.Int64 // messages fully processed (for the master's barrier)
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// shutdown stops the reader's coordinator and population engine. Idempotent:
+// a failover stops the readers during promotion, and Cluster.Close stops the
+// whole standby cluster again on shutdown.
+func (r *Reader) shutdown() {
+	if r.stop == nil {
+		return // never started
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.engine.Stop()
 }
 
 // ID returns the reader's home-map instance index.
@@ -139,7 +153,20 @@ type StandbyCluster struct {
 func NewStandbyCluster(cfg standby.Config, readerCount int) *StandbyCluster {
 	cfg.HomeInstances = readerCount + 1
 	cfg.LocalInstance = 0
-	master := standby.New(cfg)
+	return assemble(standby.New(cfg), cfg, readerCount)
+}
+
+// NewStandbyClusterFrom builds a standby RAC cluster whose master adopts an
+// existing physical replica (database, transaction table, services) instead
+// of starting empty — the switchover path that re-enlists the old primary as
+// the new standby.
+func NewStandbyClusterFrom(cfg standby.Config, db *rowstore.Database, txns *txn.Table, services *service.Registry, readerCount int) *StandbyCluster {
+	cfg.HomeInstances = readerCount + 1
+	cfg.LocalInstance = 0
+	return assemble(standby.NewFrom(cfg, db, txns, services), cfg, readerCount)
+}
+
+func assemble(master *standby.Instance, cfg standby.Config, readerCount int) *StandbyCluster {
 	c := &StandbyCluster{Master: master}
 	home := imcs.HomeMap{Instances: readerCount + 1}
 	for i := 1; i <= readerCount; i++ {
@@ -197,14 +224,26 @@ func (c *StandbyCluster) Start() {
 	c.Master.Start()
 }
 
-// Stop halts the cluster.
+// Stop halts the cluster. Idempotent: a role transition may already have
+// stopped the master and the readers.
 func (c *StandbyCluster) Stop() {
 	c.Master.Stop()
 	for _, r := range c.readers {
-		close(r.stop)
-		r.wg.Wait()
-		r.engine.Stop()
+		r.shutdown()
 	}
+}
+
+// StopReaders stops and detaches the reader instances. A failover calls this
+// after terminal recovery: the promoted node serves all block ranges itself,
+// so the readers' store shares are abandoned (their home ranges repopulate on
+// the promoted master over time). The readers receive the final QuerySCN
+// publication before being stopped, so any query they are still serving
+// completes consistently.
+func (c *StandbyCluster) StopReaders() {
+	for _, r := range c.readers {
+		r.shutdown()
+	}
+	c.readers = nil
 }
 
 // onPublish relays a new QuerySCN (and the objects dropped by DDL at that

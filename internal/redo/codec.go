@@ -245,13 +245,36 @@ func WriteFrame(w io.Writer, r *Record) (int, error) {
 // the reader from corrupt length prefixes.
 const MaxFrameSize = 16 << 20
 
-// ReadFrame reads one length-prefixed record from r.
+// eolFrame is the length-header sentinel marking a clean end of log. It is
+// strictly greater than MaxFrameSize, so it can never be confused with a real
+// frame. The explicit sentinel lets the receiver distinguish "the primary
+// closed this redo thread" (stop pumping) from a dropped connection (redial
+// and resume) — without it both look like io.EOF.
+const eolFrame = 0xFFFFFFFF
+
+// ErrEndOfLog is returned by ReadFrame when the sender signalled a clean end
+// of the redo thread.
+var ErrEndOfLog = fmt.Errorf("redo: end of log")
+
+// WriteEOL writes the end-of-log sentinel frame to w.
+func WriteEOL(w io.Writer) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], eolFrame)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// ReadFrame reads one length-prefixed record from r. It returns ErrEndOfLog
+// when the sender wrote the end-of-log sentinel.
 func ReadFrame(r io.Reader) (*Record, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
+	if n == eolFrame {
+		return nil, ErrEndOfLog
+	}
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("redo: frame of %d bytes exceeds limit", n)
 	}

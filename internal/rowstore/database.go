@@ -168,6 +168,17 @@ func (db *Database) Tenants() []TenantID {
 	return out
 }
 
+// ResetAllocCursors seals the applied contents of every segment for
+// primary-side insert allocation — the role-transition step that turns a
+// standby replica into a writable database (see Segment.ResetAllocCursor).
+func (db *Database) ResetAllocCursors() {
+	for _, tbl := range db.Tables() {
+		for _, seg := range tbl.Segments() {
+			seg.ResetAllocCursor()
+		}
+	}
+}
+
 // Vacuum prunes version chains across the whole database with the given
 // horizon, returning the number of versions freed. The horizon must not
 // exceed the oldest snapshot still readable (on the standby: the QuerySCN; on

@@ -94,6 +94,20 @@ func (s *Segment) AllocRowSlot() RowID {
 	return RowID{DBA: blk.DBA(), Slot: slot}
 }
 
+// ResetAllocCursor positions insert allocation just past the rows the segment
+// already holds. Redo apply lays blocks out with EnsureBlock and never touches
+// the allocator, so a standby replica opened read-write at promotion must seal
+// its applied contents first or AllocRowSlot would hand out occupied slots.
+func (s *Segment) ResetAllocCursor() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.blocks) == 0 {
+		s.allocCursor = 0
+		return
+	}
+	s.allocCursor = s.blocks[len(s.blocks)-1].RowCount()
+}
+
 // ForEachBlock calls f for every allocated block in block-number order until f
 // returns false. It snapshots the block list so apply/inserts can proceed
 // concurrently; blocks allocated after the snapshot are not visited.

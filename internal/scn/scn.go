@@ -81,3 +81,19 @@ type TxnIDAllocator struct {
 func (a *TxnIDAllocator) Next() TxnID {
 	return TxnID(a.cur.Add(1))
 }
+
+// Observe advances the allocator past id. A promoted standby seeds its
+// allocator from the highest transaction id in the replicated transaction
+// table so new transactions can never collide with ids the old primary
+// already used.
+func (a *TxnIDAllocator) Observe(id TxnID) {
+	for {
+		cur := a.cur.Load()
+		if cur >= uint64(id) {
+			return
+		}
+		if a.cur.CompareAndSwap(cur, uint64(id)) {
+			return
+		}
+	}
+}

@@ -117,7 +117,11 @@ func (inst *Instance) mergerLoop() {
 				}
 			}
 			if allEOL {
-				return // end of all logs; workers drain, coordinator continues
+				// End of all logs: workers drain, the coordinator continues.
+				// The closed channel is the end-of-redo signal terminal
+				// recovery (FinishRecovery) waits on.
+				close(inst.endOfRedo)
+				return
 			}
 		}
 		if !progress {

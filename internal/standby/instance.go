@@ -163,6 +163,12 @@ type Instance struct {
 	querySCN atomic.Uint64
 	quiesce  sync.RWMutex // the Quiesce lock (§III.A)
 
+	// roleMask is the set of roles this instance currently serves. A standby
+	// starts as RoleStandby; promotion ORs in RolePrimary so population
+	// policies resolve services against the promoted node (§I: after a
+	// failover the primary-only services relocate to the new primary).
+	roleMask atomic.Uint32
+
 	src            transport.Source
 	startSCN       scn.SCN // apply resumes at records with SCN > startSCN
 	workers        []*applyWorker
@@ -170,6 +176,7 @@ type Instance struct {
 	lastDispatched atomic.Uint64
 	watermark      atomic.Uint64
 	pendingWL      atomic.Pointer[core.Worklink]
+	endOfRedo      chan struct{} // closed by the merger at end of all logs
 
 	remote    core.RemoteSink
 	onPublish func(q scn.SCN, markers []*MarkerEvent)
@@ -196,15 +203,39 @@ type Instance struct {
 // is populated by replicated create-table markers as redo applies.
 func New(cfg Config) *Instance {
 	cfg = cfg.withDefaults()
+	return build(cfg, rowstore.NewDatabase(cfg.RowsPerBlock), txn.NewTable(), service.NewRegistry())
+}
+
+// NewFrom builds a standby instance over an existing physical replica: the
+// database, transaction table and service registry survive a role transition
+// (they are the durable state), while every DBIM-on-ADG component starts
+// empty. A switchover uses this to rebuild the old primary as the new standby
+// without copying its data.
+func NewFrom(cfg Config, db *rowstore.Database, txns *txn.Table, services *service.Registry) *Instance {
+	cfg = cfg.withDefaults()
+	if db == nil {
+		db = rowstore.NewDatabase(cfg.RowsPerBlock)
+	}
+	if txns == nil {
+		txns = txn.NewTable()
+	}
+	if services == nil {
+		services = service.NewRegistry()
+	}
+	return build(cfg, db, txns, services)
+}
+
+func build(cfg Config, db *rowstore.Database, txns *txn.Table, services *service.Registry) *Instance {
 	inst := &Instance{
 		cfg:       cfg,
-		db:        rowstore.NewDatabase(cfg.RowsPerBlock),
-		txns:      txn.NewTable(),
-		services:  service.NewRegistry(),
+		db:        db,
+		txns:      txns,
+		services:  services,
 		reg:       obs.NewRegistry(),
 		scanStats: &scanengine.PathStats{},
 		queryLog:  obs.NewQueryLog(cfg.QueryLogSize),
 	}
+	inst.roleMask.Store(uint32(service.RoleStandby))
 	inst.queryLog.SetSlowThreshold(cfg.SlowQueryThreshold)
 	inst.trace = obs.NewPipelineTrace(inst.reg, cfg.TraceRing)
 	inst.lagSeries = map[string]*metrics.Series{
@@ -216,6 +247,18 @@ func New(cfg Config) *Instance {
 	inst.initVolatile()
 	inst.registerMetrics()
 	return inst
+}
+
+// Role returns the roles this instance currently serves (RoleStandby until a
+// promotion ORs in RolePrimary).
+func (inst *Instance) Role() service.Role {
+	return service.Role(inst.roleMask.Load())
+}
+
+// SetRole replaces the instance's role mask. The broker calls this during
+// promotion so the population policy resolves services for the new role set.
+func (inst *Instance) SetRole(r service.Role) {
+	inst.roleMask.Store(uint32(r))
 }
 
 // initVolatile (re)creates everything with no persistent footprint: the IMCS,
@@ -453,6 +496,11 @@ func (inst *Instance) Attach(src transport.Source) {
 	if t, ok := src.(interface{ SetTrace(*obs.PipelineTrace) }); ok {
 		t.SetTrace(inst.trace)
 	}
+	if rc, ok := src.(interface{ Reconnects() int64 }); ok {
+		inst.reg.CounterFunc("transport_reconnects_total",
+			"shipping connections redialled after a drop",
+			func() float64 { return float64(rc.Reconnects()) })
+	}
 }
 
 // Start launches redo apply, the recovery coordinator, population, and (when
@@ -466,6 +514,7 @@ func (inst *Instance) Start() {
 	}
 	inst.started = true
 	inst.stop = make(chan struct{})
+	inst.endOfRedo = make(chan struct{})
 	inst.workers = make([]*applyWorker, inst.cfg.ApplyWorkers)
 	for i := range inst.workers {
 		w := &applyWorker{id: i, ch: make(chan applyTask, 1024)}
@@ -640,7 +689,7 @@ func (p *standbyPolicy) Enabled(obj rowstore.ObjID) bool {
 		return false
 	}
 	attr := part.InMemory()
-	return attr.Enabled && p.inst.services.RunsOn(attr.Service, service.RoleStandby)
+	return attr.Enabled && p.inst.services.RunsOn(attr.Service, p.inst.Role())
 }
 
 // populationTargets lists standby-enabled segments for the population engine.
@@ -649,7 +698,7 @@ func (inst *Instance) populationTargets() []imcs.Target {
 	for _, tbl := range inst.db.Tables() {
 		for _, part := range tbl.Partitions() {
 			attr := part.InMemory()
-			if attr.Enabled && inst.services.RunsOn(attr.Service, service.RoleStandby) {
+			if attr.Enabled && inst.services.RunsOn(attr.Service, inst.Role()) {
 				out = append(out, imcs.Target{Seg: part.Seg, Table: tbl, Priority: attr.Priority})
 			}
 		}

@@ -57,21 +57,27 @@ func (p *InProc) Close() error { return nil }
 
 // Server ships a primary's redo threads to standby receivers over TCP. The
 // wire protocol is: the client sends a 12-byte request (thread uint32 BE,
-// fromSCN uint64 BE); the server replies with an endless sequence of
-// length-framed redo records for that thread starting at the first record
-// with SCN >= fromSCN, then closes when the stream ends.
+// fromSCN uint64 BE); the server replies with length-framed redo records for
+// that thread starting at the first record with SCN >= fromSCN, writes an
+// explicit end-of-log sentinel frame when the stream ends, then closes. The
+// sentinel lets receivers tell a clean log end from a dropped connection.
 type Server struct {
 	ln      net.Listener
 	streams map[uint16]*redo.Stream
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 }
 
 // NewServer starts serving the given streams on l.
 func NewServer(l net.Listener, streams ...*redo.Stream) *Server {
-	s := &Server{ln: l, streams: make(map[uint16]*redo.Stream, len(streams))}
+	s := &Server{
+		ln:      l,
+		streams: make(map[uint16]*redo.Stream, len(streams)),
+		conns:   make(map[net.Conn]struct{}),
+	}
 	for _, st := range streams {
 		s.streams[st.Thread()] = st
 	}
@@ -87,10 +93,40 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// DropConnections severs every live shipping connection without stopping the
+// listener — a fault injection hook simulating a network partition. Attached
+// receivers see a mid-stream error (not end-of-log) and reconnect.
+func (s *Server) DropConnections() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -100,9 +136,14 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serve(conn)
 		}()
@@ -118,6 +159,7 @@ func (s *Server) serve(conn net.Conn) {
 	from := scn.SCN(binary.BigEndian.Uint64(req[4:12]))
 	stream, ok := s.streams[thread]
 	if !ok {
+		_ = redo.WriteEOL(conn) // no such log: an empty, already-ended thread
 		return
 	}
 	rd := redo.NewReaderAtSCN(stream, from)
@@ -132,7 +174,8 @@ func (s *Server) serve(conn net.Conn) {
 		// handler past Close when the primary never closes its stream.
 		rec, ok, eol := rd.TryNext()
 		if eol {
-			return // end of log
+			_ = redo.WriteEOL(conn) // clean end of log, not a drop
+			return
 		}
 		if !ok {
 			time.Sleep(500 * time.Microsecond)
@@ -144,18 +187,36 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// Receiver is the standby-side TCP transport: it connects to a Server, pulls
-// each redo thread, and feeds local mirror streams.
-type Receiver struct {
-	mirrors []*redo.Stream
-	conns   []net.Conn
-	wg      sync.WaitGroup
+// Reconnect backoff bounds: the pump redials after a dropped connection with
+// exponential backoff plus jitter, capped so a long partition never pushes
+// the retry period beyond a second.
+const (
+	reconnectBase = 2 * time.Millisecond
+	reconnectCap  = time.Second
+)
 
-	trace   atomic.Pointer[obs.PipelineTrace]
-	records atomic.Int64 // redo records received across all threads
-	bytes   atomic.Int64 // encoded redo bytes received
+// Receiver is the standby-side TCP transport: it connects to a Server, pulls
+// each redo thread, and feeds local mirror streams. A dropped connection is
+// not fatal: the pump redials with capped exponential backoff + jitter and
+// resumes at the mirror's last received SCN + 1 (per-thread SCNs strictly
+// increase, so resumption can neither duplicate nor skip records). Only an
+// explicit end-of-log sentinel from the server ends a pump cleanly.
+type Receiver struct {
+	addr    string
+	mirrors []*redo.Stream
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	once    sync.Once
+
 	mu      sync.Mutex
+	conns   map[uint16]net.Conn // live connection per thread
 	lastErr error
+
+	trace      atomic.Pointer[obs.PipelineTrace]
+	records    atomic.Int64 // redo records received across all threads
+	bytes      atomic.Int64 // encoded redo bytes received
+	reconnects atomic.Int64 // successful redials after a dropped connection
+	rngState   atomic.Uint64
 }
 
 // SetTrace attaches an optional pipeline trace; ship-stage latency (time to
@@ -168,48 +229,117 @@ func (r *Receiver) RecordsReceived() int64 { return r.records.Load() }
 // BytesReceived returns the encoded redo bytes pumped into mirror streams.
 func (r *Receiver) BytesReceived() int64 { return r.bytes.Load() }
 
+// Reconnects returns how many times a pump redialled after a dropped
+// connection (exported as transport_reconnects_total).
+func (r *Receiver) Reconnects() int64 { return r.reconnects.Load() }
+
+// dial opens and handshakes one shipping connection for thread th starting at
+// from, registering it so Close can interrupt a blocked read.
+func (r *Receiver) dial(th uint16, from scn.SCN) (net.Conn, error) {
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", r.addr, err)
+	}
+	var req [12]byte
+	binary.BigEndian.PutUint32(req[0:4], uint32(th))
+	binary.BigEndian.PutUint64(req[4:12], uint64(from))
+	if _, err := conn.Write(req[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	r.mu.Lock()
+	select {
+	case <-r.stop:
+		// Close already swept the connection map; registering now would leak a
+		// live connection past shutdown.
+		r.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("transport: receiver closed")
+	default:
+	}
+	if old, ok := r.conns[th]; ok {
+		old.Close()
+	}
+	r.conns[th] = conn
+	r.mu.Unlock()
+	return conn, nil
+}
+
 // Connect dials addr for each thread and begins pumping records with
 // SCN >= from into fresh mirror streams.
 func Connect(addr string, threads []uint16, from scn.SCN) (*Receiver, error) {
-	r := &Receiver{}
+	r := &Receiver{
+		addr:  addr,
+		stop:  make(chan struct{}),
+		conns: make(map[uint16]net.Conn, len(threads)),
+	}
+	r.rngState.Store(uint64(time.Now().UnixNano()) | 1)
 	for _, th := range threads {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := r.dial(th, from)
 		if err != nil {
 			r.Close()
-			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-		}
-		var req [12]byte
-		binary.BigEndian.PutUint32(req[0:4], uint32(th))
-		binary.BigEndian.PutUint64(req[4:12], uint64(from))
-		if _, err := conn.Write(req[:]); err != nil {
-			conn.Close()
-			r.Close()
-			return nil, fmt.Errorf("transport: handshake: %w", err)
+			return nil, err
 		}
 		mirror := redo.NewStream(th)
 		r.mirrors = append(r.mirrors, mirror)
-		r.conns = append(r.conns, conn)
 		r.wg.Add(1)
-		go r.pump(conn, mirror)
+		go r.pump(th, conn, mirror, from)
 	}
 	return r, nil
 }
 
-func (r *Receiver) pump(conn net.Conn, mirror *redo.Stream) {
+// pump drains one thread's connection into its mirror, redialling on drops
+// until end-of-log or Close.
+func (r *Receiver) pump(th uint16, conn net.Conn, mirror *redo.Stream, from scn.SCN) {
 	defer r.wg.Done()
 	defer mirror.Close()
+	backoff := reconnectBase
+	for {
+		before := r.records.Load()
+		err := r.drainConn(conn, mirror)
+		if err == redo.ErrEndOfLog {
+			return // primary closed this redo thread cleanly
+		}
+		if r.records.Load() > before {
+			// The dropped connection shipped records; treat the next drop as a
+			// fresh fault rather than a continuation of the previous backoff.
+			backoff = reconnectBase
+		}
+		// Dropped connection (io.EOF, reset, or a local Close). Redial unless
+		// the receiver is shutting down, resuming after the last mirrored SCN.
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(r.jitter(backoff)):
+			}
+			if backoff *= 2; backoff > reconnectCap {
+				backoff = reconnectCap
+			}
+			resume := from
+			if last := mirror.LastSCN(); last != scn.Invalid {
+				resume = last + 1
+			}
+			next, dialErr := r.dial(th, resume)
+			if dialErr == nil {
+				conn = next
+				r.reconnects.Add(1)
+				break
+			}
+			r.mu.Lock()
+			r.lastErr = dialErr
+			r.mu.Unlock()
+		}
+	}
+}
+
+// drainConn reads frames until the connection errors or signals end-of-log.
+func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream) error {
 	for {
 		start := time.Now()
 		rec, err := redo.ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF {
-				r.mu.Lock()
-				if r.lastErr == nil {
-					r.lastErr = err
-				}
-				r.mu.Unlock()
-			}
-			return
+			return err
 		}
 		mirror.Append(rec)
 		r.records.Add(1)
@@ -218,22 +348,45 @@ func (r *Receiver) pump(conn net.Conn, mirror *redo.Stream) {
 	}
 }
 
+// jitter spreads d over [d/2, d): synchronized redials from many threads
+// after one partition would otherwise stampede the server.
+func (r *Receiver) jitter(d time.Duration) time.Duration {
+	// xorshift64 on a shared state; statistical quality is irrelevant here.
+	for {
+		s := r.rngState.Load()
+		x := s
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if r.rngState.CompareAndSwap(s, x) {
+			half := int64(d) / 2
+			return time.Duration(half + int64(x%uint64(half+1)))
+		}
+	}
+}
+
 // Streams implements Source.
 func (r *Receiver) Streams() []*redo.Stream { return r.mirrors }
 
-// Close implements Source: it tears down the connections and waits for the
-// pumps (mirror streams are closed, so readers drain).
+// Close implements Source: it stops reconnection, tears down the connections
+// and waits for the pumps (mirror streams are closed, so readers drain). It
+// is idempotent — role transitions and Cluster.Close may both invoke it.
 func (r *Receiver) Close() error {
+	r.once.Do(func() {
+		close(r.stop)
+	})
+	r.mu.Lock()
 	for _, c := range r.conns {
 		c.Close()
 	}
+	r.mu.Unlock()
 	r.wg.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.lastErr
 }
 
-// Err returns the first pump error, if any.
+// Err returns the last pump error, if any.
 func (r *Receiver) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -106,6 +106,44 @@ func (t *Table) Forget(horizon scn.SCN) int {
 	return dropped
 }
 
+// AbortActive marks every active transaction rolled back and returns their
+// ids. Failover uses it to terminate in-flight transactions: on the standby,
+// a transaction still active at end-of-redo never shipped its commit, so its
+// versions must become permanently invisible before the database opens
+// read-write.
+func (t *Table) AbortActive() []scn.TxnID {
+	var aborted []scn.TxnID
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for id, e := range s.m {
+			if e.status == rowstore.TxnActive {
+				s.m[id] = tableEntry{status: rowstore.TxnAborted}
+				aborted = append(aborted, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return aborted
+}
+
+// MaxID returns the highest transaction id the table has seen (0 when empty).
+// A promoted standby seeds its allocator from it.
+func (t *Table) MaxID() scn.TxnID {
+	var max scn.TxnID
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for id := range s.m {
+			if id > max {
+				max = id
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return max
+}
+
 // Len returns the number of tracked transactions.
 func (t *Table) Len() int {
 	n := 0

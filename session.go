@@ -25,26 +25,57 @@ type Session struct {
 	record func(*scanengine.Profile)
 }
 
-// PrimarySession opens a session against primary instance i.
+// PrimarySession opens a session against primary instance i. After a role
+// transition, the session targets the promoted node: transactions run on the
+// promoted cluster and queries scan the RETAINED standby column store — the
+// warm-IMCS payoff of the broker's promotion.
 func (c *Cluster) PrimarySession(i int) *Session {
+	c.mu.Lock()
+	pri, promoted := c.pri, c.promoted
+	c.mu.Unlock()
+	if promoted != nil {
+		ex := scanengine.NewExecutor(pri.Txns(), promoted.Store())
+		ex.Obs = promoted.ScanStats()
+		return &Session{
+			c: c, primary: true, instance: i,
+			exec:   ex,
+			snap:   pri.Snapshot,
+			record: promoted.RecordQuery,
+		}
+	}
 	return &Session{
 		c: c, primary: true, instance: i,
-		exec: scanengine.NewExecutor(c.pri.Txns(), c.priStore),
-		snap: c.pri.Snapshot,
+		exec: scanengine.NewExecutor(pri.Txns(), c.priStore),
+		snap: pri.Snapshot,
 	}
 }
 
 // StandbySession opens a read-only session against the standby. With a
 // standby RAC, queries behave like parallel queries spanning all instances'
-// column stores, at the master's QuerySCN.
+// column stores, at the master's QuerySCN. After a failover (no standby
+// remains), the session serves read-only queries against the promoted node at
+// live primary snapshots; after a switchover it targets the rebuilt standby.
 func (c *Cluster) StandbySession() *Session {
-	ex := scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...)
-	ex.Obs = c.sc.Master.ScanStats()
+	c.mu.Lock()
+	sc, pri, promoted := c.sc, c.pri, c.promoted
+	c.mu.Unlock()
+	if promoted != nil && sc.Master == promoted {
+		ex := scanengine.NewExecutor(promoted.Txns(), sc.Stores()...)
+		ex.Obs = promoted.ScanStats()
+		return &Session{
+			c:      c,
+			exec:   ex,
+			snap:   pri.Snapshot,
+			record: promoted.RecordQuery,
+		}
+	}
+	ex := scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...)
+	ex.Obs = sc.Master.ScanStats()
 	return &Session{
 		c:      c,
 		exec:   ex,
-		snap:   func() scn.SCN { return c.sc.Master.QuerySCN() },
-		record: c.sc.Master.RecordQuery,
+		snap:   func() scn.SCN { return sc.Master.QuerySCN() },
+		record: sc.Master.RecordQuery,
 	}
 }
 
@@ -52,18 +83,19 @@ func (c *Cluster) StandbySession() *Session {
 // instance: queries run at that instance's locally published QuerySCN and
 // still reach all instances' column stores (parallel query slaves).
 func (c *Cluster) StandbyReaderSession(i int) (*Session, error) {
-	readers := c.sc.Readers()
+	sc := c.standbyCluster()
+	readers := sc.Readers()
 	if i < 0 || i >= len(readers) {
 		return nil, fmt.Errorf("dbimadg: no standby reader %d", i)
 	}
 	r := readers[i]
-	ex := scanengine.NewExecutor(c.sc.Master.Txns(), c.sc.Stores()...)
-	ex.Obs = c.sc.Master.ScanStats()
+	ex := scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...)
+	ex.Obs = sc.Master.ScanStats()
 	return &Session{
 		c:      c,
 		exec:   ex,
 		snap:   func() scn.SCN { return r.QuerySCN() },
-		record: c.sc.Master.RecordQuery,
+		record: sc.Master.RecordQuery,
 	}, nil
 }
 
@@ -76,7 +108,7 @@ func (s *Session) Begin() (*Txn, error) {
 	if !s.primary {
 		return nil, fmt.Errorf("dbimadg: standby database is read-only")
 	}
-	return s.c.pri.Instance(s.instance).Begin(), nil
+	return s.c.Primary().Instance(s.instance).Begin(), nil
 }
 
 // Snapshot returns the session's current Consistent Read snapshot: the
@@ -162,11 +194,12 @@ func (s *Session) FetchByID(tbl *Table, id int64) (Row, bool, error) {
 	if !ok {
 		return Row{}, false, nil
 	}
-	db := s.c.pri.DB()
-	view := s.c.pri.Txns()
+	db := s.c.Primary().DB()
+	view := s.c.Primary().Txns()
 	if !s.primary {
-		db = s.c.sc.Master.DB()
-		view = s.c.sc.Master.Txns()
+		m := s.c.standbyCluster().Master
+		db = m.DB()
+		view = m.Txns()
 	}
 	seg, ok := db.Segment(rid.DBA.Obj())
 	if !ok {
