@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race verify bench bench-json
+.PHONY: all build vet fmt test race chaos verify bench bench-json
+
+# Seed count for the chaos harness; override as `make chaos CHAOS_SEEDS=100`.
+CHAOS_SEEDS ?= 10
+# Base seed; CI overrides with a random value for nightly exploration. Failing
+# runs print the exact seed to replay (go test ./internal/chaos -chaos.seed N).
+CHAOS_SEEDBASE ?= 1
 
 all: verify
 
@@ -26,7 +32,14 @@ race:
 		./internal/scanengine/... ./internal/sqlmini/... ./internal/service/... \
 		./internal/broker/... ./internal/transport/... .
 
-verify: fmt vet build test race
+# Deterministic chaos harness: seeded fault injection against the full
+# primary→transport→standby pipeline with a cross-node equivalence oracle
+# (see DESIGN.md, "Fault model & testing"). Always race-enabled.
+chaos:
+	$(GO) test -race -run TestChaos -timeout 20m ./internal/chaos/ \
+		-chaos.seeds $(CHAOS_SEEDS) -chaos.seedbase $(CHAOS_SEEDBASE)
+
+verify: fmt vet build test race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

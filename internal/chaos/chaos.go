@@ -1,0 +1,616 @@
+// Package chaos is a deterministic, seed-driven fault-injection harness for
+// the whole redo/IMCS pipeline. A Runner drives a primary+standby cluster
+// through a randomized schedule of concurrent OLTP writer bursts, standby
+// scans, transport faults (drop/truncate/delay/duplicate/reorder/corrupt, via
+// transport.FaultInjector), standby crash-restarts, and optional role
+// transitions — and after every quiesce point checks global invariants
+// against a primary-side oracle (see oracle.go):
+//
+//  1. equivalence — the standby's hybrid IMCS scan at QuerySCN s is
+//     byte-identical to a pure row-store CR scan and to the primary's
+//     consistent read at s, across the imcs/invalid/tail/rowstore paths
+//     (cross-checked against scanengine.Profile's path accounting);
+//  2. QuerySCN monotonicity and SCN coherence (QuerySCN <= watermark <=
+//     dispatch frontier), sampled continuously by a monitor goroutine;
+//  3. journal / commit-table coherence — both drain to zero once the standby
+//     has caught up with no transactions in flight;
+//  4. IMCU coverage — after population settles, every chunk of every
+//     IMCS-enabled segment is covered by exactly one unit.
+//
+// Every random decision derives from Options.Seed, so a failure replays
+// exactly (schedule and fault plan; goroutine interleaving still varies, so a
+// replay reproduces the same pressure, not the same instruction trace). A
+// failed run's error message carries the seed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"dbimadg/internal/broker"
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/standby"
+	"dbimadg/internal/transport"
+)
+
+// TransitionMode selects the optional role transition exercised at the end of
+// a run, while redo may still be in flight.
+type TransitionMode int
+
+const (
+	// TransitionNone runs no role transition.
+	TransitionNone TransitionMode = iota
+	// TransitionFailover promotes the standby after closing the primary.
+	TransitionFailover
+	// TransitionSwitchover swaps roles and rebuilds the old primary as the
+	// new standby.
+	TransitionSwitchover
+)
+
+// Options configures one chaos run. The zero value is usable: in-process
+// transport, no crash-restarts, no transition — faults come only from the
+// schedule's interleavings.
+type Options struct {
+	// Seed drives every random decision (schedule, fault plan, workload).
+	Seed int64
+	// Steps is the number of schedule steps (default 20).
+	Steps int
+	// UseTCP ships redo over TCP with a seeded FaultInjector on the server.
+	UseTCP bool
+	// Faults overrides the default fault plan (TCP only).
+	Faults *transport.FaultPlan
+	// ReorderWindow sets the receiver's resequencing window (TCP only).
+	// Below 2, reorder injection is disabled (it would be unsound).
+	ReorderWindow int
+	// CrashRestarts enables standby crash-restart steps.
+	CrashRestarts bool
+	// Transition selects the end-of-run role transition.
+	Transition TransitionMode
+	// MutateSkipJournal > 0 arms the miner's lost-invalidation bug (the next
+	// n invalidation records are dropped) before a targeted single-row
+	// update. The harness self-test uses this to prove the oracle has teeth.
+	MutateSkipJournal int64
+}
+
+// Result summarizes a successful run.
+type Result struct {
+	Seed        int64
+	Steps       int
+	Checks      int // oracle checks that ran (live probes + quiesce points)
+	Restarts    int
+	FaultCounts map[string]int64 // injected transport faults by kind
+	Reconnects  int64
+	Corrupt     int64 // frames rejected by CRC and refetched
+	Duplicates  int64 // duplicate records dropped by the receiver
+	Transition  string
+}
+
+// rowsPerBlock / base workload shape: small blocks and IMCUs so a modest row
+// count spans many units, exercising population, invalidation and tail scans.
+const (
+	rowsPerBlock  = 32
+	blocksPerIMCU = 8
+	baseRows      = 256
+)
+
+// writerOp is one precomputed transaction for a writer goroutine. All
+// randomness is drawn on the scheduler goroutine, so the workload script is a
+// pure function of the seed.
+type writerOp struct {
+	updates []int64 // ids to update (disjoint across concurrent writers)
+	marker  int64   // value written to n1
+	inserts []int64 // fresh ids to insert
+	deletes []int64 // existing ids to delete (owned by this writer)
+	abort   bool    // abort instead of commit (abort ops never insert/delete)
+}
+
+// Runner owns the cluster under test and the seeded schedule.
+type Runner struct {
+	opts Options
+	rng  *rand.Rand
+
+	pri *primary.Cluster
+	sc  *rac.StandbyCluster
+	sby *standby.Instance
+	tbl *rowstore.Table
+
+	// transport wiring: curSource is whatever redo source currently feeds the
+	// standby (an InProc pump or the TCP receiver); srv/injector/rcv are set
+	// only in TCP mode.
+	curSource transport.Source
+	srv       *transport.Server
+	injector  *transport.FaultInjector
+	rcv       *transport.Receiver
+	threads   []uint16
+
+	oracle  *oracle
+	monitor *monitor
+
+	nextID  int64   // fresh-id allocator for inserts
+	liveIDs []int64 // committed inserted ids eligible for deletion
+
+	res Result
+}
+
+// Run executes one seeded chaos run and returns its summary, or an error
+// naming the violated invariant and the seed to replay it.
+func Run(opts Options) (*Result, error) {
+	if opts.Steps <= 0 {
+		opts.Steps = 20
+	}
+	r := &Runner{
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		nextID: 1_000_000, // far above the base rows; never collides
+		res:    Result{Seed: opts.Seed, Steps: opts.Steps},
+	}
+	if err := r.setup(); err != nil {
+		r.teardown()
+		return nil, r.fail("setup: %v", err)
+	}
+	err := r.run()
+	if err == nil {
+		err = r.transition()
+	}
+	r.teardown()
+	if err != nil {
+		return nil, err
+	}
+	r.collectCounters()
+	return &r.res, nil
+}
+
+// fail wraps an invariant violation with the replay seed.
+func (r *Runner) fail(format string, args ...any) error {
+	return fmt.Errorf("chaos seed %d: %s", r.opts.Seed, fmt.Sprintf(format, args...))
+}
+
+// defaultPlan is the moderate per-frame fault mix used when Options.Faults is
+// nil: enough pressure to exercise every recovery path while redo still
+// flows.
+func (r *Runner) defaultPlan() transport.FaultPlan {
+	return transport.FaultPlan{
+		DropProb:    0.01,
+		PartialProb: 0.01,
+		DelayProb:   0.05,
+		DupProb:     0.04,
+		ReorderProb: 0.04,
+		CorruptProb: 0.01,
+		MaxDelay:    2 * time.Millisecond,
+	}
+}
+
+func (r *Runner) setup() error {
+	r.pri = primary.NewCluster(1, rowsPerBlock)
+	// Heartbeats keep redo flowing during idle stretches: they push buffered
+	// resequencing windows forward and let quiesce points converge even when
+	// the last data frame was delayed or held back by a fault. The interval is
+	// deliberately modest: each frame is a chance for the injector to sever
+	// the connection, so redo generation must stay below the faulted
+	// transport's sustainable throughput or catch-up livelocks — the receiver
+	// keeps reconnecting and re-shipping while the frontier outruns it.
+	r.pri.StartHeartbeats(5 * time.Millisecond)
+
+	cfg := standby.Config{
+		RowsPerBlock:       rowsPerBlock,
+		CheckpointInterval: time.Millisecond,
+		PopulationInterval: time.Millisecond,
+		BlocksPerIMCU:      blocksPerIMCU,
+	}
+	r.sc = rac.NewStandbyCluster(cfg, 0)
+	r.sby = r.sc.Master
+
+	src, err := r.buildTransport()
+	if err != nil {
+		return err
+	}
+	r.sc.Attach(src)
+	r.sc.Start()
+
+	tbl, err := r.pri.Instance(0).CreateTable(&rowstore.TableSpec{
+		Name:   "C101",
+		Tenant: 1,
+		Columns: []rowstore.Column{
+			{Name: "id", Kind: rowstore.KindNumber},
+			{Name: "n1", Kind: rowstore.KindNumber},
+			{Name: "c1", Kind: rowstore.KindVarchar},
+		},
+		IdentityCol:  0,
+		PartitionCol: -1,
+	})
+	if err != nil {
+		return err
+	}
+	r.tbl = tbl
+	if err := r.pri.Instance(0).AlterInMemory(1, "C101", "",
+		rowstore.InMemoryAttr{Enabled: true, Service: "standby"}); err != nil {
+		return err
+	}
+
+	// Base rows, fully shipped and populated before the storm starts.
+	if err := r.insertRows(0, baseRows); err != nil {
+		return err
+	}
+	if err := r.quiesceCatchUp(); err != nil {
+		return err
+	}
+	if !r.sby.Engine().WaitIdle(20 * time.Second) {
+		return fmt.Errorf("initial population did not settle")
+	}
+
+	r.oracle = &oracle{r: r}
+	r.monitor = startMonitor(r)
+	return nil
+}
+
+func (r *Runner) priStreams() []*redo.Stream {
+	var streams []*redo.Stream
+	for _, inst := range r.pri.Instances() {
+		streams = append(streams, inst.Stream())
+	}
+	return streams
+}
+
+func (r *Runner) buildTransport() (transport.Source, error) {
+	streams := r.priStreams()
+	if !r.opts.UseTCP {
+		src := transport.NewInProc(streams...)
+		r.curSource = src
+		return src, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r.srv = transport.NewServer(ln, streams...)
+	plan := r.defaultPlan()
+	if r.opts.Faults != nil {
+		plan = *r.opts.Faults
+	}
+	if r.opts.ReorderWindow < 2 {
+		plan.ReorderProb = 0 // reorder without a resequencing window is unsound
+	}
+	r.injector = transport.NewFaultInjector(r.opts.Seed, plan)
+	r.srv.SetFaultInjector(r.injector)
+	for _, s := range streams {
+		r.threads = append(r.threads, s.Thread())
+	}
+	rcv, err := transport.ConnectOpts(r.srv.Addr(), r.threads, 0,
+		transport.Options{ReorderWindow: r.opts.ReorderWindow})
+	if err != nil {
+		return nil, err
+	}
+	r.rcv = rcv
+	r.curSource = rcv
+	return rcv, nil
+}
+
+// run executes the randomized schedule: writer bursts with live probes,
+// partition faults, crash-restarts, and quiesce points with the full oracle.
+func (r *Runner) run() error {
+	// The mutation self-test: arm the bug, make one committed single-row
+	// update against a settled IMCU (one stale row, too little damage to
+	// trigger repopulation heuristics), and let the first quiesce point
+	// catch it.
+	if r.opts.MutateSkipJournal > 0 {
+		r.sby.InjectJournalSkip(r.opts.MutateSkipJournal)
+		if err := r.singleUpdate(int64(r.rng.Intn(baseRows)), 424242); err != nil {
+			return r.fail("mutation update: %v", err)
+		}
+	}
+
+	for step := 0; step < r.opts.Steps; step++ {
+		p := r.rng.Float64()
+		switch {
+		case p < 0.50:
+			if err := r.writerBurst(); err != nil {
+				return err
+			}
+		case p < 0.60 && r.srv != nil:
+			r.srv.DropConnections()
+		case p < 0.70 && r.opts.CrashRestarts:
+			if err := r.crashRestart(); err != nil {
+				return err
+			}
+		default:
+			if err := r.quiescePoint(); err != nil {
+				return err
+			}
+		}
+		if err := r.monitor.err(); err != nil {
+			return r.fail("%v", err)
+		}
+	}
+	// Always end on a full quiesce point: the run's final state is checked no
+	// matter how the schedule dealt the steps.
+	return r.quiescePoint()
+}
+
+// writerBurst runs 1–3 concurrent writer goroutines, each committing a few
+// precomputed transactions, while the scheduler goroutine interleaves live
+// equivalence probes against the moving QuerySCN.
+func (r *Runner) writerBurst() error {
+	nWriters := 1 + r.rng.Intn(3)
+	scripts := make([][]writerOp, nWriters)
+	chunk := baseRows / 3 // disjoint update ranges even at 3 writers
+	for w := 0; w < nWriters; w++ {
+		nTx := 1 + r.rng.Intn(3)
+		for k := 0; k < nTx; k++ {
+			op := writerOp{marker: int64(r.rng.Intn(1000))}
+			op.abort = r.rng.Intn(6) == 0
+			lo := w * chunk
+			for j := 0; j < 1+r.rng.Intn(5); j++ {
+				op.updates = append(op.updates, int64(lo+r.rng.Intn(chunk)))
+			}
+			if !op.abort {
+				for j := 0; j < r.rng.Intn(3); j++ {
+					op.inserts = append(op.inserts, r.nextID)
+					r.nextID++
+				}
+				if len(r.liveIDs) > 0 && r.rng.Intn(3) == 0 {
+					// Pop a committed id; each id is deleted at most once.
+					i := r.rng.Intn(len(r.liveIDs))
+					op.deletes = append(op.deletes, r.liveIDs[i])
+					r.liveIDs[i] = r.liveIDs[len(r.liveIDs)-1]
+					r.liveIDs = r.liveIDs[:len(r.liveIDs)-1]
+				}
+			}
+			scripts[w] = append(scripts[w], op)
+		}
+	}
+
+	errs := make(chan error, nWriters)
+	for w := 0; w < nWriters; w++ {
+		go func(script []writerOp) {
+			errs <- r.runScript(script)
+		}(scripts[w])
+	}
+	// Live probes while the writers commit.
+	probes := 2 + r.rng.Intn(3)
+	var probeErr error
+	for i := 0; i < probes && probeErr == nil; i++ {
+		probeErr = r.oracle.liveProbe()
+	}
+	var writerErr error
+	for w := 0; w < nWriters; w++ {
+		if e := <-errs; e != nil && writerErr == nil {
+			writerErr = e
+		}
+	}
+	if writerErr != nil {
+		return r.fail("writer: %v", writerErr)
+	}
+	if probeErr != nil {
+		return probeErr
+	}
+	// Committed inserts become eligible for future deletion.
+	for _, script := range scripts {
+		for _, op := range script {
+			if !op.abort {
+				r.liveIDs = append(r.liveIDs, op.inserts...)
+			}
+		}
+	}
+	return nil
+}
+
+// runScript applies one writer's transactions against the primary.
+func (r *Runner) runScript(script []writerOp) error {
+	s := r.tbl.Schema()
+	for _, op := range script {
+		tx := r.pri.Instance(0).Begin()
+		for _, id := range op.updates {
+			if err := tx.UpdateByID(r.tbl, id, []uint16{1}, func(row *rowstore.Row) {
+				row.Nums[s.Col(1).Slot()] = op.marker
+			}); err != nil {
+				return fmt.Errorf("update id %d: %w", id, err)
+			}
+		}
+		for _, id := range op.inserts {
+			row := rowstore.NewRow(s)
+			row.Nums[s.Col(0).Slot()] = id
+			row.Nums[s.Col(1).Slot()] = op.marker
+			row.Strs[s.Col(2).Slot()] = colors[id%int64(len(colors))]
+			if _, err := tx.Insert(r.tbl, row); err != nil {
+				return fmt.Errorf("insert id %d: %w", id, err)
+			}
+		}
+		for _, id := range op.deletes {
+			if err := tx.DeleteByID(r.tbl, id); err != nil {
+				return fmt.Errorf("delete id %d: %w", id, err)
+			}
+		}
+		if op.abort {
+			if err := tx.Abort(); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var colors = []string{"red", "green", "blue", "amber"}
+
+// insertRows commits one transaction inserting ids [from, to).
+func (r *Runner) insertRows(from, to int64) error {
+	s := r.tbl.Schema()
+	tx := r.pri.Instance(0).Begin()
+	for i := from; i < to; i++ {
+		row := rowstore.NewRow(s)
+		row.Nums[s.Col(0).Slot()] = i
+		row.Nums[s.Col(1).Slot()] = i % 100
+		row.Strs[s.Col(2).Slot()] = colors[i%int64(len(colors))]
+		if _, err := tx.Insert(r.tbl, row); err != nil {
+			return err
+		}
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// singleUpdate commits one single-row update (the mutation self-test's
+// minimal damage: exactly one invalidation record).
+func (r *Runner) singleUpdate(id, marker int64) error {
+	s := r.tbl.Schema()
+	tx := r.pri.Instance(0).Begin()
+	if err := tx.UpdateByID(r.tbl, id, []uint16{1}, func(row *rowstore.Row) {
+		row.Nums[s.Col(1).Slot()] = marker
+	}); err != nil {
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// quiesceCatchUp waits until the standby's QuerySCN reaches the primary's
+// current snapshot.
+func (r *Runner) quiesceCatchUp() error {
+	target := r.pri.Snapshot()
+	if !r.sby.WaitForSCN(target, 30*time.Second) {
+		detail := ""
+		if r.rcv != nil {
+			detail = fmt.Sprintf(" rcv={records:%d reconnects:%d corrupt:%d dups:%d err:%v}",
+				r.rcv.RecordsReceived(), r.rcv.Reconnects(), r.rcv.CorruptFrames(),
+				r.rcv.DuplicatesDropped(), r.rcv.Err())
+		}
+		return fmt.Errorf("standby stuck: QuerySCN=%d target=%d stats=%+v%s",
+			r.sby.QuerySCN(), target, r.sby.Stats(), detail)
+	}
+	return nil
+}
+
+// quiescePoint catches up and runs the full oracle.
+func (r *Runner) quiescePoint() error {
+	if err := r.quiesceCatchUp(); err != nil {
+		return r.fail("%v", err)
+	}
+	if err := r.oracle.quiesceCheck(); err != nil {
+		return err
+	}
+	if err := r.monitor.err(); err != nil {
+		return r.fail("%v", err)
+	}
+	return nil
+}
+
+// crashRestart kills and restarts the standby instance mid-pipeline: volatile
+// IM-ADG state (journal, commit table, IMCS) is lost; apply resumes from the
+// checkpoint. Over TCP the old receiver is torn down and a new one dials in
+// at checkpoint+1 (re-attaching to the archived logs).
+func (r *Runner) crashRestart() error {
+	r.res.Restarts++
+	if r.rcv == nil {
+		src := transport.NewInProc(r.priStreams()...)
+		r.curSource = src
+		r.sby.Restart(src)
+		return nil
+	}
+	cp := r.sby.Stop()
+	_ = r.rcv.Close()
+	rcv, err := transport.ConnectOpts(r.srv.Addr(), r.threads, cp+1,
+		transport.Options{ReorderWindow: r.opts.ReorderWindow})
+	if err != nil {
+		return r.fail("restart redial: %v", err)
+	}
+	r.rcv = rcv
+	r.curSource = rcv
+	r.sby.Restart(rcv)
+	return nil
+}
+
+// transition runs the optional end-of-run role transition under load: a last
+// writer burst is left in flight (not yet caught up) when the broker starts
+// terminal recovery.
+func (r *Runner) transition() error {
+	if r.opts.Transition == TransitionNone {
+		return nil
+	}
+	if err := r.writerBurst(); err != nil {
+		return err
+	}
+	r.monitor.stop() // promotion legitimately stops the apply pipeline
+
+	brk := broker.New(broker.Config{
+		Primary:      r.pri,
+		Standby:      r.sc,
+		Source:       r.curSource,
+		Server:       r.srv,
+		DrainTimeout: 20 * time.Second,
+		StandbyConfig: standby.Config{
+			CheckpointInterval: time.Millisecond,
+			PopulationInterval: time.Millisecond,
+			BlocksPerIMCU:      blocksPerIMCU,
+		},
+	})
+
+	switch r.opts.Transition {
+	case TransitionFailover:
+		res, err := brk.Failover()
+		if err != nil {
+			return r.fail("failover: %v", err)
+		}
+		r.res.Transition = "failover"
+		if res.WarmUnits == 0 {
+			return r.fail("failover promotion was cold: %+v", res)
+		}
+		return r.oracle.postPromotion(brk.Promoted(), res.PromotedSCN, nil)
+	case TransitionSwitchover:
+		res, err := brk.Switchover()
+		if err != nil {
+			return r.fail("switchover: %v", err)
+		}
+		r.res.Transition = "switchover"
+		if res.WarmUnits == 0 {
+			return r.fail("switchover promotion was cold: %+v", res)
+		}
+		return r.oracle.postPromotion(brk.Promoted(), res.PromotedSCN, res.NewStandby)
+	}
+	return nil
+}
+
+func (r *Runner) collectCounters() {
+	if r.injector != nil {
+		r.res.FaultCounts = r.injector.Counts()
+	}
+	if r.rcv != nil {
+		r.res.Reconnects = r.rcv.Reconnects()
+		r.res.Corrupt = r.rcv.CorruptFrames()
+		r.res.Duplicates = r.rcv.DuplicatesDropped()
+	}
+}
+
+// teardown releases whatever the run still owns. After a transition the
+// broker already closed the primary, server and source; the remaining pieces
+// (engines, promoted clusters) are stopped by the oracle's post-promotion
+// path, so only the steady-state resources are handled here.
+func (r *Runner) teardown() {
+	if r.monitor != nil {
+		r.monitor.stop()
+	}
+	if r.res.Transition != "" {
+		r.collectCounters()
+		return
+	}
+	if r.sc != nil {
+		r.sc.Stop()
+	}
+	if r.rcv != nil {
+		r.collectCounters()
+		_ = r.rcv.Close()
+	}
+	if r.srv != nil {
+		_ = r.srv.Close()
+	}
+	if r.pri != nil {
+		r.pri.Close()
+	}
+}

@@ -1,0 +1,417 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/testutil"
+)
+
+// oracle checks the harness's global invariants. Every check compares the
+// system against an independent ground truth — the primary's row-store
+// consistent read and the standby's own pure row-store scan — so a silent
+// corruption anywhere in the mine/journal/flush/publish pipeline surfaces as
+// a divergence here, not as a hang or a crash somewhere else.
+type oracle struct {
+	r      *Runner
+	sbyTbl *rowstore.Table
+}
+
+// canonScan runs a full or filtered scan and canonicalizes the result into a
+// sorted row-key string, so two scans are equal iff they returned exactly the
+// same multiset of row values.
+func canonScan(ex *scanengine.Executor, tbl *rowstore.Table, snap scn.SCN, filters ...scanengine.Filter) (string, int, error) {
+	res, err := ex.Run(&scanengine.Query{Table: tbl, Filters: filters}, snap)
+	if err != nil {
+		return "", 0, err
+	}
+	s := tbl.Schema()
+	keys := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		keys = append(keys, fmt.Sprintf("%d:%d:%s", row.Num(s, 0), row.Num(s, 1), row.Str(s, 2)))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";"), len(res.Rows), nil
+}
+
+// diffKeys renders a compact description of the rows present in one canonical
+// scan but not the other, for failure messages.
+func diffKeys(a, b string) string {
+	in := func(s string) map[string]bool {
+		m := map[string]bool{}
+		for _, k := range strings.Split(s, ";") {
+			if k != "" {
+				m[k] = true
+			}
+		}
+		return m
+	}
+	am, bm := in(a), in(b)
+	var onlyA, onlyB []string
+	for k := range am {
+		if !bm[k] {
+			onlyA = append(onlyA, k)
+		}
+	}
+	for k := range bm {
+		if !am[k] {
+			onlyB = append(onlyB, k)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	const cap = 8
+	if len(onlyA) > cap {
+		onlyA = append(onlyA[:cap], "...")
+	}
+	if len(onlyB) > cap {
+		onlyB = append(onlyB[:cap], "...")
+	}
+	return fmt.Sprintf("only-in-first=%v only-in-second=%v", onlyA, onlyB)
+}
+
+func (o *oracle) table() (*rowstore.Table, error) {
+	if o.sbyTbl != nil {
+		return o.sbyTbl, nil
+	}
+	tbl, err := o.r.sby.DB().Table(1, "C101")
+	if err != nil {
+		return nil, err
+	}
+	o.sbyTbl = tbl
+	return tbl, nil
+}
+
+// liveProbe runs the three-way equivalence check at whatever QuerySCN the
+// standby currently publishes, while writers and apply keep running — the
+// paper's central claim is exactly that a scan at a published QuerySCN is
+// consistent without quiescing anything.
+func (o *oracle) liveProbe() error {
+	r := o.r
+	q := r.sby.QuerySCN()
+	if q == 0 {
+		return nil // nothing published yet
+	}
+	tbl, err := o.table()
+	if err != nil {
+		return nil // replication of the CREATE TABLE marker still in flight
+	}
+	r.res.Checks++
+
+	hybrid := scanengine.NewExecutor(r.sby.Txns(), r.sby.Store())
+	pure := scanengine.NewExecutor(r.sby.Txns())
+	pri := scanengine.NewExecutor(r.pri.Txns())
+
+	h, _, err := canonScan(hybrid, tbl, q)
+	if err != nil {
+		return r.fail("live hybrid scan at %d: %v", q, err)
+	}
+	p, _, err := canonScan(pure, tbl, q)
+	if err != nil {
+		return r.fail("live row-store scan at %d: %v", q, err)
+	}
+	if h != p {
+		return r.fail("live scans diverge at QuerySCN %d (hybrid vs standby row store): %s",
+			q, diffKeys(h, p))
+	}
+	g, _, err := canonScan(pri, r.tbl, q)
+	if err != nil {
+		return r.fail("live primary CR scan at %d: %v", q, err)
+	}
+	if h != g {
+		return r.fail("live scans diverge at QuerySCN %d (standby vs primary CR): %s",
+			q, diffKeys(h, g))
+	}
+	return nil
+}
+
+// quiesceCheck runs the full invariant suite once the standby has caught up
+// with the primary and no writer is in flight.
+func (o *oracle) quiesceCheck() error {
+	r := o.r
+	tbl, err := o.table()
+	if err != nil {
+		return r.fail("standby table missing at quiesce: %v", err)
+	}
+	r.res.Checks++
+
+	// (3) Journal / commit-table coherence: with every transaction resolved
+	// and applied, both structures must drain (flush and QuerySCN advancement
+	// run on millisecond timers, so poll briefly).
+	if !testutil.WaitFor(10*time.Second, 0, func() bool {
+		st := r.sby.Stats()
+		return st.JournalTxns == 0 && st.CommitTablePend == 0
+	}) {
+		return r.fail("journal/commit table did not drain at quiesce: %+v", r.sby.Stats())
+	}
+
+	// Let population settle, then force one coverage scan so segment growth
+	// since the last engine pass is accounted for.
+	r.sby.Engine().Scan()
+	if !r.sby.Engine().WaitIdle(20 * time.Second) {
+		return r.fail("population did not settle at quiesce: %+v", r.sby.Engine().Stats())
+	}
+
+	// (1) Equivalence at the published QuerySCN, full scan: standby hybrid
+	// (IMCS + SMU + journal + row store), standby pure row store, primary CR.
+	q := r.sby.QuerySCN()
+	hybrid := scanengine.NewExecutor(r.sby.Txns(), r.sby.Store())
+	pure := scanengine.NewExecutor(r.sby.Txns())
+	pri := scanengine.NewExecutor(r.pri.Txns())
+
+	res, prof, err := hybrid.RunProfiled(&scanengine.Query{Table: tbl}, q)
+	if err != nil {
+		return r.fail("quiesce hybrid scan at %d: %v", q, err)
+	}
+	s := tbl.Schema()
+	keys := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		keys = append(keys, fmt.Sprintf("%d:%d:%s", row.Num(s, 0), row.Num(s, 1), row.Str(s, 2)))
+	}
+	sort.Strings(keys)
+	h := strings.Join(keys, ";")
+
+	p, _, err := canonScan(pure, tbl, q)
+	if err != nil {
+		return r.fail("quiesce row-store scan at %d: %v", q, err)
+	}
+	if h != p {
+		return r.fail("scans diverge at QuerySCN %d (hybrid vs standby row store): %s",
+			q, diffKeys(h, p))
+	}
+	g, _, err := canonScan(pri, r.tbl, q)
+	if err != nil {
+		return r.fail("quiesce primary CR scan at %d: %v", q, err)
+	}
+	if h != g {
+		return r.fail("scans diverge at QuerySCN %d (standby vs primary CR): %s",
+			q, diffKeys(h, g))
+	}
+
+	// Profile cross-check: the four serving paths partition the result set,
+	// and after population settled the IMCS must actually serve rows.
+	sum := prof.RowsIMCS + prof.RowsInvalid + prof.RowsTail + prof.RowsRowStore
+	if prof.ResultRows != sum {
+		return r.fail("profile paths do not partition the result at %d: rows=%d imcs=%d invalid=%d tail=%d rowstore=%d",
+			q, prof.ResultRows, prof.RowsIMCS, prof.RowsInvalid, prof.RowsTail, prof.RowsRowStore)
+	}
+	if prof.ResultRows != int64(len(res.Rows)) {
+		return r.fail("profile result rows %d != scan rows %d", prof.ResultRows, len(res.Rows))
+	}
+	if prof.RowsIMCS == 0 {
+		return r.fail("settled IMCS served no rows at %d (profile %+v, store %+v)",
+			q, prof, r.sby.Store().Stats())
+	}
+
+	// Filtered and aggregate equivalence between the hybrid path and the
+	// primary CR — predicates and pushed-down aggregates take different code
+	// paths through the IMCU than full materialization.
+	for _, color := range colors {
+		fh, nh, err := canonScan(hybrid, tbl, q, scanengine.EqStr(2, color))
+		if err != nil {
+			return r.fail("filtered hybrid scan at %d: %v", q, err)
+		}
+		fg, ng, err := canonScan(pri, r.tbl, q, scanengine.EqStr(2, color))
+		if err != nil {
+			return r.fail("filtered primary scan at %d: %v", q, err)
+		}
+		if fh != fg {
+			return r.fail("filtered scans (c1=%q) diverge at %d (%d vs %d rows): %s",
+				color, q, nh, ng, diffKeys(fh, fg))
+		}
+	}
+	ha, err := hybrid.Run(&scanengine.Query{Table: tbl, Agg: scanengine.AggSum, AggCol: 1}, q)
+	if err != nil {
+		return r.fail("hybrid SUM at %d: %v", q, err)
+	}
+	ga, err := pri.Run(&scanengine.Query{Table: r.tbl, Agg: scanengine.AggSum, AggCol: 1}, q)
+	if err != nil {
+		return r.fail("primary SUM at %d: %v", q, err)
+	}
+	if ha.Sum != ga.Sum {
+		return r.fail("SUM(n1) diverges at %d: standby %d, primary %d", q, ha.Sum, ga.Sum)
+	}
+
+	// (4) IMCU coverage: every chunk of every segment must be covered by a
+	// unit (populated or placeholder) after the engine settled.
+	for _, part := range tbl.Partitions() {
+		seg := part.Seg
+		obj := seg.Obj()
+		n := rowstore.BlockNo(seg.BlockCount())
+		for start := rowstore.BlockNo(0); start < n; start += blocksPerIMCU {
+			if _, ok := r.sby.Store().UnitForBlock(obj, start); !ok {
+				return r.fail("coverage gap: obj %d block %d (of %d) has no unit after settle", obj, start, n)
+			}
+		}
+	}
+	return nil
+}
+
+// postPromotion validates a role transition: the promoted node's retained
+// column store must agree with its row store, new DML must commit past the
+// promotion SCN and stay consistent, and after a switchover the rebuilt
+// standby must converge on the promoted node's state. It also releases the
+// promoted-side resources.
+func (o *oracle) postPromotion(newPri *primary.Cluster, promoted scn.SCN, newSb *rac.StandbyCluster) error {
+	r := o.r
+	master := r.sby
+	pTbl, err := master.DB().Table(1, "C101")
+	if err != nil {
+		return r.fail("promoted table missing: %v", err)
+	}
+	if master.QuerySCN() != promoted {
+		return r.fail("promoted QuerySCN %d != terminal recovery SCN %d", master.QuerySCN(), promoted)
+	}
+	if !master.Engine().WaitIdle(20 * time.Second) {
+		return r.fail("post-promotion population did not settle")
+	}
+	r.res.Checks++
+
+	hybrid := scanengine.NewExecutor(newPri.Txns(), master.Store())
+	pure := scanengine.NewExecutor(newPri.Txns())
+	check := func(when string) error {
+		snap := newPri.Snapshot()
+		h, _, err := canonScan(hybrid, pTbl, snap)
+		if err != nil {
+			return r.fail("%s hybrid scan: %v", when, err)
+		}
+		p, _, err := canonScan(pure, pTbl, snap)
+		if err != nil {
+			return r.fail("%s row-store scan: %v", when, err)
+		}
+		if h != p {
+			return r.fail("%s: retained store diverges from row store at %d: %s",
+				when, snap, diffKeys(h, p))
+		}
+		return nil
+	}
+	if err := check("post-promotion"); err != nil {
+		return err
+	}
+
+	// New DML on the promoted node: commits advance past the promotion SCN
+	// and commit-time maintenance keeps the retained store consistent.
+	s := pTbl.Schema()
+	tx := newPri.Instance(0).Begin()
+	for i := 0; i < 5; i++ {
+		row := rowstore.NewRow(s)
+		row.Nums[s.Col(0).Slot()] = r.nextID
+		row.Nums[s.Col(1).Slot()] = 777
+		row.Strs[s.Col(2).Slot()] = colors[int(r.nextID)%len(colors)]
+		r.nextID++
+		if _, err := tx.Insert(pTbl, row); err != nil {
+			return r.fail("promoted insert: %v", err)
+		}
+	}
+	commitSCN, err := tx.Commit()
+	if err != nil {
+		return r.fail("promoted commit: %v", err)
+	}
+	if commitSCN <= promoted {
+		return r.fail("promoted commit SCN %d not past promotion SCN %d", commitSCN, promoted)
+	}
+	if err := check("post-promotion-DML"); err != nil {
+		return err
+	}
+
+	// Switchover: the rebuilt standby applies the promoted node's redo and
+	// converges on the same state.
+	if newSb != nil {
+		target := newPri.Snapshot()
+		if !newSb.Master.WaitForSCN(target, 20*time.Second) {
+			return r.fail("rebuilt standby stuck: QuerySCN=%d target=%d stats=%+v",
+				newSb.Master.QuerySCN(), target, newSb.Master.Stats())
+		}
+		oldTbl, err := newSb.Master.DB().Table(1, "C101")
+		if err != nil {
+			return r.fail("rebuilt standby table missing: %v", err)
+		}
+		q2 := newSb.Master.QuerySCN()
+		sbEx := scanengine.NewExecutor(newSb.Master.Txns(), newSb.Stores()...)
+		a, _, err := canonScan(sbEx, oldTbl, q2)
+		if err != nil {
+			return r.fail("rebuilt standby scan: %v", err)
+		}
+		b, _, err := canonScan(pure, pTbl, q2)
+		if err != nil {
+			return r.fail("promoted CR scan at %d: %v", q2, err)
+		}
+		if a != b {
+			return r.fail("rebuilt standby diverges from promoted node at %d: %s", q2, diffKeys(a, b))
+		}
+		newSb.Stop()
+	}
+	master.Engine().Stop()
+	newPri.Close()
+	return nil
+}
+
+// monitor continuously samples the standby's published QuerySCN, asserting it
+// never moves backwards (including across crash-restarts, whose checkpoint is
+// at or above the last publication) and never runs ahead of the primary's SCN
+// clock.
+type monitor struct {
+	r     *Runner
+	stopC chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	mu        sync.Mutex
+	violation error
+}
+
+func startMonitor(r *Runner) *monitor {
+	m := &monitor{r: r, stopC: make(chan struct{}), done: make(chan struct{})}
+	go m.loop()
+	return m
+}
+
+func (m *monitor) loop() {
+	defer close(m.done)
+	var lastQ scn.SCN
+	for {
+		select {
+		case <-m.stopC:
+			return
+		default:
+		}
+		q := m.r.sby.QuerySCN()
+		if q < lastQ {
+			m.set(fmt.Errorf("QuerySCN moved backwards: %d -> %d", lastQ, q))
+			return
+		}
+		lastQ = q
+		// Read the primary clock after the QuerySCN: the clock is monotone, so
+		// this orders the comparison safely.
+		if bound := m.r.pri.Snapshot(); q > bound {
+			m.set(fmt.Errorf("standby QuerySCN %d ran ahead of the primary clock %d", q, bound))
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (m *monitor) set(err error) {
+	m.mu.Lock()
+	m.violation = err
+	m.mu.Unlock()
+}
+
+func (m *monitor) err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violation
+}
+
+func (m *monitor) stop() {
+	m.once.Do(func() { close(m.stopC) })
+	<-m.done
+}

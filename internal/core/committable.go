@@ -11,12 +11,18 @@ import (
 // CommitNode is an IM-ADG Commit Table node (paper §III.D.1): a committed
 // transaction, its commitSCN, the specialized-redo flag from its commit
 // record, and a direct reference to its journal anchor for one-step access
-// during flush.
+// during flush. Aborted transactions are queued as nodes too (Aborted set,
+// CommitSCN = the abort record's SCN): their journal anchors can only be
+// released once the chop watermark guarantees no worker is still mining the
+// transaction's data CVs — removing the anchor at abort-mining time instead
+// races with those workers, which re-create it as an orphan that never
+// drains.
 type CommitNode struct {
 	Txn       scn.TxnID
 	CommitSCN scn.SCN
 	Tenant    rowstore.TenantID
 	HasIMCS   bool
+	Aborted   bool
 	Anchor    *Anchor // nil when no anchor existed at commit mining time
 	next      *CommitNode
 }

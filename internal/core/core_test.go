@@ -236,13 +236,34 @@ func TestMinerRespectsPolicy(t *testing.T) {
 }
 
 func TestMinerAbortDiscards(t *testing.T) {
-	j := NewJournal(0, 1)
-	m := NewMiner(j, NewCommitTable(1), NewDDLTable(), allowAll{})
+	// Abort does NOT drop the anchor at mining time (a concurrent worker could
+	// still be mining the txn's data CVs and would re-create it as an orphan);
+	// it queues an abort node, and the flusher releases the anchor once the
+	// chop watermark proves the transaction is fully applied.
+	j := NewJournal(0, 2)
+	ct := NewCommitTable(1)
+	store := imcs.NewStore()
+	f := NewFlusher(j, store, imcs.HomeMap{Instances: 1}, 0, 64, nil)
+	m := NewMiner(j, ct, NewDDLTable(), allowAll{})
 	m.MineCV(0, 10, &redo.CV{Kind: redo.CVBegin, Txn: 1})
 	m.MineCV(0, 11, &redo.CV{Kind: redo.CVUpdate, Txn: 1, DBA: rowstore.MakeDBA(9, 3)})
 	m.MineCV(0, 12, &redo.CV{Kind: redo.CVAbort, Txn: 1})
+	if j.Len() != 1 {
+		t.Fatal("anchor must survive until the abort node is flushed")
+	}
+	// A straggler worker mines one more of the aborted txn's data CVs after
+	// the abort record — the orphan-anchor race this design closes.
+	m.MineCV(1, 11, &redo.CV{Kind: redo.CVUpdate, Txn: 1, DBA: rowstore.MakeDBA(9, 4)})
+	w := ct.Chop(12)
+	if w.Len() != 1 || !w.nodes[0].Aborted {
+		t.Fatalf("abort node not queued: %+v", w.nodes)
+	}
+	f.DrainWorklink(w, 8)
 	if j.Len() != 0 {
-		t.Fatal("aborted txn's records not discarded")
+		t.Fatal("aborted txn's records not discarded at flush")
+	}
+	if f.FlushedRecords() != 0 || store.RowsInvalidated() != 0 {
+		t.Fatal("aborted txn's records must not invalidate anything")
 	}
 }
 

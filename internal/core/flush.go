@@ -102,6 +102,15 @@ func (f *Flusher) flushNode(n *CommitNode) {
 		// created after the commit node. Re-resolve.
 		anchor, _ = f.journal.Get(n.Txn)
 	}
+	if n.Aborted {
+		// Aborted changes are never visible at any snapshot, so nothing needs
+		// invalidating; the deferred journal release is the whole point (the
+		// chop watermark guarantees no worker can re-create the anchor now).
+		if anchor != nil {
+			f.journal.Remove(n.Txn)
+		}
+		return
+	}
 	if n.HasIMCS && (anchor == nil || !anchor.Began()) {
 		// Specialized redo generation says invalidation records are expected,
 		// but the journal has none or a partial set (missing "transaction

@@ -31,6 +31,7 @@ type Miner struct {
 
 	mined   atomic.Int64 // invalidation records mined
 	commitN atomic.Int64 // commit nodes created
+	skip    atomic.Int64 // mutation-testing hook: journal records left to drop
 
 	trace atomic.Pointer[obs.PipelineTrace]
 }
@@ -64,6 +65,12 @@ func (m *Miner) mineCV(w int, recSCN scn.SCN, cv *redo.CV) {
 		m.journal.EnsureAnchor(cv.Txn, cv.Tenant, true)
 	case redo.CVInsert, redo.CVUpdate, redo.CVDelete:
 		if m.policy.Enabled(cv.DBA.Obj()) {
+			if m.skip.Load() > 0 && m.skip.Add(-1) >= 0 {
+				// Deliberately mutated path: the invalidation record is never
+				// journaled, leaving a stale IMCS row for the chaos oracle to
+				// catch. Never taken in production (skip stays 0).
+				return
+			}
 			tr := m.trace.Load()
 			var start time.Time
 			if tr != nil {
@@ -85,14 +92,29 @@ func (m *Miner) mineCV(w int, recSCN scn.SCN, cv *redo.CV) {
 		})
 		m.commitN.Add(1)
 	case redo.CVAbort:
-		// Aborted changes are never visible; discard buffered records.
-		m.journal.Remove(cv.Txn)
+		// Aborted changes are never visible, so the buffered records must be
+		// discarded — but not here: a worker on another thread may still be
+		// mining this transaction's data CVs and would re-create the anchor as
+		// a permanent orphan. Queue an abort node instead; the flusher releases
+		// the anchor once the chop watermark proves all of the transaction's
+		// CVs have been applied.
+		anchor, _ := m.journal.Get(cv.Txn)
+		m.commits.Insert(&CommitNode{
+			Txn: cv.Txn, CommitSCN: recSCN, Tenant: cv.Tenant,
+			Aborted: true, Anchor: anchor,
+		})
 	case redo.CVMarker:
 		if cv.Marker != nil {
 			m.ddl.Add(recSCN, cv.Marker)
 		}
 	}
 }
+
+// SkipJournalRecords arms the mutation-testing hook: the next n invalidation
+// records that would be journaled are silently dropped instead, simulating a
+// lost-invalidation bug. The chaos harness self-test uses this to prove its
+// equivalence oracle detects stale IMCS data; production code never arms it.
+func (m *Miner) SkipJournalRecords(n int64) { m.skip.Store(n) }
 
 // MinedRecords returns the number of invalidation records mined.
 func (m *Miner) MinedRecords() int64 { return m.mined.Load() }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dbimadg/internal/testutil"
 )
 
 func TestHistogramBasics(t *testing.T) {
@@ -216,12 +218,18 @@ func TestSampler(t *testing.T) {
 	})
 	s.SampleOnce()
 	s.Start()
-	time.Sleep(10 * time.Millisecond)
+	// Wait for ticker-driven samples beyond the manual SampleOnce instead of
+	// sleeping a fixed interval (flaky under load).
+	sampled := testutil.WaitFor(5*time.Second, 0, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 3
+	})
 	s.Stop()
 	s.Stop() // idempotent
 	mu.Lock()
 	defer mu.Unlock()
-	if len(got) == 0 || got[0] != 11 {
+	if !sampled || got[0] != 11 {
 		t.Fatalf("samples: %v", got)
 	}
 }

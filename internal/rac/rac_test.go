@@ -13,6 +13,7 @@ import (
 	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
 	"dbimadg/internal/standby"
+	"dbimadg/internal/testutil"
 	"dbimadg/internal/transport"
 )
 
@@ -80,13 +81,10 @@ func (p *racPair) catchUp(t *testing.T) {
 		t.Fatalf("master did not catch up: %+v", p.sc.Master.Stats())
 	}
 	// Readers publish shortly after the master.
-	deadline := time.Now().Add(5 * time.Second)
 	for _, r := range p.sc.Readers() {
-		for r.QuerySCN() < target {
-			if time.Now().After(deadline) {
-				t.Fatalf("reader %d stuck at QuerySCN %d, target %d", r.ID(), r.QuerySCN(), target)
-			}
-			time.Sleep(200 * time.Microsecond)
+		r := r
+		if !testutil.WaitFor(5*time.Second, 0, func() bool { return r.QuerySCN() >= target }) {
+			t.Fatalf("reader %d stuck at QuerySCN %d, target %d", r.ID(), r.QuerySCN(), target)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -19,8 +20,15 @@ import (
 //	str     := len bytes
 //	marker  := len jsonBytes                  (only when kind == CVMarker)
 //
-// Records are framed on the wire by a uint32 big-endian length prefix
-// (WriteFrame/ReadFrame), which is what the TCP redo transport ships.
+// Records are framed on the wire as
+//
+//	frame := len(uint32 BE) crc(uint32 BE) body
+//
+// where crc is the CRC-32C (Castagnoli) checksum of body. ReadFrame verifies
+// the checksum before decoding and returns a *ChecksumError on mismatch, so a
+// receiver can tell a corrupted frame (refetch from the archived log) from a
+// malformed record (a protocol bug). This is what the TCP redo transport
+// ships.
 
 // cvFlagHasIMCS marks a commit CV whose transaction touched an IMCS-enabled
 // object.
@@ -229,16 +237,43 @@ func decodeCV(d *decoder) (CV, error) {
 	return cv, d.err
 }
 
-// WriteFrame writes one length-prefixed encoded record to w.
+// castagnoli is the CRC-32C table used for frame checksums; the same
+// polynomial Oracle uses for redo block checking (and that modern CPUs
+// accelerate).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is len(uint32) + crc(uint32).
+const frameHeaderSize = 8
+
+// ChecksumError reports a frame whose body failed CRC verification. The
+// receiver treats it as transient corruption: drop the connection and refetch
+// the record from the archived log (redial at LastSCN+1) rather than failing
+// the apply pipeline.
+type ChecksumError struct {
+	Want, Got uint32
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("redo: frame checksum mismatch (want %08x, got %08x)", e.Want, e.Got)
+}
+
+// AppendFrame serializes r as a complete wire frame (length, CRC-32C,
+// body) onto buf and returns the extended slice.
+func AppendFrame(buf []byte, r *Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = AppendRecord(buf, r)
+	body := buf[start+frameHeaderSize:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(body, castagnoli))
+	return buf
+}
+
+// WriteFrame writes one length-prefixed, checksummed record to w.
 func WriteFrame(w io.Writer, r *Record) (int, error) {
-	body := AppendRecord(nil, r)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	n, err := w.Write(body)
-	return 4 + n, err
+	frame := AppendFrame(nil, r)
+	n, err := w.Write(frame)
+	return n, err
 }
 
 // MaxFrameSize bounds a single record frame on the wire (16 MiB), protecting
@@ -249,7 +284,8 @@ const MaxFrameSize = 16 << 20
 // strictly greater than MaxFrameSize, so it can never be confused with a real
 // frame. The explicit sentinel lets the receiver distinguish "the primary
 // closed this redo thread" (stop pumping) from a dropped connection (redial
-// and resume) — without it both look like io.EOF.
+// and resume) — without it both look like io.EOF. The EOL frame is
+// header-only: no CRC word, no body.
 const eolFrame = 0xFFFFFFFF
 
 // ErrEndOfLog is returned by ReadFrame when the sender signalled a clean end
@@ -264,8 +300,10 @@ func WriteEOL(w io.Writer) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed record from r. It returns ErrEndOfLog
-// when the sender wrote the end-of-log sentinel.
+// ReadFrame reads one length-prefixed record from r and verifies its CRC-32C
+// before decoding. It returns ErrEndOfLog when the sender wrote the
+// end-of-log sentinel, and a *ChecksumError when the body does not match its
+// checksum (the caller should refetch the record from the archived log).
 func ReadFrame(r io.Reader) (*Record, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -278,9 +316,17 @@ func ReadFrame(r io.Reader) (*Record, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("redo: frame of %d bytes exceeds limit", n)
 	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, err
+	}
+	want := binary.BigEndian.Uint32(crcBuf[:])
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, &ChecksumError{Want: want, Got: got}
 	}
 	return DecodeRecord(body)
 }

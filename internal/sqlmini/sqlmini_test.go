@@ -122,6 +122,63 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorMessages pins down the diagnostics: a user replaying a paper
+// query should see what is wrong, not just that something is. Each case states
+// the substring the error must carry.
+func TestParseErrorMessages(t *testing.T) {
+	tbl := testTable(t)
+	cases := []struct {
+		name string
+		sql  string
+		want string
+	}{
+		{"bare analyze", "ANALYZE SELECT * FROM C101",
+			"ANALYZE requires EXPLAIN (use EXPLAIN ANALYZE)"},
+		{"explain non-select", "EXPLAIN UPDATE C101 SET n1 = 1",
+			"expected SELECT"},
+		{"unknown projected column", "SELECT nope FROM C101",
+			`no column "nope"`},
+		{"unknown filter column", "SELECT * FROM C101 WHERE ghost = 5",
+			`no column "ghost"`},
+		{"unknown aggregate column", "SELECT SUM(c9) FROM C101",
+			`no aggregate column "c9"`},
+		{"unterminated literal", "SELECT * FROM C101 WHERE c1 = 'oops",
+			"unterminated string literal"},
+		{"unexpected character", "SELECT * FROM C101 WHERE n1 = #5",
+			"unexpected character"},
+		{"missing table", "SELECT * FROM",
+			"missing table name"},
+		{"trailing tokens", "SELECT * FROM C101 WHERE n1 = 1 ORDER",
+			"trailing tokens"},
+		{"bad operator", "SELECT * FROM C101 WHERE n1 LIKE 5",
+			"bad comparison operator"},
+		{"bad numeric literal", "SELECT * FROM C101 WHERE n1 = 12x4",
+			"bad numeric literal"},
+		{"string literal for number", "SELECT * FROM C101 WHERE n1 = 'five'",
+			`string literal for NUMBER column "n1"`},
+		{"numeric literal for varchar", "SELECT * FROM C101 WHERE c1 = 7",
+			`numeric literal for VARCHAR2 column "c1"`},
+		{"missing bind", "SELECT * FROM C101 WHERE n1 = :absent",
+			"missing bind :absent"},
+		{"wrong table", "SELECT * FROM OTHER",
+			`statement targets "OTHER"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseAndCompile(c.sql, tbl, nil)
+			if err == nil {
+				t.Fatalf("accepted bad SQL: %q", c.sql)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("%q: error %q does not mention %q", c.sql, err, c.want)
+			}
+			if !strings.HasPrefix(err.Error(), "sqlmini: ") {
+				t.Fatalf("%q: error %q missing package prefix", c.sql, err)
+			}
+		})
+	}
+}
+
 func TestBindTypeMismatch(t *testing.T) {
 	tbl := testTable(t)
 	if _, err := ParseAndCompile("SELECT * FROM C101 WHERE n1 = :b", tbl,

@@ -296,6 +296,16 @@ func (inst *Instance) components() (*imcs.Store, *imcs.Engine, *core.Journal, *c
 	return inst.store, inst.engine, inst.journal, inst.commits, inst.miner, inst.flusher
 }
 
+// InjectJournalSkip arms the miner's mutation-testing hook: the next n
+// invalidation records are dropped instead of journaled. Used only by the
+// chaos harness self-test to prove the equivalence oracle detects the
+// resulting stale IMCS rows. The hook does not survive Restart (the miner is
+// volatile state), matching a bug that corrupts the live journal.
+func (inst *Instance) InjectJournalSkip(n int64) {
+	_, _, _, _, miner, _ := inst.components()
+	miner.SkipJournalRecords(n)
+}
+
 // registerMetrics exposes the instance's counters and derived gauges on its
 // registry. Called once from New; the derived functions resolve the current
 // volatile components on every evaluation, so they survive restarts.

@@ -15,6 +15,7 @@ import (
 	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
 	"dbimadg/internal/standby"
+	"dbimadg/internal/testutil"
 	"dbimadg/internal/transport"
 )
 
@@ -323,14 +324,12 @@ func TestConsistencyUnderLoad(t *testing.T) {
 
 	priEx := scanengine.NewExecutor(p.pri.Txns())
 	sbyEx := scanengine.NewExecutor(p.sby.Txns(), p.sby.Store())
+	testutil.Eventually(t, 5*time.Second, func() bool { return p.sby.QuerySCN() > 0 },
+		"standby never published a QuerySCN")
 	deadline := time.Now().Add(3 * time.Second)
 	checks := 0
 	for time.Now().Before(deadline) {
 		q := p.sby.QuerySCN()
-		if q == 0 {
-			time.Sleep(time.Millisecond)
-			continue
-		}
 		sTbl := p.sbyTable(t)
 		a := scanKey(t, sbyEx, sTbl, q)
 		b := scanKey(t, priEx, p.tbl, q)
@@ -444,9 +443,9 @@ func TestAlterInMemoryDisableDropsUnits(t *testing.T) {
 	}
 	p.insert(t, 100, 110)
 	p.catchUp(t)
-	time.Sleep(20 * time.Millisecond) // let a population pass run (must not repopulate)
-	if n := len(p.sby.Store().Units(obj)); n != 0 {
-		t.Fatalf("%d units remain after INMEMORY disable", n)
+	// The disable drops existing units; population passes must not rebuild.
+	if !testutil.WaitFor(5*time.Second, 0, func() bool { return len(p.sby.Store().Units(obj)) == 0 }) {
+		t.Fatalf("%d units remain after INMEMORY disable", len(p.sby.Store().Units(obj)))
 	}
 }
 

@@ -1,0 +1,51 @@
+// Package testutil holds small helpers shared by the package test suites —
+// chiefly deadline-based polling, replacing the ad-hoc waitFor loops and bare
+// time.Sleep synchronization that used to be duplicated across the standby,
+// rac, broker, and transport tests (and that made them timing-sensitive).
+package testutil
+
+import (
+	"time"
+)
+
+// DefaultPoll is the polling interval used by WaitFor when poll <= 0. It is
+// deliberately short: these are in-process conditions that settle in
+// microseconds to milliseconds.
+const DefaultPoll = 200 * time.Microsecond
+
+// WaitFor polls cond every poll interval until it returns true or timeout
+// elapses, and reports whether cond became true. cond is always evaluated at
+// least once. Use it instead of a bare time.Sleep before an assertion: the
+// wait ends as soon as the condition holds (fast in the common case) and the
+// timeout only bounds the pathological case.
+func WaitFor(timeout, poll time.Duration, cond func() bool) bool {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(poll)
+	}
+}
+
+// failer is the subset of testing.TB these helpers need; taking the interface
+// keeps testutil import-light and mockable.
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Eventually fails the test when cond does not become true within timeout,
+// polling at DefaultPoll.
+func Eventually(t failer, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !WaitFor(timeout, 0, cond) {
+		t.Fatalf("condition not met within %v: "+format, append([]any{timeout}, args...)...)
+	}
+}

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"dbimadg/internal/redo"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/testutil"
+)
+
+// expectSCNs asserts the drained records are exactly want, in order — the
+// exactly-once shipping property under faults.
+func expectSCNs(t *testing.T, got []*redo.Record, want ...scn.SCN) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("mirrored %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].SCN != w {
+			t.Fatalf("record %d has SCN %d, want %d (duplicate, gap, or reorder leak)", i, got[i].SCN, w)
+		}
+	}
+}
+
+// TestReconnectDropBeforeFirstFrame severs the connection immediately after
+// the handshake, before any frame ships. The mirror is still empty, so the
+// redial must resume at the original fromSCN — not LastSCN+1 arithmetic on an
+// Invalid SCN.
+func TestReconnectDropBeforeFirstFrame(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	srv.SetFaultInjector(NewScriptedInjector(FaultDrop))
+
+	rcv, err := Connect(srv.Addr(), []uint16{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 3, 10*time.Second)
+	expectSCNs(t, got, 10, 20, 30)
+	testutil.Eventually(t, 5*time.Second, func() bool { return rcv.Reconnects() >= 1 },
+		"reconnect counter did not record the handshake-time drop")
+}
+
+// TestReconnectMidRecord truncates a frame partway through (the server dies
+// mid-record). The receiver must discard the partial frame, redial, and
+// resume at LastSCN+1: every record exactly once.
+func TestReconnectMidRecord(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30, 40)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	// Frame 0 ships clean; frame 1 (SCN 20) is cut mid-record.
+	srv.SetFaultInjector(NewScriptedInjector(FaultNone, FaultPartial))
+
+	rcv, err := Connect(srv.Addr(), []uint16{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 4, 10*time.Second)
+	expectSCNs(t, got, 10, 20, 30, 40)
+	if rcv.Reconnects() == 0 {
+		t.Fatal("reconnect counter did not record the mid-record drop")
+	}
+	if c := rcv.Reconnects(); c != 1 {
+		t.Fatalf("transport_reconnects_total = %d, want exactly 1", c)
+	}
+}
+
+// TestCorruptFrameRefetched flips a bit in one frame. The CRC rejects it, the
+// connection drops, and the redial refetches the same record from the
+// archived log — exactly once, with the corruption counted.
+func TestCorruptFrameRefetched(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	srv.SetFaultInjector(NewScriptedInjector(FaultCorrupt))
+
+	rcv, err := Connect(srv.Addr(), []uint16{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 3, 10*time.Second)
+	expectSCNs(t, got, 10, 20, 30)
+	if rcv.CorruptFrames() != 1 {
+		t.Fatalf("CorruptFrames = %d, want 1", rcv.CorruptFrames())
+	}
+	if rcv.Reconnects() == 0 {
+		t.Fatal("corrupt frame did not trigger a refetch reconnect")
+	}
+}
+
+// TestDuplicateFramesDeduped ships one frame twice; the receiver's SCN dedup
+// must keep the mirror exactly-once.
+func TestDuplicateFramesDeduped(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	srv.SetFaultInjector(NewScriptedInjector(FaultDup))
+
+	rcv, err := Connect(srv.Addr(), []uint16{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 3, 10*time.Second)
+	expectSCNs(t, got, 10, 20, 30)
+	testutil.Eventually(t, 5*time.Second, func() bool { return rcv.DuplicatesDropped() == 1 },
+		"DuplicatesDropped = %d, want 1", rcv.DuplicatesDropped())
+}
+
+// TestReorderHealedByWindow swaps adjacent frames on the wire; a receiver
+// with ReorderWindow >= 2 must still mirror them in SCN order.
+func TestReorderHealedByWindow(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30, 40)
+	s1.Close() // EOL flushes the resequencing window
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	// Hold SCN 10, ship after 20: wire order is 20,10,30,40.
+	srv.SetFaultInjector(NewScriptedInjector(FaultReorder))
+
+	rcv, err := ConnectOpts(srv.Addr(), []uint16{1}, 0, Options{ReorderWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 4, 10*time.Second)
+	expectSCNs(t, got, 10, 20, 30, 40)
+	if rcv.Err() != nil {
+		t.Fatalf("unexpected pump error: %v", rcv.Err())
+	}
+}
+
+// TestReorderWindowDiscardedOnDrop parks records in the resequencing window,
+// then severs the connection: the window must be discarded and the records
+// refetched at LastSCN+1 rather than flushed out of order or lost.
+func TestReorderWindowDiscardedOnDrop(t *testing.T) {
+	s1 := mkStream(1, 10, 20, 30, 40, 50)
+	s1.Close() // the post-reconnect EOL flushes the rebuilt window
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, s1)
+	defer srv.Close()
+	// 10 and 20 ship clean and pass through the window; 30 and 40 sit in the
+	// window when the drop hits.
+	srv.SetFaultInjector(NewScriptedInjector(FaultNone, FaultNone, FaultNone, FaultNone, FaultDrop))
+
+	rcv, err := ConnectOpts(srv.Addr(), []uint16{1}, 0, Options{ReorderWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	got := drain(t, rcv.Streams()[0], 5, 10*time.Second)
+	expectSCNs(t, got, 10, 20, 30, 40, 50)
+	if rcv.Reconnects() == 0 {
+		t.Fatal("drop with a loaded window did not reconnect")
+	}
+}
+
+// TestFaultInjectorDeterminism: the same seed and plan produce the same fault
+// sequence — the property the chaos harness's seed replay depends on.
+func TestFaultInjectorDeterminism(t *testing.T) {
+	plan := FaultPlan{DropProb: 0.1, DelayProb: 0.2, DupProb: 0.1, CorruptProb: 0.05}
+	sample := func() []FaultKind {
+		fi := NewFaultInjector(1234, plan)
+		out := make([]FaultKind, 200)
+		for i := range out {
+			out[i] = fi.nextDecision().kind
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	fi := NewFaultInjector(1234, plan)
+	var injected int64
+	for i := 0; i < 200; i++ {
+		if fi.nextDecision().kind != FaultNone {
+			injected++
+		}
+	}
+	if fi.Injected() != injected {
+		t.Fatalf("Injected() = %d, counted %d", fi.Injected(), injected)
+	}
+	if fi.Counts()["none"] != 200-injected {
+		t.Fatalf("Counts()[none] = %d, want %d", fi.Counts()["none"], 200-injected)
+	}
+}

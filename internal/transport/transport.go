@@ -15,9 +15,11 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +67,8 @@ type Server struct {
 	ln      net.Listener
 	streams map[uint16]*redo.Stream
 
+	injector atomic.Pointer[FaultInjector]
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -101,6 +105,12 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	return err
 }
+
+// SetFaultInjector installs (or, with nil, removes) a per-frame fault
+// injector on every shipping connection. It generalizes DropConnections: the
+// injector can drop, truncate, delay, duplicate, reorder, or corrupt
+// individual frames according to its seeded plan. Safe to call while serving.
+func (s *Server) SetFaultInjector(fi *FaultInjector) { s.injector.Store(fi) }
 
 // DropConnections severs every live shipping connection without stopping the
 // listener — a fault injection hook simulating a network partition. Attached
@@ -163,6 +173,7 @@ func (s *Server) serve(conn net.Conn) {
 		return
 	}
 	rd := redo.NewReaderAtSCN(stream, from)
+	var held []byte // frame parked by FaultReorder, shipped after its successor
 	for {
 		s.mu.Lock()
 		closed := s.closed
@@ -174,6 +185,11 @@ func (s *Server) serve(conn net.Conn) {
 		// handler past Close when the primary never closes its stream.
 		rec, ok, eol := rd.TryNext()
 		if eol {
+			if held != nil {
+				if _, err := conn.Write(held); err != nil {
+					return
+				}
+			}
 			_ = redo.WriteEOL(conn) // clean end of log, not a drop
 			return
 		}
@@ -181,8 +197,52 @@ func (s *Server) serve(conn net.Conn) {
 			time.Sleep(500 * time.Microsecond)
 			continue
 		}
-		if _, err := redo.WriteFrame(conn, rec); err != nil {
+		frame := redo.AppendFrame(nil, rec)
+		if fi := s.injector.Load(); fi != nil {
+			d := fi.nextDecision()
+			switch d.kind {
+			case FaultDrop:
+				// Severing here loses nothing: the receiver redials at
+				// LastSCN+1 and this record is re-read from the stream. A held
+				// reordered frame is likewise re-served after reconnect.
+				return
+			case FaultPartial:
+				cut := int(d.cut * float64(len(frame)))
+				if cut < 1 {
+					cut = 1
+				}
+				if cut >= len(frame) {
+					cut = len(frame) - 1
+				}
+				_, _ = conn.Write(frame[:cut])
+				return
+			case FaultDelay:
+				time.Sleep(d.delay)
+			case FaultDup:
+				frame = append(frame, frame...)
+			case FaultReorder:
+				if held == nil {
+					held = frame
+					continue // ship it after the next frame
+				}
+				// Already holding one; don't stack swaps.
+			case FaultCorrupt:
+				// Flip one bit in the body (past the 8-byte header) so the
+				// length prefix stays intact and the CRC catches it.
+				if body := len(frame) - 8; body > 0 {
+					off := 8 + int(d.bit%uint64(body))
+					frame[off] ^= 1 << (d.bit % 8)
+				}
+			}
+		}
+		if _, err := conn.Write(frame); err != nil {
 			return
+		}
+		if held != nil {
+			if _, err := conn.Write(held); err != nil {
+				return
+			}
+			held = nil
 		}
 	}
 }
@@ -203,6 +263,7 @@ const (
 // explicit end-of-log sentinel from the server ends a pump cleanly.
 type Receiver struct {
 	addr    string
+	opts    Options
 	mirrors []*redo.Stream
 	wg      sync.WaitGroup
 	stop    chan struct{}
@@ -213,10 +274,24 @@ type Receiver struct {
 	lastErr error
 
 	trace      atomic.Pointer[obs.PipelineTrace]
-	records    atomic.Int64 // redo records received across all threads
-	bytes      atomic.Int64 // encoded redo bytes received
+	records    atomic.Int64 // redo records mirrored across all threads
+	bytes      atomic.Int64 // encoded redo bytes mirrored
 	reconnects atomic.Int64 // successful redials after a dropped connection
+	corrupt    atomic.Int64 // frames rejected by CRC verification
+	dups       atomic.Int64 // duplicate records dropped by SCN dedup
 	rngState   atomic.Uint64
+}
+
+// Options tunes receiver-side resilience.
+type Options struct {
+	// ReorderWindow, when >= 2, buffers up to that many records per thread
+	// and releases them to the mirror in SCN order, healing bounded
+	// out-of-order delivery (e.g. FaultReorder's adjacent swaps). The buffer
+	// is flushed on a clean end of log and DISCARDED on any connection error:
+	// unflushed records are refetched from the archived log at LastSCN+1, so
+	// nothing is lost. 0 (the default) appends records as they arrive and
+	// treats out-of-order delivery as a protocol violation.
+	ReorderWindow int
 }
 
 // SetTrace attaches an optional pipeline trace; ship-stage latency (time to
@@ -232,6 +307,14 @@ func (r *Receiver) BytesReceived() int64 { return r.bytes.Load() }
 // Reconnects returns how many times a pump redialled after a dropped
 // connection (exported as transport_reconnects_total).
 func (r *Receiver) Reconnects() int64 { return r.reconnects.Load() }
+
+// CorruptFrames returns how many frames failed CRC verification and were
+// refetched from the archived log.
+func (r *Receiver) CorruptFrames() int64 { return r.corrupt.Load() }
+
+// DuplicatesDropped returns how many already-mirrored records were discarded
+// by SCN deduplication.
+func (r *Receiver) DuplicatesDropped() int64 { return r.dups.Load() }
 
 // dial opens and handshakes one shipping connection for thread th starting at
 // from, registering it so Close can interrupt a blocked read.
@@ -268,8 +351,14 @@ func (r *Receiver) dial(th uint16, from scn.SCN) (net.Conn, error) {
 // Connect dials addr for each thread and begins pumping records with
 // SCN >= from into fresh mirror streams.
 func Connect(addr string, threads []uint16, from scn.SCN) (*Receiver, error) {
+	return ConnectOpts(addr, threads, from, Options{})
+}
+
+// ConnectOpts is Connect with explicit receiver options.
+func ConnectOpts(addr string, threads []uint16, from scn.SCN, opts Options) (*Receiver, error) {
 	r := &Receiver{
 		addr:  addr,
+		opts:  opts,
 		stop:  make(chan struct{}),
 		conns: make(map[uint16]net.Conn, len(threads)),
 	}
@@ -334,17 +423,54 @@ func (r *Receiver) pump(th uint16, conn net.Conn, mirror *redo.Stream, from scn.
 }
 
 // drainConn reads frames until the connection errors or signals end-of-log.
+// Records already in the mirror (duplicates after FaultDup) are dropped; with
+// a ReorderWindow, records are buffered and released in SCN order. The window
+// is flushed on a clean end of log and discarded on any error — unflushed
+// records are simply refetched at LastSCN+1 on the redial, which is also how
+// a CRC-rejected frame gets its archived-log refetch.
 func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream) error {
+	var window []*redo.Record // sorted ascending by SCN, len <= opts.ReorderWindow
+	release := func(rec *redo.Record) {
+		mirror.Append(rec)
+		r.records.Add(1)
+		r.bytes.Add(int64(redo.EncodedSize(rec)))
+	}
 	for {
 		start := time.Now()
 		rec, err := redo.ReadFrame(conn)
 		if err != nil {
+			var ce *redo.ChecksumError
+			if errors.As(err, &ce) {
+				r.corrupt.Add(1)
+			}
+			if err == redo.ErrEndOfLog {
+				for _, w := range window {
+					release(w)
+				}
+			}
 			return err
 		}
-		mirror.Append(rec)
-		r.records.Add(1)
-		r.bytes.Add(int64(redo.EncodedSize(rec)))
+		if rec.SCN <= mirror.LastSCN() {
+			r.dups.Add(1)
+			continue
+		}
 		r.trace.Load().Observe(obs.StageShip, uint64(rec.SCN), time.Since(start))
+		if r.opts.ReorderWindow < 2 {
+			release(rec)
+			continue
+		}
+		i := sort.Search(len(window), func(i int) bool { return window[i].SCN >= rec.SCN })
+		if i < len(window) && window[i].SCN == rec.SCN {
+			r.dups.Add(1)
+			continue
+		}
+		window = append(window, nil)
+		copy(window[i+1:], window[i:])
+		window[i] = rec
+		for len(window) > r.opts.ReorderWindow {
+			release(window[0])
+			window = window[1:]
+		}
 	}
 }
 

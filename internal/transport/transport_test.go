@@ -8,6 +8,7 @@ import (
 	"dbimadg/internal/redo"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scn"
+	"dbimadg/internal/testutil"
 )
 
 func mkStream(thread uint16, scns ...scn.SCN) *redo.Stream {
@@ -36,18 +37,18 @@ func drain(t *testing.T, s *redo.Stream, want int, timeout time.Duration) []*red
 	t.Helper()
 	var out []*redo.Record
 	rd := redo.NewReader(s, 0)
-	deadline := time.Now().Add(timeout)
-	for len(out) < want && time.Now().Before(deadline) {
-		rec, ok, eol := rd.TryNext()
-		if ok {
+	testutil.WaitFor(timeout, 0, func() bool {
+		for {
+			rec, ok, eol := rd.TryNext()
+			if !ok {
+				return eol // end of log stops the wait; otherwise poll again
+			}
 			out = append(out, rec)
-			continue
+			if len(out) >= want {
+				return true
+			}
 		}
-		if eol {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+	})
 	return out
 }
 
