@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	adgbench [-experiment fig9|fig10|table2|fig11|cpu|all]
+//	adgbench [-experiment fig9|fig10|table2|fig11|cpu|groupby|all]
 //	         [-rows N] [-duration D] [-ops N] [-threads N] [-seed N]
 //	         [-telemetry]
 //
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig9 | fig10 | table2 | fig11 | cpu | all")
+		exp      = flag.String("experiment", "all", "fig9 | fig10 | table2 | fig11 | cpu | groupby | all")
 		rows     = flag.Int("rows", 300000, "initial wide-table rows (paper: 6,000,000)")
 		duration = flag.Duration("duration", 10*time.Second, "measured phase duration (paper: 1h)")
 		ops      = flag.Int("ops", 0, "target DML throughput, ops/s (0 = auto-scale with rows; paper: 4000 on 6M rows)")
@@ -81,6 +81,7 @@ func main() {
 		{"table2", func() (fmt.Stringer, error) { return experiments.RunTable2(p) }},
 		{"fig11", func() (fmt.Stringer, error) { return experiments.RunFig11(p) }},
 		{"cpu", func() (fmt.Stringer, error) { return experiments.RunCPU(p) }},
+		{"groupby", func() (fmt.Stringer, error) { return experiments.RunGroupBy(p) }},
 	}
 
 	selected := all[:0:0]

@@ -45,6 +45,10 @@ type Doc struct {
 	// BenchmarkFailover: warm-promotion latency vs the cold IMCS rebuild it
 	// avoids, and the resulting speedup.
 	Failover *FailoverSummary `json:"failover,omitempty"`
+	// GroupBy summarizes BenchmarkGroupBy when present: the encoding-aware
+	// grouped aggregate vs the row-at-a-time fallback, and the single-pass
+	// multi-aggregate vs two separate scans.
+	GroupBy *GroupBySummary `json:"groupby,omitempty"`
 }
 
 // FailoverSummary is derived from BenchmarkFailover's reported metrics.
@@ -73,6 +77,44 @@ func failoverSummary(benchmarks []Benchmark) *FailoverSummary {
 		}
 	}
 	return nil
+}
+
+// GroupBySummary is derived from BenchmarkGroupBy's sub-benchmarks.
+type GroupBySummary struct {
+	// EncodedNs / RowFallbackNs are ns/op of the grouped aggregate over the
+	// column store (run-level folds) vs the pure row-store fallback.
+	EncodedNs     float64 `json:"encoded_ns"`
+	RowFallbackNs float64 `json:"row_fallback_ns"`
+	Speedup       float64 `json:"speedup"`
+	// SinglePassNs / TwoScansNs are ns/op of one four-aggregate scan vs two
+	// separate single-aggregate scans of the same column.
+	SinglePassNs   float64 `json:"single_pass_ns"`
+	TwoScansNs     float64 `json:"two_scans_ns"`
+	SinglePassGain float64 `json:"single_pass_gain"`
+}
+
+// groupBySummary extracts the summary from a parsed benchmark set; nil when
+// the run did not include BenchmarkGroupBy's comparison sub-benchmarks.
+func groupBySummary(benchmarks []Benchmark) *GroupBySummary {
+	ns := map[string]float64{}
+	for _, b := range benchmarks {
+		name, _, _ := strings.Cut(b.Name, "-")
+		if sub, ok := strings.CutPrefix(name, "BenchmarkGroupBy/"); ok {
+			ns[sub] = b.Metrics["ns/op"]
+		}
+	}
+	s := &GroupBySummary{
+		EncodedNs:     ns["EncodedIMCS"],
+		RowFallbackNs: ns["RowFallback"],
+		SinglePassNs:  ns["MultiAggSinglePass"],
+		TwoScansNs:    ns["MultiAggTwoScans"],
+	}
+	if s.EncodedNs <= 0 || s.RowFallbackNs <= 0 || s.SinglePassNs <= 0 || s.TwoScansNs <= 0 {
+		return nil
+	}
+	s.Speedup = s.RowFallbackNs / s.EncodedNs
+	s.SinglePassGain = s.TwoScansNs / s.SinglePassNs
+	return s
 }
 
 func main() {
@@ -131,6 +173,7 @@ func parse(r io.Reader) (*Doc, error) {
 		}
 	}
 	doc.Failover = failoverSummary(doc.Benchmarks)
+	doc.GroupBy = groupBySummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

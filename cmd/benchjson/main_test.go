@@ -82,3 +82,38 @@ func TestParseLineRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestGroupBySummary(t *testing.T) {
+	in := `goos: linux
+BenchmarkGroupBy/EncodedIMCS-8         	    4000	    300000 ns/op
+BenchmarkGroupBy/RowFallback-8         	     300	   4500000 ns/op
+BenchmarkGroupBy/MultiAggSinglePass-8  	    5000	    200000 ns/op
+BenchmarkGroupBy/MultiAggTwoScans-8    	    2500	    440000 ns/op
+PASS
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := doc.GroupBy
+	if gs == nil {
+		t.Fatal("groupby summary not extracted")
+	}
+	if gs.EncodedNs != 300000 || gs.RowFallbackNs != 4500000 {
+		t.Fatalf("bad summary: %+v", gs)
+	}
+	if gs.Speedup != 15 || gs.SinglePassGain != 2.2 {
+		t.Fatalf("bad ratios: %+v", gs)
+	}
+}
+
+func TestGroupBySummaryAbsent(t *testing.T) {
+	in := "BenchmarkGroupBy/EncodedIMCS-8 100 123 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GroupBy != nil {
+		t.Fatalf("spurious groupby summary: %+v", doc.GroupBy)
+	}
+}

@@ -25,11 +25,13 @@ type oracle struct {
 	sbyTbl *rowstore.Table
 }
 
-// canonScan runs a full or filtered scan and canonicalizes the result into a
-// sorted row-key string, so two scans are equal iff they returned exactly the
-// same multiset of row values.
+// canonScan runs a full or filtered scan in deterministic RowID order and
+// canonicalizes the result into a row-key string, so two scans are equal iff
+// they returned exactly the same rows. Physical redo apply preserves block
+// and slot addresses, so the primary CR and the standby agree on the order
+// too — no re-sorting needed.
 func canonScan(ex *scanengine.Executor, tbl *rowstore.Table, snap scn.SCN, filters ...scanengine.Filter) (string, int, error) {
-	res, err := ex.Run(&scanengine.Query{Table: tbl, Filters: filters}, snap)
+	res, err := ex.Run(&scanengine.Query{Table: tbl, Filters: filters, OrderByRowID: true}, snap)
 	if err != nil {
 		return "", 0, err
 	}
@@ -38,8 +40,31 @@ func canonScan(ex *scanengine.Executor, tbl *rowstore.Table, snap scn.SCN, filte
 	for _, row := range res.Rows {
 		keys = append(keys, fmt.Sprintf("%d:%d:%s", row.Num(s, 0), row.Num(s, 1), row.Str(s, 2)))
 	}
-	sort.Strings(keys)
 	return strings.Join(keys, ";"), len(res.Rows), nil
+}
+
+// canonGroups runs a grouped aggregate — GROUP BY c1 with COUNT(*), SUM,
+// MIN and MAX over n1 — and canonicalizes the groups. Group order is already
+// deterministic, so the strings compare directly.
+func canonGroups(ex *scanengine.Executor, tbl *rowstore.Table, snap scn.SCN) (string, error) {
+	res, err := ex.Run(&scanengine.Query{
+		Table: tbl,
+		Aggs: []scanengine.AggSpec{
+			{Kind: scanengine.AggCount},
+			{Kind: scanengine.AggSum, Col: 1},
+			{Kind: scanengine.AggMin, Col: 1},
+			{Kind: scanengine.AggMax, Col: 1},
+		},
+		GroupBy: []int{2},
+	}, snap)
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(res.Grouped.Groups))
+	for _, g := range res.Grouped.Groups {
+		parts = append(parts, fmt.Sprintf("%s=%d:%v", g.Keys[0], g.Count, g.Vals))
+	}
+	return strings.Join(parts, ";"), nil
 }
 
 // diffKeys renders a compact description of the rows present in one canonical
@@ -167,7 +192,7 @@ func (o *oracle) quiesceCheck() error {
 	pure := scanengine.NewExecutor(r.sby.Txns())
 	pri := scanengine.NewExecutor(r.pri.Txns())
 
-	res, prof, err := hybrid.RunProfiled(&scanengine.Query{Table: tbl}, q)
+	res, prof, err := hybrid.RunProfiled(&scanengine.Query{Table: tbl, OrderByRowID: true}, q)
 	if err != nil {
 		return r.fail("quiesce hybrid scan at %d: %v", q, err)
 	}
@@ -176,7 +201,6 @@ func (o *oracle) quiesceCheck() error {
 	for _, row := range res.Rows {
 		keys = append(keys, fmt.Sprintf("%d:%d:%s", row.Num(s, 0), row.Num(s, 1), row.Str(s, 2)))
 	}
-	sort.Strings(keys)
 	h := strings.Join(keys, ";")
 
 	p, _, err := canonScan(pure, tbl, q)
@@ -238,6 +262,28 @@ func (o *oracle) quiesceCheck() error {
 	}
 	if ha.Sum != ga.Sum {
 		return r.fail("SUM(n1) diverges at %d: standby %d, primary %d", q, ha.Sum, ga.Sum)
+	}
+
+	// Grouped-aggregate equivalence: the hash GROUP BY folds encoded runs,
+	// decoded batches and row-store fallbacks into per-group accumulators —
+	// all three executors must emit identical groups, group for group.
+	hg, err := canonGroups(hybrid, tbl, q)
+	if err != nil {
+		return r.fail("hybrid GROUP BY at %d: %v", q, err)
+	}
+	pg, err := canonGroups(pure, tbl, q)
+	if err != nil {
+		return r.fail("row-store GROUP BY at %d: %v", q, err)
+	}
+	if hg != pg {
+		return r.fail("GROUP BY diverges at %d (hybrid vs standby row store): %q vs %q", q, hg, pg)
+	}
+	gg, err := canonGroups(pri, r.tbl, q)
+	if err != nil {
+		return r.fail("primary GROUP BY at %d: %v", q, err)
+	}
+	if hg != gg {
+		return r.fail("GROUP BY diverges at %d (standby vs primary CR): %q vs %q", q, hg, gg)
 	}
 
 	// (4) IMCU coverage: every chunk of every segment must be covered by a

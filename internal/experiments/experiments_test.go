@@ -116,3 +116,25 @@ func TestCPUShape(t *testing.T) {
 		t.Fatalf("offload inflated primary CPU: %.2f -> %.2f", res.OnPrimaryPriPct, res.OffloadPriPct)
 	}
 }
+
+func TestGroupByShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := RunGroupBy(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups == 0 || res.IMCS.Count == 0 || res.RowStore.Count == 0 {
+		t.Fatalf("no grouped samples: %+v", res)
+	}
+	if s := res.Speedup(); s < 1.2 {
+		t.Fatalf("grouped median speedup = %.2fx; the encoded path should win", s)
+	}
+	if res.RowsEncoded == 0 {
+		t.Fatal("grouped scan did no encoded-space folds")
+	}
+	if !strings.Contains(res.String(), "GROUP BY median") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,152 @@
+package imcs
+
+import "math/bits"
+
+// This file holds the encoding-aware aggregation kernels of the batch
+// execution pipeline: masked sum/min/max/count folds over a match bitmap,
+// evaluated directly against a column's compressed representation. Run-length
+// encoded (and constant) columns are aggregated at run level — a whole run
+// contributes value*popcount without decoding a single row — which is the
+// columnar analogue of the paper's SIMD-on-compressed-formats claim (§II.B).
+
+// MaskedAgg is the result of one masked aggregation kernel call: the matching
+// row count and the sum/min/max of the matching values. Min/Max are
+// meaningless when Count == 0. EncodedRows counts the rows that were folded
+// at run level, without decoding (RLE runs and constant vectors); the
+// remainder were decoded into scratch first.
+type MaskedAgg struct {
+	Count       int64
+	Sum         int64
+	Min         int64
+	Max         int64
+	EncodedRows int64
+}
+
+func (a *MaskedAgg) addRun(v int64, cnt int64) {
+	if cnt == 0 {
+		return
+	}
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count += cnt
+	a.Sum += v * cnt
+}
+
+// PopcountRange counts the set bits of match in positions [lo, hi).
+func PopcountRange(match []uint64, lo, hi int) int64 {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	if loW == hiW {
+		m := match[loW] >> (lo % 64) << (lo % 64)
+		if hi%64 != 0 {
+			m &= (1 << (hi % 64)) - 1
+		}
+		return int64(bits.OnesCount64(m))
+	}
+	n := int64(bits.OnesCount64(match[loW] >> (lo % 64)))
+	for w := loW + 1; w < hiW; w++ {
+		n += int64(bits.OnesCount64(match[w]))
+	}
+	m := match[hiW]
+	if hi%64 != 0 {
+		m &= (1 << (hi % 64)) - 1
+	}
+	return n + int64(bits.OnesCount64(m))
+}
+
+// AggMasked folds the column values at positions base+i for every set bit i
+// of match with lo <= i < hi into a MaskedAgg. match is a batch-local bitmap
+// (bit i addresses column position base+i). scratch must hold at least hi
+// values; it is used only on the decode path.
+//
+// RLE columns and constant vectors fold whole runs in encoded space; other
+// encodings decode the window into scratch and fold the set bits.
+func (c *NumColumn) AggMasked(match []uint64, base, lo, hi int, scratch []int64) MaskedAgg {
+	var a MaskedAgg
+	if lo >= hi {
+		return a
+	}
+	if c.useRLE {
+		r := &c.runs
+		run := r.runIndexOf(base + lo)
+		for i := lo; i < hi; {
+			end := int(r.runEnds[run]) - base
+			if end > hi {
+				end = hi
+			}
+			a.addRun(r.runVals[run], PopcountRange(match, i, end))
+			i = end
+			run++
+		}
+		a.EncodedRows = a.Count
+		return a
+	}
+	if c.packed.width == 0 {
+		// Constant vector: one run spanning the window.
+		a.addRun(c.packed.min, PopcountRange(match, lo, hi))
+		a.EncodedRows = a.Count
+		return a
+	}
+	c.packed.decode(scratch[lo:hi], base+lo)
+	for w := lo / 64; w <= (hi-1)/64; w++ {
+		m := match[w]
+		if m == 0 {
+			continue
+		}
+		if w == lo/64 {
+			m = m >> (lo % 64) << (lo % 64)
+		}
+		if w == (hi-1)/64 && hi%64 != 0 {
+			m &= (1 << (hi % 64)) - 1
+		}
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			a.addRun(scratch[i], 1)
+			m &= m - 1
+		}
+	}
+	return a
+}
+
+// ForEachRun visits the maximal runs of equal values overlapping column
+// positions [base+lo, base+hi), clipped to that window, in position order.
+// fn receives batch-local bounds (start/end relative to base, like a match
+// bitmap index) and the run value. It returns false — without calling fn —
+// when the column has no run structure to exploit (bit-packed, non-constant),
+// in which case the caller should decode instead.
+func (c *NumColumn) ForEachRun(base, lo, hi int, fn func(start, end int, v int64)) bool {
+	if c.useRLE {
+		r := &c.runs
+		if lo >= hi {
+			return true
+		}
+		run := r.runIndexOf(base + lo)
+		for i := lo; i < hi; {
+			end := int(r.runEnds[run]) - base
+			if end > hi {
+				end = hi
+			}
+			fn(i, end, r.runVals[run])
+			i = end
+			run++
+		}
+		return true
+	}
+	if c.packed.width == 0 {
+		if lo < hi {
+			fn(lo, hi, c.packed.min)
+		}
+		return true
+	}
+	return false
+}
+
+// IsRunEncoded reports whether the column aggregates at run level (RLE or a
+// constant vector) — the encoded-space fast path of the batch kernels.
+func (c *NumColumn) IsRunEncoded() bool { return c.useRLE || c.packed.width == 0 }

@@ -1,0 +1,198 @@
+package imcs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refAgg is the row-at-a-time reference the kernels must match.
+func refAgg(vals []int64, match []uint64, base, lo, hi int) MaskedAgg {
+	var a MaskedAgg
+	for i := lo; i < hi; i++ {
+		if match[i/64]&(1<<(i%64)) != 0 {
+			a.addRun(vals[base+i], 1)
+		}
+	}
+	a.EncodedRows = 0
+	return a
+}
+
+func fullMask(n int) []uint64 {
+	m := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		m[i/64] |= 1 << (i % 64)
+	}
+	return m
+}
+
+func checkAgg(t *testing.T, name string, got, want MaskedAgg) {
+	t.Helper()
+	if got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("%s: count/sum = %d/%d, want %d/%d", name, got.Count, got.Sum, want.Count, want.Sum)
+	}
+	if got.Count > 0 && (got.Min != want.Min || got.Max != want.Max) {
+		t.Fatalf("%s: min/max = %d/%d, want %d/%d", name, got.Min, got.Max, want.Min, want.Max)
+	}
+}
+
+// TestAggMaskedRLEStraddlesBatchBoundary pins the run-level fast path on runs
+// that straddle the 64-row bitmap-word boundary and the batch window edges.
+func TestAggMaskedRLEStraddlesBatchBoundary(t *testing.T) {
+	// Runs of 40: boundaries at 40, 80, 120, ... — none aligned with 64.
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i / 40 * 10)
+	}
+	c := EncodeNums(vals)
+	if !c.IsRunEncoded() {
+		t.Fatal("fixture not RLE-encoded")
+	}
+	scratch := make([]int64, 256)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		base := rng.Intn(200)
+		n := rng.Intn(len(vals)-base) + 1
+		if n > 256 {
+			n = 256
+		}
+		match := make([]uint64, (n+63)/64)
+		for w := range match {
+			match[w] = rng.Uint64()
+		}
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		got := c.AggMasked(match, base, lo, hi, scratch)
+		want := refAgg(vals, match, base, lo, hi)
+		checkAgg(t, "rle", got, want)
+		if got.EncodedRows != got.Count {
+			t.Fatalf("RLE path decoded rows: encoded=%d count=%d", got.EncodedRows, got.Count)
+		}
+	}
+}
+
+func TestAggMaskedBitPackedMatchesReference(t *testing.T) {
+	vals := make([]int64, 300)
+	rng := rand.New(rand.NewSource(5))
+	for i := range vals {
+		vals[i] = rng.Int63n(1000) - 500
+	}
+	c := EncodeNums(vals)
+	if c.IsRunEncoded() {
+		t.Fatal("fixture unexpectedly run-encoded")
+	}
+	scratch := make([]int64, 256)
+	for trial := 0; trial < 50; trial++ {
+		base := rng.Intn(200)
+		n := rng.Intn(len(vals)-base) + 1
+		if n > 256 {
+			n = 256
+		}
+		match := make([]uint64, (n+63)/64)
+		for w := range match {
+			match[w] = rng.Uint64()
+		}
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		got := c.AggMasked(match, base, lo, hi, scratch)
+		checkAgg(t, "packed", got, refAgg(vals, match, base, lo, hi))
+		if got.EncodedRows != 0 {
+			t.Fatalf("bit-packed path claimed encoded rows: %d", got.EncodedRows)
+		}
+	}
+}
+
+// TestAggMaskedConstantColumn covers the width-0 (constant) vector: it must
+// fold in encoded space like a single run.
+func TestAggMaskedConstantColumn(t *testing.T) {
+	vals := make([]int64, 130)
+	for i := range vals {
+		vals[i] = 7
+	}
+	c := EncodeNums(vals)
+	match := fullMask(100)
+	match[0] &^= 1 // knock out position 0
+	got := c.AggMasked(match, 10, 0, 100, make([]int64, 100))
+	if got.Count != 99 || got.Sum != 99*7 || got.Min != 7 || got.Max != 7 {
+		t.Fatalf("constant agg: %+v", got)
+	}
+	if got.EncodedRows != 99 {
+		t.Fatalf("constant column should aggregate in encoded space: %+v", got)
+	}
+}
+
+// TestAggMaskedEmptyAndAllNull: an empty window returns the zero aggregate,
+// and an all-NULL column (no present rows → empty match bitmap) contributes
+// nothing.
+func TestAggMaskedEmptyAndAllNull(t *testing.T) {
+	c := EncodeNums(nil)
+	if got := c.AggMasked(nil, 0, 0, 0, nil); got.Count != 0 || got.Sum != 0 {
+		t.Fatalf("empty column agg: %+v", got)
+	}
+	// All-NULL: builder saw 128 absent slots; present bitmap (here the match
+	// bitmap) is empty, so the kernel must not touch a value.
+	vals := make([]int64, 128)
+	c = EncodeNums(vals)
+	match := make([]uint64, 2) // no bits set
+	if got := c.AggMasked(match, 0, 0, 128, make([]int64, 128)); got.Count != 0 || got.Sum != 0 {
+		t.Fatalf("all-null agg: %+v", got)
+	}
+}
+
+// TestForEachRunClipsToWindow checks run visitation bounds, including runs
+// straddling both window edges, and the fallback signal on packed columns.
+func TestForEachRunClipsToWindow(t *testing.T) {
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = int64(i / 50) // runs of 50: [0,50) [50,100) [100,150) [150,200)
+	}
+	c := EncodeNums(vals)
+	type run struct {
+		s, e int
+		v    int64
+	}
+	var got []run
+	ok := c.ForEachRun(30, 5, 100, func(s, e int, v int64) { got = append(got, run{s, e, v}) })
+	if !ok {
+		t.Fatal("RLE column reported no run structure")
+	}
+	// Window covers positions 35..130: runs 0(35..50), 1(50..100), 2(100..130)
+	// in batch-local coordinates (base 30).
+	want := []run{{5, 20, 0}, {20, 70, 1}, {70, 100, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("runs: %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	rnd := make([]int64, 100)
+	for i := range rnd {
+		rnd[i] = rng.Int63n(1000)
+	}
+	if EncodeNums(rnd).ForEachRun(0, 0, 100, func(int, int, int64) {}) {
+		t.Fatal("bit-packed column claimed run structure")
+	}
+}
+
+// TestDecodeCodesNonZeroStart pins DecodeCodes windows that begin mid-column
+// and mid-word, against Get.
+func TestDecodeCodesNonZeroStart(t *testing.T) {
+	vals := make([]string, 150)
+	words := []string{"amber", "blue", "green", "red", "violet"}
+	for i := range vals {
+		vals[i] = words[(i*7)%len(words)]
+	}
+	c := EncodeStrs(vals)
+	for _, start := range []int{1, 37, 63, 64, 65, 100} {
+		dst := make([]int64, 40)
+		c.DecodeCodes(dst, start)
+		for i, code := range dst {
+			if got, want := c.Value(code), vals[start+i]; got != want {
+				t.Fatalf("start %d pos %d: %q != %q", start, i, got, want)
+			}
+		}
+	}
+}

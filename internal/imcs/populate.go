@@ -232,7 +232,7 @@ func (e *Engine) scanTarget(t Target) int {
 			// populate. Fully packed units cannot grow, so only units with
 			// free capacity are polled.
 			cur := e.rowsInRange(seg, u.StartBlk, u.EndBlk)
-			if cur > st.Rows && float64(cur-st.Rows) > e.cfg.TailThreshold*float64(maxInt(st.Rows, 1)) {
+			if cur > st.Rows && float64(cur-st.Rows) > e.cfg.TailThreshold*float64(max(st.Rows, 1)) {
 				need = true
 			}
 		}
@@ -245,13 +245,6 @@ func (e *Engine) scanTarget(t Target) int {
 		}
 	}
 	return enqueued
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func (e *Engine) rowsInRange(seg *rowstore.Segment, start, end rowstore.BlockNo) int {

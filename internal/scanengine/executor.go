@@ -42,6 +42,15 @@ type Query struct {
 	// aggregated number column (ignored for AggCount).
 	Agg    AggKind
 	AggCol int
+	// Aggs lists select-list aggregates evaluated in one scan pass. When set
+	// it takes precedence over the legacy Agg/AggCol pair.
+	Aggs []AggSpec
+	// GroupBy lists schema column indexes to group the aggregates by
+	// (requires at least one aggregate; at most maxGroupCols columns).
+	GroupBy []int
+	// OrderByRowID returns AggNone rows in deterministic RowID order
+	// (partition, block, slot) instead of unspecified order.
+	OrderByRowID bool
 	// Parallel is the scan parallelism (concurrent unit/range tasks);
 	// <= 1 runs serially.
 	Parallel int
@@ -49,13 +58,22 @@ type Query struct {
 
 // Result is a completed scan.
 type Result struct {
-	// Rows holds materialized rows (AggNone only), in unspecified order.
+	// Rows holds materialized rows (AggNone only) — in RowID order when the
+	// query set OrderByRowID, otherwise unspecified.
 	Rows []rowstore.Row
-	// Count/Sum/Min/Max carry aggregate results.
+	// Count/Sum/Min/Max carry aggregate results (first spec of each kind when
+	// the query listed several aggregates).
 	Count int64
 	Sum   int64
 	Min   int64
 	Max   int64
+	// AggVals holds one value per entry of the query's aggregate list, in
+	// select-list order.
+	AggVals []int64
+	// Grouped is the grouped-aggregate result (GROUP BY queries only), and
+	// GroupCount its emitted group cardinality.
+	Grouped    *GroupedResult
+	GroupCount int64
 
 	// FromIMCS / FromRowStore count matching rows by serving path, and
 	// UnitsPruned counts IMCUs skipped entirely via storage indexes —
@@ -74,6 +92,11 @@ type Result struct {
 	UnitsFallback int64
 	// Batches counts vectorized predicate-evaluation batches run.
 	Batches int64
+	// RowsEncoded/RowsDecoded split the aggregate folds over IMCS-served rows
+	// by whether they ran in encoded space (RLE/constant run level) or had to
+	// decode values first. Row-store serving paths count under neither.
+	RowsEncoded int64
+	RowsDecoded int64
 }
 
 // PathStats accumulates scan-path counters across every query run by the
@@ -86,6 +109,9 @@ type PathStats struct {
 	unitsPruned   atomic.Int64
 	unitsScanned  atomic.Int64
 	unitsFallback atomic.Int64
+	rowsEncoded   atomic.Int64
+	rowsDecoded   atomic.Int64
+	groups        atomic.Int64
 }
 
 // Queries returns the number of scans accumulated.
@@ -108,6 +134,16 @@ func (p *PathStats) UnitsScanned() int64 { return p.unitsScanned.Load() }
 // row-store scan.
 func (p *PathStats) UnitsFallback() int64 { return p.unitsFallback.Load() }
 
+// RowsEncoded returns aggregate folds that ran in encoded space (RLE and
+// constant-vector run level, without decoding).
+func (p *PathStats) RowsEncoded() int64 { return p.rowsEncoded.Load() }
+
+// RowsDecoded returns aggregate folds that decoded column values first.
+func (p *PathStats) RowsDecoded() int64 { return p.rowsDecoded.Load() }
+
+// Groups returns the cumulative group cardinality emitted by GROUP BY scans.
+func (p *PathStats) Groups() int64 { return p.groups.Load() }
+
 func (p *PathStats) add(r *Result) {
 	if p == nil {
 		return
@@ -118,6 +154,9 @@ func (p *PathStats) add(r *Result) {
 	p.unitsPruned.Add(r.UnitsPruned)
 	p.unitsScanned.Add(r.UnitsScanned)
 	p.unitsFallback.Add(r.UnitsFallback)
+	p.rowsEncoded.Add(r.RowsEncoded)
+	p.rowsDecoded.Add(r.RowsDecoded)
+	p.groups.Add(r.GroupCount)
 }
 
 // Executor runs scans at a snapshot against the row store and any number of
@@ -144,23 +183,23 @@ func NewExecutor(view rowstore.TxnView, stores ...*imcs.Store) *Executor {
 
 const batchSize = 1024 // rows per vectorized evaluation batch (multiple of 64)
 
-// validate checks a query's shape against the table's current schema.
-func (ex *Executor) validate(q *Query) (*rowstore.Schema, error) {
+// validate checks a query's shape against the table's current schema and
+// normalizes its aggregate/grouping plan.
+func (ex *Executor) validate(q *Query) (*rowstore.Schema, *queryPlan, error) {
 	if q.Table == nil {
-		return nil, fmt.Errorf("scanengine: query has no table")
+		return nil, nil, fmt.Errorf("scanengine: query has no table")
 	}
 	schema := q.Table.Schema()
 	for _, f := range q.Filters {
 		if f.Col < 0 || f.Col >= schema.NumCols() {
-			return nil, fmt.Errorf("scanengine: filter column %d out of range", f.Col)
+			return nil, nil, fmt.Errorf("scanengine: filter column %d out of range", f.Col)
 		}
 	}
-	if q.Agg == AggSum || q.Agg == AggMin || q.Agg == AggMax {
-		if q.AggCol < 0 || q.AggCol >= schema.NumCols() || schema.Col(q.AggCol).Kind != rowstore.KindNumber {
-			return nil, fmt.Errorf("scanengine: aggregate column %d must be a NUMBER column", q.AggCol)
-		}
+	plan, err := planQuery(q, schema)
+	if err != nil {
+		return nil, nil, err
 	}
-	return schema, nil
+	return schema, plan, nil
 }
 
 // Run executes a query at snapshot snap. When the Profiles sink is set, the
@@ -185,7 +224,7 @@ func (ex *Executor) RunProfiled(q *Query, snap scn.SCN) (*Result, *Profile, erro
 }
 
 func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profile, error) {
-	schema, err := ex.validate(q)
+	schema, plan, err := ex.validate(q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -206,7 +245,7 @@ func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profil
 	if profile {
 		start = time.Now()
 	}
-	merged := newTaskResult(q)
+	merged := newTaskResult(q, plan, schema)
 	merged.profiling = profile
 	if q.Parallel <= 1 || len(tasks) <= 1 {
 		for _, t := range tasks {
@@ -225,7 +264,7 @@ func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profil
 		results := make([]*taskResult, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			results[w] = newTaskResult(q)
+			results[w] = newTaskResult(q, plan, schema)
 			results[w].profiling = profile
 			go func(w int) {
 				defer wg.Done()
@@ -247,7 +286,7 @@ func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profil
 			merged.merge(r)
 		}
 	}
-	res := merged.finish(q)
+	res := merged.finish()
 	ex.Obs.add(res)
 	if !profile {
 		return res, nil, nil
@@ -263,6 +302,9 @@ func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profil
 	prof.UnitsPruned = res.UnitsPruned
 	prof.UnitsFallback = res.UnitsFallback
 	prof.Batches = res.Batches
+	prof.RowsEncoded = res.RowsEncoded
+	prof.RowsDecoded = res.RowsDecoded
+	prof.Groups = res.GroupCount
 	return res, prof, nil
 }
 
@@ -270,7 +312,7 @@ func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profil
 // plus, per planned task, the IMCU pruning verdict the scan would reach at
 // snapshot snap. No rows are read.
 func (ex *Executor) Explain(q *Query, snap scn.SCN) (*Profile, error) {
-	schema, err := ex.validate(q)
+	schema, _, err := ex.validate(q)
 	if err != nil {
 		return nil, err
 	}
@@ -438,13 +480,12 @@ func sortUnits(units []*imcs.Unit) {
 	}
 }
 
-// taskResult accumulates one worker's output.
+// taskResult accumulates one worker's output: path counters plus the query's
+// operator, which folds every matching row regardless of serving path.
 type taskResult struct {
-	rows          []rowstore.Row
-	count         int64
-	sum           int64
-	min           int64
-	max           int64
+	op            operator
+	ordered       bool
+	curPart       int // partition index of the task being scanned
 	fromIMCS      int64
 	fromRowStore  int64
 	fromInvalid   int64
@@ -453,6 +494,8 @@ type taskResult struct {
 	unitsScanned  int64
 	unitsFallback int64
 	batches       int64
+	rowsEncoded   int64
+	rowsDecoded   int64
 
 	// profiling makes runTask record a TaskProfile per task into profs.
 	profiling bool
@@ -472,20 +515,21 @@ type taskProf struct {
 // pathCounters is a snapshot of a taskResult's per-path counters, used to
 // attribute deltas to one task under profiling.
 type pathCounters struct {
-	imcs, rowstore, invalid, tail, batches int64
+	imcs, rowstore, invalid, tail, batches, encoded, decoded int64
 }
 
 func (r *taskResult) counters() pathCounters {
 	return pathCounters{
 		imcs: r.fromIMCS, rowstore: r.fromRowStore,
 		invalid: r.fromInvalid, tail: r.fromTail, batches: r.batches,
+		encoded: r.rowsEncoded, decoded: r.rowsDecoded,
 	}
 }
 
-func newTaskResult(q *Query) *taskResult {
+func newTaskResult(q *Query, plan *queryPlan, schema *rowstore.Schema) *taskResult {
 	return &taskResult{
-		min:        math.MaxInt64,
-		max:        math.MinInt64,
+		op:         newOperator(q, plan, schema),
+		ordered:    q.OrderByRowID,
 		numScratch: make([]int64, batchSize),
 		auxScratch: make([]int64, batchSize),
 		match:      make([]uint64, batchSize/64),
@@ -493,15 +537,7 @@ func newTaskResult(q *Query) *taskResult {
 }
 
 func (r *taskResult) merge(o *taskResult) {
-	r.rows = append(r.rows, o.rows...)
-	r.count += o.count
-	r.sum += o.sum
-	if o.min < r.min {
-		r.min = o.min
-	}
-	if o.max > r.max {
-		r.max = o.max
-	}
+	r.op.merge(o.op)
 	r.fromIMCS += o.fromIMCS
 	r.fromRowStore += o.fromRowStore
 	r.fromInvalid += o.fromInvalid
@@ -510,44 +546,32 @@ func (r *taskResult) merge(o *taskResult) {
 	r.unitsScanned += o.unitsScanned
 	r.unitsFallback += o.unitsFallback
 	r.batches += o.batches
+	r.rowsEncoded += o.rowsEncoded
+	r.rowsDecoded += o.rowsDecoded
 	r.profs = append(r.profs, o.profs...)
 }
 
-func (r *taskResult) finish(q *Query) *Result {
+func (r *taskResult) finish() *Result {
 	res := &Result{
-		Rows: r.rows, Count: r.count, Sum: r.sum, Min: r.min, Max: r.max,
+		Min: math.MaxInt64, Max: math.MinInt64,
 		FromIMCS: r.fromIMCS, FromRowStore: r.fromRowStore,
 		FromInvalid: r.fromInvalid, FromTail: r.fromTail,
 		UnitsPruned: r.unitsPruned, UnitsScanned: r.unitsScanned,
 		UnitsFallback: r.unitsFallback, Batches: r.batches,
+		RowsEncoded: r.rowsEncoded, RowsDecoded: r.rowsDecoded,
 	}
-	if q.Agg == AggNone {
-		res.Count = int64(len(r.rows))
-	}
+	r.op.finish(res)
 	return res
 }
 
-// accept processes one matching row image.
-func (r *taskResult) accept(q *Query, schema *rowstore.Schema, row rowstore.Row) {
-	switch q.Agg {
-	case AggNone:
-		r.rows = append(r.rows, projectRow(q, schema, row))
-	case AggCount:
-		r.count++
-	case AggSum:
-		r.count++
-		r.sum += row.Nums[schema.Col(q.AggCol).Slot()]
-	case AggMin:
-		r.count++
-		if v := row.Nums[schema.Col(q.AggCol).Slot()]; v < r.min {
-			r.min = v
-		}
-	case AggMax:
-		r.count++
-		if v := row.Nums[schema.Col(q.AggCol).Slot()]; v > r.max {
-			r.max = v
-		}
+// acceptRow feeds one matching row image from a row-store serving path into
+// the query's operator, tagged with its RowID order key.
+func (r *taskResult) acceptRow(row rowstore.Row, blk rowstore.BlockNo, slot uint16) {
+	var key uint64
+	if r.ordered {
+		key = orderKey(r.curPart, blk, slot)
 	}
+	r.op.foldRow(r, row, key)
 }
 
 // projectRow materializes the projection: a row in the table's slot layout
@@ -569,6 +593,7 @@ func projectRow(q *Query, schema *rowstore.Schema, row rowstore.Row) rowstore.Ro
 }
 
 func (ex *Executor) runTask(q *Query, schema *rowstore.Schema, t scanTask, snap scn.SCN, res *taskResult) {
+	res.curPart = t.part
 	if !res.profiling {
 		ex.runTaskInner(q, schema, t, snap, res, nil)
 		return
@@ -584,6 +609,8 @@ func (ex *Executor) runTask(q *Query, schema *rowstore.Schema, t scanTask, snap 
 	tp.RowsTail = after.tail - before.tail
 	tp.RowsRowStore = (after.rowstore - before.rowstore) - tp.RowsInvalid - tp.RowsTail
 	tp.Batches = after.batches - before.batches
+	tp.RowsEncoded = after.encoded - before.encoded
+	tp.RowsDecoded = after.decoded - before.decoded
 	res.profs = append(res.profs, taskProf{part: t.part, tp: tp})
 }
 
@@ -643,7 +670,7 @@ func (ex *Executor) scanBlocks(q *Query, schema *rowstore.Schema, seg *rowstore.
 				continue
 			}
 			res.fromRowStore++
-			res.accept(q, schema, row)
+			res.acceptRow(row, b, uint16(slot))
 		}
 	}
 }
@@ -735,6 +762,7 @@ func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU,
 
 	present := imcu.PresentWords()
 	match := res.match
+	res.op.beginUnit(imcu)
 	for base := 0; base < rows; base += batchSize {
 		n := rows - base
 		if n > batchSize {
@@ -764,8 +792,14 @@ func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU,
 		if live == 0 {
 			continue
 		}
-		ex.emitBatch(q, schema, imcu, base, n, match, res)
+		matched := imcs.PopcountRange(match, 0, n)
+		if matched == 0 {
+			continue
+		}
+		res.fromIMCS += matched
+		res.op.foldBatch(res, imcu, base, n, match)
 	}
+	res.op.endUnit()
 }
 
 // evalFilterBatch narrows match to rows of [base, base+n) satisfying f.
@@ -789,7 +823,7 @@ func (ex *Executor) evalFilterBatch(schema *rowstore.Schema, imcu *imcs.IMCU, f 
 	}
 	// Fast path: equality with a missing dictionary entry matches nothing.
 	if f.Op == EQ && !eqFound {
-		clearWords(match, (n+63)/64)
+		clear(match[:(n+63)/64])
 		return false
 	}
 	vals := res.numScratch[:n]
@@ -814,12 +848,6 @@ func (ex *Executor) evalFilterBatch(schema *rowstore.Schema, imcu *imcs.IMCU, f 
 		andCmpBitmap(match, vals, GE, ge)
 	}
 	return true
-}
-
-func clearWords(ws []uint64, n int) {
-	for i := 0; i < n; i++ {
-		ws[i] = 0
-	}
 }
 
 // andCmpBitmap ANDs into match the bitmap of positions of vals satisfying
@@ -881,75 +909,13 @@ func andCmpBitmap(match []uint64, vals []int64, op CmpOp, v int64) {
 	}
 }
 
-func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
-
-// emitBatch materializes or aggregates the surviving rows of a batch.
-func (ex *Executor) emitBatch(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, base, n int, match []uint64, res *taskResult) {
-	var aggVals []int64
-	if q.Agg == AggSum || q.Agg == AggMin || q.Agg == AggMax {
-		aggVals = res.auxScratch[:n]
-		imcu.NumCol(schema.Col(q.AggCol).Slot()).Decode(aggVals, base)
-	}
-	for w := range match[:(n+63)/64] {
-		m := match[w]
-		for m != 0 {
-			b := trailingZeros(m)
-			i := w*64 + b
-			res.fromIMCS++
-			switch q.Agg {
-			case AggNone:
-				res.rows = append(res.rows, ex.materialize(q, schema, imcu, base+i))
-			case AggCount:
-				res.count++
-			case AggSum:
-				res.count++
-				res.sum += aggVals[i]
-			case AggMin:
-				res.count++
-				if aggVals[i] < res.min {
-					res.min = aggVals[i]
-				}
-			case AggMax:
-				res.count++
-				if aggVals[i] > res.max {
-					res.max = aggVals[i]
-				}
-			}
-			m &= m - 1
-		}
-	}
-}
-
-// materialize builds the projected row image for IMCU row i.
-func (ex *Executor) materialize(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, i int) rowstore.Row {
-	row := rowstore.NewRow(schema)
-	if q.Project == nil {
-		for s := range row.Nums {
-			row.Nums[s] = imcu.NumCol(s).Get(i)
-		}
-		for s := range row.Strs {
-			row.Strs[s] = imcu.StrCol(s).Get(i)
-		}
-		return row
-	}
-	for _, ci := range q.Project {
-		col := schema.Col(ci)
-		if col.Kind == rowstore.KindNumber {
-			row.Nums[col.Slot()] = imcu.NumCol(col.Slot()).Get(i)
-		} else {
-			row.Strs[col.Slot()] = imcu.StrCol(col.Slot()).Get(i)
-		}
-	}
-	return row
-}
-
 // scanInvalidRows reconciles with the SMU: rows marked invalid are read from
 // the row store at the scan snapshot (§II.B: "invalid or stale data is not
 // delivered from the IMCS, but delivered from the database buffer cache").
 func (ex *Executor) scanInvalidRows(q *Query, schema *rowstore.Schema, seg *rowstore.Segment, imcu *imcs.IMCU, invalid []uint64, snap scn.SCN, res *taskResult) {
 	for w, word := range invalid {
 		for word != 0 {
-			b := trailingZeros(word)
+			b := bits.TrailingZeros64(word)
 			i := w*64 + b
 			word &= word - 1
 			if i >= imcu.Rows() {
@@ -966,7 +932,7 @@ func (ex *Executor) scanInvalidRows(q *Query, schema *rowstore.Schema, seg *rows
 			}
 			res.fromRowStore++
 			res.fromInvalid++
-			res.accept(q, schema, row)
+			res.acceptRow(row, blk, slot)
 		}
 	}
 }
@@ -993,7 +959,7 @@ func (ex *Executor) scanTails(q *Query, schema *rowstore.Schema, seg *rowstore.S
 			}
 			res.fromRowStore++
 			res.fromTail++
-			res.accept(q, schema, row)
+			res.acceptRow(row, b, uint16(slot))
 		}
 	}
 }

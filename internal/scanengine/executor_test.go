@@ -3,7 +3,6 @@ package scanengine_test
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"testing"
 	"time"
 
@@ -86,19 +85,20 @@ func (f *fixture) execNoIMCS() *scanengine.Executor {
 	return scanengine.NewExecutor(f.c.Txns())
 }
 
+// ids extracts the id column in result order; callers set OrderByRowID so no
+// re-sorting is needed.
 func ids(res *scanengine.Result, s *rowstore.Schema) []int64 {
 	out := make([]int64, 0, len(res.Rows))
 	for _, r := range res.Rows {
 		out = append(out, r.Num(s, 0))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 func TestIMCSScanMatchesRowStoreScan(t *testing.T) {
 	f := newFixture(t, 500, true)
 	snap := f.c.Snapshot()
-	q := &scanengine.Query{Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqNum(1, 42)}}
+	q := &scanengine.Query{Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqNum(1, 42)}, OrderByRowID: true}
 	imcsRes, err := f.exec().Run(q, snap)
 	if err != nil {
 		t.Fatal(err)
@@ -425,13 +425,13 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 	f := newFixture(t, 2000, true)
 	snap := f.c.Snapshot()
 	serial, err := f.exec().Run(&scanengine.Query{
-		Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")},
+		Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")}, OrderByRowID: true,
 	}, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parallel, err := f.exec().Run(&scanengine.Query{
-		Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")}, Parallel: 4,
+		Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")}, OrderByRowID: true, Parallel: 4,
 	}, snap)
 	if err != nil {
 		t.Fatal(err)
@@ -493,7 +493,7 @@ func TestHybridScanEquivalenceRandomized(t *testing.T) {
 			{scanengine.EqNum(1, rng.Int63n(100))},
 			{scanengine.EqStr(2, colors[rng.Intn(len(colors))])},
 		} {
-			q := &scanengine.Query{Table: f.tbl, Filters: filters}
+			q := &scanengine.Query{Table: f.tbl, Filters: filters, OrderByRowID: true}
 			hybrid, err := f.exec().Run(q, snap)
 			if err != nil {
 				t.Fatal(err)
@@ -510,16 +510,12 @@ func TestHybridScanEquivalenceRandomized(t *testing.T) {
 	}
 }
 
-// rowsKey canonicalizes a result for comparison.
+// rowsKey canonicalizes a result for comparison; rows arrive in RowID order
+// (OrderByRowID), so no re-sorting is needed.
 func rowsKey(res *scanengine.Result, s *rowstore.Schema) string {
-	keys := make([]string, 0, len(res.Rows))
-	for _, r := range res.Rows {
-		keys = append(keys, fmt.Sprintf("%d:%d:%s", r.Num(s, 0), r.Num(s, 1), r.Str(s, 2)))
-	}
-	sort.Strings(keys)
 	out := ""
-	for _, k := range keys {
-		out += k + ";"
+	for _, r := range res.Rows {
+		out += fmt.Sprintf("%d:%d:%s;", r.Num(s, 0), r.Num(s, 1), r.Str(s, 2))
 	}
 	return out
 }

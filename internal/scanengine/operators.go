@@ -1,0 +1,709 @@
+package scanengine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rowstore"
+)
+
+// This file holds the batch operator pipeline: after scanIMCU builds a match
+// bitmap for a batch, the surviving rows flow into exactly one operator —
+// rowsOp (late materialization), aggOp (multi-aggregate accumulator) or
+// groupOp (hash GROUP BY) — instead of a row-at-a-time fold. The row-store
+// serving paths (gaps, invalid rows, edge tails, fallbacks) feed the same
+// operator through foldRow, so hybrid results stay exact at QuerySCN.
+
+// AggSpec names one select-list aggregate. Col is the aggregated schema
+// column index (ignored for AggCount).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// maxGroupCols bounds the GROUP BY key width (it sizes the fixed-width hash
+// keys the group operator uses).
+const maxGroupCols = 4
+
+// GroupValue is one group-key value: Num for NUMBER key columns, Str for
+// VARCHAR key columns (IsStr tells which).
+type GroupValue struct {
+	Num   int64
+	Str   string
+	IsStr bool
+}
+
+// String renders the key value.
+func (v GroupValue) String() string {
+	if v.IsStr {
+		return v.Str
+	}
+	return strconv.FormatInt(v.Num, 10)
+}
+
+// GroupRow is one output group: its key values (in Query.GroupBy order), one
+// aggregate value per entry of the query's aggregate list, and the number of
+// matching input rows folded into the group.
+type GroupRow struct {
+	Keys  []GroupValue
+	Vals  []int64
+	Count int64
+}
+
+// GroupedResult is a grouped-aggregate result, with groups in deterministic
+// key order regardless of scan parallelism.
+type GroupedResult struct {
+	KeyCols []string
+	AggCols []string
+	Groups  []GroupRow
+}
+
+// queryPlan is the validated execution shape of a query: the normalized
+// aggregate list (legacy Agg/AggCol folded in) and the GROUP BY key columns.
+type queryPlan struct {
+	aggs    []AggSpec
+	groupBy []int
+}
+
+// planQuery normalizes and validates a query's aggregate/grouping shape.
+func planQuery(q *Query, schema *rowstore.Schema) (*queryPlan, error) {
+	p := &queryPlan{aggs: q.Aggs, groupBy: q.GroupBy}
+	if len(p.aggs) == 0 && q.Agg != AggNone {
+		p.aggs = []AggSpec{{Kind: q.Agg, Col: q.AggCol}}
+	}
+	for _, a := range p.aggs {
+		switch a.Kind {
+		case AggCount:
+		case AggSum, AggMin, AggMax:
+			if a.Col < 0 || a.Col >= schema.NumCols() || schema.Col(a.Col).Kind != rowstore.KindNumber {
+				return nil, fmt.Errorf("scanengine: aggregate column %d must be a NUMBER column", a.Col)
+			}
+		default:
+			return nil, fmt.Errorf("scanengine: aggregate list entries need an aggregate kind")
+		}
+	}
+	if len(p.groupBy) > 0 {
+		if len(p.aggs) == 0 {
+			return nil, fmt.Errorf("scanengine: GROUP BY requires at least one aggregate")
+		}
+		if len(p.groupBy) > maxGroupCols {
+			return nil, fmt.Errorf("scanengine: GROUP BY supports at most %d columns", maxGroupCols)
+		}
+		for _, ci := range p.groupBy {
+			if ci < 0 || ci >= schema.NumCols() {
+				return nil, fmt.Errorf("scanengine: GROUP BY column %d out of range", ci)
+			}
+		}
+	}
+	return p, nil
+}
+
+// aggLabel names an aggregate for result/EXPLAIN output.
+func aggLabel(a AggSpec, schema *rowstore.Schema) string {
+	switch a.Kind {
+	case AggCount:
+		return "COUNT(*)"
+	case AggSum:
+		return "SUM(" + schema.Col(a.Col).Name + ")"
+	case AggMin:
+		return "MIN(" + schema.Col(a.Col).Name + ")"
+	case AggMax:
+		return "MAX(" + schema.Col(a.Col).Name + ")"
+	}
+	return "?"
+}
+
+// operator consumes the matching rows of one scan task stream. foldBatch
+// receives a batch-local match bitmap over IMCU positions [base, base+n);
+// beginUnit/endUnit bracket the batches of one IMCU (dictionary codes are
+// IMCU-local, so code-keyed state must flush at unit end). foldRow feeds a
+// row image from a row-store serving path, with its RowID order key.
+type operator interface {
+	beginUnit(imcu *imcs.IMCU)
+	foldBatch(r *taskResult, imcu *imcs.IMCU, base, n int, match []uint64)
+	endUnit()
+	foldRow(r *taskResult, row rowstore.Row, key uint64)
+	merge(o operator)
+	finish(res *Result)
+}
+
+// newOperator picks the operator for a validated query plan.
+func newOperator(q *Query, plan *queryPlan, schema *rowstore.Schema) operator {
+	switch {
+	case len(plan.groupBy) > 0:
+		return newGroupOp(plan, schema)
+	case len(plan.aggs) > 0:
+		return newAggOp(plan, schema)
+	default:
+		return newRowsOp(q, schema)
+	}
+}
+
+// orderKey is the RowID sort key of one row: partition index, block, slot.
+// BlockNo is 32 bits and slots 16, leaving 16 bits for the partition index.
+func orderKey(part int, blk rowstore.BlockNo, slot uint16) uint64 {
+	return uint64(part)<<48 | uint64(blk)<<16 | uint64(slot)
+}
+
+// collectIdx expands the set bits of match over n positions into idx.
+func collectIdx(idx []int32, match []uint64, n int) []int32 {
+	idx = idx[:0]
+	for w := 0; w < (n+63)/64; w++ {
+		m := match[w]
+		for m != 0 {
+			idx = append(idx, int32(w*64+bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+	}
+	return idx
+}
+
+// rowsOp materializes matching rows (AggNone). IMCU batches are gathered
+// late: only the projected columns are decoded, a window at a time for dense
+// matches, by point lookup for sparse ones.
+type rowsOp struct {
+	q        *Query
+	schema   *rowstore.Schema
+	ordered  bool
+	numSlots []int
+	strSlots []int
+
+	rows []rowstore.Row
+	keys []uint64
+	idx  []int32
+}
+
+func newRowsOp(q *Query, schema *rowstore.Schema) *rowsOp {
+	o := &rowsOp{q: q, schema: schema, ordered: q.OrderByRowID}
+	if q.Project == nil {
+		for s := 0; s < schema.NumberSlots(); s++ {
+			o.numSlots = append(o.numSlots, s)
+		}
+		for s := 0; s < schema.VarcharSlots(); s++ {
+			o.strSlots = append(o.strSlots, s)
+		}
+		return o
+	}
+	for _, ci := range q.Project {
+		col := schema.Col(ci)
+		if col.Kind == rowstore.KindNumber {
+			o.numSlots = append(o.numSlots, col.Slot())
+		} else {
+			o.strSlots = append(o.strSlots, col.Slot())
+		}
+	}
+	return o
+}
+
+func (o *rowsOp) beginUnit(*imcs.IMCU) {}
+func (o *rowsOp) endUnit()             {}
+
+func (o *rowsOp) foldBatch(r *taskResult, imcu *imcs.IMCU, base, n int, match []uint64) {
+	o.idx = collectIdx(o.idx, match, n)
+	if len(o.idx) == 0 {
+		return
+	}
+	start := len(o.rows)
+	for range o.idx {
+		o.rows = append(o.rows, rowstore.NewRow(o.schema))
+	}
+	// Decode a column's whole window once when at least 1/8 of it survives;
+	// point-get for selective batches.
+	dense := len(o.idx)*8 >= n
+	for _, s := range o.numSlots {
+		col := imcu.NumCol(s)
+		if dense {
+			vals := r.auxScratch[:n]
+			col.Decode(vals, base)
+			for k, i := range o.idx {
+				o.rows[start+k].Nums[s] = vals[i]
+			}
+		} else {
+			for k, i := range o.idx {
+				o.rows[start+k].Nums[s] = col.Get(base + int(i))
+			}
+		}
+	}
+	for _, s := range o.strSlots {
+		col := imcu.StrCol(s)
+		if dense {
+			codes := r.auxScratch[:n]
+			col.DecodeCodes(codes, base)
+			for k, i := range o.idx {
+				o.rows[start+k].Strs[s] = col.Value(codes[i])
+			}
+		} else {
+			for k, i := range o.idx {
+				o.rows[start+k].Strs[s] = col.Get(base + int(i))
+			}
+		}
+	}
+	if o.ordered {
+		for _, i := range o.idx {
+			blk, slot := imcu.AddrOfRow(base + int(i))
+			o.keys = append(o.keys, orderKey(r.curPart, blk, slot))
+		}
+	}
+}
+
+func (o *rowsOp) foldRow(r *taskResult, row rowstore.Row, key uint64) {
+	o.rows = append(o.rows, projectRow(o.q, o.schema, row))
+	if o.ordered {
+		o.keys = append(o.keys, key)
+	}
+}
+
+func (o *rowsOp) merge(other operator) {
+	src := other.(*rowsOp)
+	o.rows = append(o.rows, src.rows...)
+	o.keys = append(o.keys, src.keys...)
+}
+
+func (o *rowsOp) finish(res *Result) {
+	if o.ordered {
+		sort.Sort(&rowSorter{keys: o.keys, rows: o.rows})
+	}
+	res.Rows = o.rows
+	res.Count = int64(len(o.rows))
+}
+
+type rowSorter struct {
+	keys []uint64
+	rows []rowstore.Row
+}
+
+func (s *rowSorter) Len() int           { return len(s.keys) }
+func (s *rowSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// aggCell accumulates sum/min/max for one aggregated column.
+type aggCell struct {
+	sum int64
+	min int64
+	max int64
+}
+
+func newAggCell() aggCell { return aggCell{min: math.MaxInt64, max: math.MinInt64} }
+
+func (c *aggCell) addMasked(a imcs.MaskedAgg) {
+	if a.Count == 0 {
+		return
+	}
+	c.sum += a.Sum
+	if a.Min < c.min {
+		c.min = a.Min
+	}
+	if a.Max > c.max {
+		c.max = a.Max
+	}
+}
+
+func (c *aggCell) addVal(v int64) {
+	c.sum += v
+	if v < c.min {
+		c.min = v
+	}
+	if v > c.max {
+		c.max = v
+	}
+}
+
+func (c *aggCell) mergeCell(o aggCell) {
+	c.sum += o.sum
+	if o.min < c.min {
+		c.min = o.min
+	}
+	if o.max > c.max {
+		c.max = o.max
+	}
+}
+
+// uniqueAggCols computes the distinct value slots the aggregate list reads
+// and, per spec, the index of its slot's cell (-1 for COUNT).
+func uniqueAggCols(aggs []AggSpec, schema *rowstore.Schema) (slots []int, colOf []int) {
+	colOf = make([]int, len(aggs))
+	for k, a := range aggs {
+		if a.Kind == AggCount {
+			colOf[k] = -1
+			continue
+		}
+		s := schema.Col(a.Col).Slot()
+		ci := -1
+		for j, have := range slots {
+			if have == s {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			ci = len(slots)
+			slots = append(slots, s)
+		}
+		colOf[k] = ci
+	}
+	return slots, colOf
+}
+
+// aggOp is the multi-aggregate accumulator: every select-list aggregate is
+// folded in one pass. On the IMCU path each distinct aggregated column runs
+// one masked kernel per batch — the kernel returns count/sum/min/max at once,
+// so several aggregates over the same column cost a single fold.
+type aggOp struct {
+	specs []AggSpec
+	slots []int // distinct aggregated column slots
+	colOf []int // spec index -> cell index (-1 for COUNT)
+	count int64
+	cells []aggCell
+}
+
+func newAggOp(plan *queryPlan, schema *rowstore.Schema) *aggOp {
+	o := &aggOp{specs: plan.aggs}
+	o.slots, o.colOf = uniqueAggCols(plan.aggs, schema)
+	o.cells = make([]aggCell, len(o.slots))
+	for i := range o.cells {
+		o.cells[i] = newAggCell()
+	}
+	return o
+}
+
+func (o *aggOp) beginUnit(*imcs.IMCU) {}
+func (o *aggOp) endUnit()             {}
+
+func (o *aggOp) foldBatch(r *taskResult, imcu *imcs.IMCU, base, n int, match []uint64) {
+	cnt := imcs.PopcountRange(match, 0, n)
+	if cnt == 0 {
+		return
+	}
+	o.count += cnt
+	if len(o.slots) == 0 {
+		// COUNT-only: the popcount itself is the fold; nothing decoded.
+		r.rowsEncoded += cnt
+		return
+	}
+	for ci, s := range o.slots {
+		a := imcu.NumCol(s).AggMasked(match, base, 0, n, r.auxScratch)
+		o.cells[ci].addMasked(a)
+		r.rowsEncoded += a.EncodedRows
+		r.rowsDecoded += a.Count - a.EncodedRows
+	}
+}
+
+func (o *aggOp) foldRow(r *taskResult, row rowstore.Row, key uint64) {
+	o.count++
+	for ci, s := range o.slots {
+		o.cells[ci].addVal(row.Nums[s])
+	}
+}
+
+func (o *aggOp) merge(other operator) {
+	src := other.(*aggOp)
+	o.count += src.count
+	for i := range src.cells {
+		o.cells[i].mergeCell(src.cells[i])
+	}
+}
+
+func (o *aggOp) finish(res *Result) {
+	res.Count = o.count
+	res.AggVals = make([]int64, len(o.specs))
+	for k, a := range o.specs {
+		switch a.Kind {
+		case AggCount:
+			res.AggVals[k] = o.count
+		case AggSum:
+			res.AggVals[k] = o.cells[o.colOf[k]].sum
+		case AggMin:
+			res.AggVals[k] = o.cells[o.colOf[k]].min
+		case AggMax:
+			res.AggVals[k] = o.cells[o.colOf[k]].max
+		}
+	}
+	// Legacy single-aggregate fields carry the first spec of each kind.
+	var haveSum, haveMin, haveMax bool
+	for k, a := range o.specs {
+		switch {
+		case a.Kind == AggSum && !haveSum:
+			res.Sum, haveSum = res.AggVals[k], true
+		case a.Kind == AggMin && !haveMin:
+			res.Min, haveMin = res.AggVals[k], true
+		case a.Kind == AggMax && !haveMax:
+			res.Max, haveMax = res.AggVals[k], true
+		}
+	}
+}
+
+// lkey is an IMCU-local group key: raw int64 for NUMBER key columns,
+// dictionary codes for VARCHAR ones. Codes only mean something within one
+// IMCU, so lkey-keyed state lives from beginUnit to endUnit.
+type lkey [maxGroupCols]int64
+
+// gkey is a global group key with VARCHAR keys resolved to strings.
+type gkey struct {
+	nums [maxGroupCols]int64
+	strs [maxGroupCols]string
+}
+
+type groupState struct {
+	count int64
+	cells []aggCell
+}
+
+// groupOp is the hash GROUP BY operator. During an IMCU scan groups hash on
+// dictionary codes (VARCHAR keys) and raw values (NUMBER keys); labels are
+// decoded once per group at unit end, not per row. Single-column NUMBER keys
+// with run structure take a run-level fast path: one map probe per
+// (run × match-word window), aggregating values in encoded space. Row-store
+// rows hash directly on the global key. finish emits groups in deterministic
+// key order, independent of scan parallelism and task interleaving.
+type groupOp struct {
+	schema   *rowstore.Schema
+	keyCols  []int
+	keySlots []int
+	keyIsStr []bool
+	specs    []AggSpec
+	slots    []int
+	colOf    []int
+
+	global map[gkey]*groupState
+
+	unit  *imcs.IMCU
+	local map[lkey]*groupState
+
+	keyScratch [][]int64
+	valScratch [][]int64
+}
+
+func newGroupOp(plan *queryPlan, schema *rowstore.Schema) *groupOp {
+	o := &groupOp{
+		schema:  schema,
+		keyCols: plan.groupBy,
+		specs:   plan.aggs,
+		global:  make(map[gkey]*groupState),
+		local:   make(map[lkey]*groupState),
+	}
+	for _, ci := range plan.groupBy {
+		col := schema.Col(ci)
+		o.keySlots = append(o.keySlots, col.Slot())
+		o.keyIsStr = append(o.keyIsStr, col.Kind == rowstore.KindVarchar)
+		o.keyScratch = append(o.keyScratch, make([]int64, batchSize))
+	}
+	o.slots, o.colOf = uniqueAggCols(plan.aggs, schema)
+	for range o.slots {
+		o.valScratch = append(o.valScratch, make([]int64, batchSize))
+	}
+	return o
+}
+
+func (o *groupOp) newState() *groupState {
+	st := &groupState{cells: make([]aggCell, len(o.slots))}
+	for i := range st.cells {
+		st.cells[i] = newAggCell()
+	}
+	return st
+}
+
+func (o *groupOp) localState(lk lkey) *groupState {
+	st := o.local[lk]
+	if st == nil {
+		st = o.newState()
+		o.local[lk] = st
+	}
+	return st
+}
+
+func (o *groupOp) beginUnit(imcu *imcs.IMCU) { o.unit = imcu }
+
+// endUnit translates code-keyed local groups to global string keys — one
+// dictionary lookup per (group, VARCHAR key column), not per row.
+func (o *groupOp) endUnit() {
+	for lk, st := range o.local {
+		var gk gkey
+		for j := range o.keyCols {
+			if o.keyIsStr[j] {
+				gk.strs[j] = o.unit.StrCol(o.keySlots[j]).Value(lk[j])
+			} else {
+				gk.nums[j] = lk[j]
+			}
+		}
+		o.foldState(gk, st)
+	}
+	clear(o.local)
+	o.unit = nil
+}
+
+func (o *groupOp) foldState(gk gkey, st *groupState) {
+	dst := o.global[gk]
+	if dst == nil {
+		o.global[gk] = st
+		return
+	}
+	dst.count += st.count
+	for i := range st.cells {
+		dst.cells[i].mergeCell(st.cells[i])
+	}
+}
+
+func (o *groupOp) foldBatch(r *taskResult, imcu *imcs.IMCU, base, n int, match []uint64) {
+	// Run-level fast path: a single NUMBER key with run structure visits each
+	// run once and aggregates its match window in encoded space.
+	if len(o.keyCols) == 1 && !o.keyIsStr[0] {
+		kc := imcu.NumCol(o.keySlots[0])
+		ok := kc.ForEachRun(base, 0, n, func(s, e int, v int64) {
+			cnt := imcs.PopcountRange(match, s, e)
+			if cnt == 0 {
+				return
+			}
+			st := o.localState(lkey{v})
+			st.count += cnt
+			if len(o.slots) == 0 {
+				r.rowsEncoded += cnt
+				return
+			}
+			for ci, slot := range o.slots {
+				a := imcu.NumCol(slot).AggMasked(match, base, s, e, r.auxScratch)
+				st.cells[ci].addMasked(a)
+				r.rowsEncoded += a.EncodedRows
+				r.rowsDecoded += a.Count - a.EncodedRows
+			}
+		})
+		if ok {
+			return
+		}
+	}
+
+	// General path: decode key windows (codes for VARCHAR) and value windows,
+	// then hash each surviving row.
+	matched := imcs.PopcountRange(match, 0, n)
+	if matched == 0 {
+		return
+	}
+	for j := range o.keyCols {
+		ks := o.keyScratch[j][:n]
+		if o.keyIsStr[j] {
+			imcu.StrCol(o.keySlots[j]).DecodeCodes(ks, base)
+		} else {
+			imcu.NumCol(o.keySlots[j]).Decode(ks, base)
+		}
+	}
+	for ci, slot := range o.slots {
+		imcu.NumCol(slot).Decode(o.valScratch[ci][:n], base)
+	}
+	for w := 0; w < (n+63)/64; w++ {
+		m := match[w]
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			m &= m - 1
+			var lk lkey
+			for j := range o.keyCols {
+				lk[j] = o.keyScratch[j][i]
+			}
+			st := o.localState(lk)
+			st.count++
+			for ci := range o.slots {
+				st.cells[ci].addVal(o.valScratch[ci][i])
+			}
+		}
+	}
+	if len(o.slots) == 0 {
+		r.rowsDecoded += matched
+	} else {
+		r.rowsDecoded += matched * int64(len(o.slots))
+	}
+}
+
+func (o *groupOp) foldRow(r *taskResult, row rowstore.Row, key uint64) {
+	var gk gkey
+	for j := range o.keyCols {
+		if o.keyIsStr[j] {
+			gk.strs[j] = row.Strs[o.keySlots[j]]
+		} else {
+			gk.nums[j] = row.Nums[o.keySlots[j]]
+		}
+	}
+	st := o.global[gk]
+	if st == nil {
+		st = o.newState()
+		o.global[gk] = st
+	}
+	st.count++
+	for ci, s := range o.slots {
+		st.cells[ci].addVal(row.Nums[s])
+	}
+}
+
+func (o *groupOp) merge(other operator) {
+	src := other.(*groupOp)
+	for gk, st := range src.global {
+		o.foldState(gk, st)
+	}
+}
+
+func (o *groupOp) finish(res *Result) {
+	keys := make([]gkey, 0, len(o.global))
+	for gk := range o.global {
+		keys = append(keys, gk)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		for j := range o.keyCols {
+			if o.keyIsStr[j] {
+				if ka.strs[j] != kb.strs[j] {
+					return ka.strs[j] < kb.strs[j]
+				}
+			} else if ka.nums[j] != kb.nums[j] {
+				return ka.nums[j] < kb.nums[j]
+			}
+		}
+		return false
+	})
+	g := &GroupedResult{}
+	for _, ci := range o.keyCols {
+		g.KeyCols = append(g.KeyCols, o.schema.Col(ci).Name)
+	}
+	for _, a := range o.specs {
+		g.AggCols = append(g.AggCols, aggLabel(a, o.schema))
+	}
+	var total int64
+	for _, gk := range keys {
+		st := o.global[gk]
+		total += st.count
+		row := GroupRow{
+			Keys:  make([]GroupValue, len(o.keyCols)),
+			Vals:  make([]int64, len(o.specs)),
+			Count: st.count,
+		}
+		for j := range o.keyCols {
+			if o.keyIsStr[j] {
+				row.Keys[j] = GroupValue{Str: gk.strs[j], IsStr: true}
+			} else {
+				row.Keys[j] = GroupValue{Num: gk.nums[j]}
+			}
+		}
+		for k, a := range o.specs {
+			if a.Kind == AggCount {
+				row.Vals[k] = st.count
+				continue
+			}
+			cell := st.cells[o.colOf[k]]
+			switch a.Kind {
+			case AggSum:
+				row.Vals[k] = cell.sum
+			case AggMin:
+				row.Vals[k] = cell.min
+			case AggMax:
+				row.Vals[k] = cell.max
+			}
+		}
+		g.Groups = append(g.Groups, row)
+	}
+	res.Grouped = g
+	res.GroupCount = int64(len(g.Groups))
+	res.Count = total
+}

@@ -77,6 +77,10 @@ type TaskProfile struct {
 	RowsRowStore int64 `json:"rows_rowstore,omitempty"`
 	// Batches is the number of vectorized predicate-evaluation batches run.
 	Batches int64 `json:"batches,omitempty"`
+	// RowsEncoded/RowsDecoded split the task's aggregate folds over
+	// IMCS-served rows into encoded-space (run-level) and decoded folds.
+	RowsEncoded int64 `json:"rows_encoded,omitempty"`
+	RowsDecoded int64 `json:"rows_decoded,omitempty"`
 	// WallNanos is the task's wall time (ANALYZE only).
 	WallNanos int64 `json:"wall_ns,omitempty"`
 }
@@ -131,6 +135,12 @@ type Profile struct {
 	UnitsPruned   int64 `json:"units_pruned"`
 	UnitsFallback int64 `json:"units_fallback"`
 	Batches       int64 `json:"batches"`
+	// RowsEncoded/RowsDecoded split the aggregate folds over IMCS-served rows
+	// into encoded-space (RLE/constant run-level) and decoded folds; Groups is
+	// the emitted group cardinality of a GROUP BY query (ANALYZE only).
+	RowsEncoded int64 `json:"rows_encoded,omitempty"`
+	RowsDecoded int64 `json:"rows_decoded,omitempty"`
+	Groups      int64 `json:"groups,omitempty"`
 
 	Partitions []*PartitionProfile `json:"partitions"`
 }
@@ -215,8 +225,15 @@ func (p *Profile) String() string {
 			b.WriteByte('\n')
 		}
 	}
-	fmt.Fprintf(&b, "totals: rows=%d imcs=%d invalid=%d tail=%d rowstore=%d | units scan=%d pruned=%d fallback=%d batches=%d\n",
+	fmt.Fprintf(&b, "totals: rows=%d imcs=%d invalid=%d tail=%d rowstore=%d | units scan=%d pruned=%d fallback=%d batches=%d",
 		p.ResultRows, p.RowsIMCS, p.RowsInvalid, p.RowsTail, p.RowsRowStore,
 		p.UnitsScanned, p.UnitsPruned, p.UnitsFallback, p.Batches)
+	if p.RowsEncoded+p.RowsDecoded > 0 {
+		fmt.Fprintf(&b, " | agg encoded=%d decoded=%d", p.RowsEncoded, p.RowsDecoded)
+	}
+	if p.Groups > 0 {
+		fmt.Fprintf(&b, " groups=%d", p.Groups)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }

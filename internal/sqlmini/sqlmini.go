@@ -4,12 +4,18 @@
 //
 // Grammar (case-insensitive keywords):
 //
-//	[EXPLAIN [ANALYZE]] SELECT select_list FROM ident [WHERE cond {AND cond}]
-//	select_list := '*' | agg | ident {',' ident}
+//	[EXPLAIN [ANALYZE]] SELECT select_list FROM ident
+//	    [WHERE cond {AND cond}] [GROUP BY ident {',' ident}]
+//	select_list := '*' | item {',' item}
+//	item        := ident | agg
 //	agg         := COUNT '(' '*' ')' | (SUM|MIN|MAX) '(' ident ')'
 //	cond        := ident op literal
 //	op          := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
 //	literal     := integer | 'single-quoted string' | :name (bind)
+//
+// The select list may mix grouping columns with any number of aggregates;
+// every plain column must then appear in GROUP BY, and grouped statements
+// compile into a scanengine hash GROUP BY (Result.Grouped).
 //
 // Binds are resolved from a parameter map at compile time, mirroring the
 // paper's "SELECT * FROM C101_6P1M_HASH WHERE n1 = :1".
@@ -38,14 +44,24 @@ func NumBind(v int64) Bind { return Bind{Num: v} }
 // StrBind builds a string bind value.
 func StrBind(v string) Bind { return Bind{Str: v, IsStr: true} }
 
+// AggItem is one parsed select-list aggregate.
+type AggItem struct {
+	Kind scanengine.AggKind
+	Col  string // "" for COUNT(*)
+}
+
 // Statement is a parsed SELECT.
 type Statement struct {
 	TableName string
 	Star      bool
 	Columns   []string
-	Agg       scanengine.AggKind
-	AggCol    string // "" for COUNT(*)
-	Conds     []cond
+	// Agg/AggCol carry a lone aggregate without GROUP BY (the legacy
+	// single-aggregate shape); Aggs is the full select-list aggregate list.
+	Agg     scanengine.AggKind
+	AggCol  string // "" for COUNT(*)
+	Aggs    []AggItem
+	GroupBy []string
+	Conds   []cond
 
 	// Explain marks an EXPLAIN-prefixed statement: return the scan plan.
 	// Analyze additionally executes the query and reports actuals
@@ -180,7 +196,7 @@ func Parse(src string) (*Statement, error) {
 	if st.TableName == "" {
 		return nil, fmt.Errorf("sqlmini: missing table name")
 	}
-	if p.peek() != "" {
+	if p.peek() != "" && !strings.EqualFold(p.peek(), "GROUP") {
 		if err := p.expectKeyword("WHERE"); err != nil {
 			return nil, err
 		}
@@ -194,54 +210,114 @@ func Parse(src string) (*Statement, error) {
 			p.pos++
 		}
 	}
+	if strings.EqualFold(p.peek(), "GROUP") {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col := p.next()
+			if col == "" || col == "," {
+				return nil, fmt.Errorf("sqlmini: bad GROUP BY list")
+			}
+			st.GroupBy = append(st.GroupBy, col)
+			if p.peek() != "," {
+				break
+			}
+			p.pos++
+		}
+	}
 	if p.peek() != "" {
 		return nil, fmt.Errorf("sqlmini: trailing tokens at %q", p.peek())
+	}
+	if err := st.checkShape(); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
 
+// checkShape validates the select-list / GROUP BY combination once the whole
+// statement is parsed.
+func (st *Statement) checkShape() error {
+	if len(st.GroupBy) > 0 && st.Star {
+		return fmt.Errorf("sqlmini: SELECT * cannot be combined with GROUP BY")
+	}
+	if len(st.GroupBy) > 0 && len(st.Aggs) == 0 {
+		return fmt.Errorf("sqlmini: GROUP BY requires an aggregate in the select list")
+	}
+	if len(st.Aggs) > 0 || len(st.GroupBy) > 0 {
+		for _, col := range st.Columns {
+			found := false
+			for _, g := range st.GroupBy {
+				if strings.EqualFold(col, g) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("sqlmini: column %q must appear in GROUP BY", col)
+			}
+		}
+	}
+	// A lone aggregate without grouping keeps the legacy single-aggregate
+	// statement shape.
+	if len(st.Aggs) == 1 && len(st.Columns) == 0 && len(st.GroupBy) == 0 {
+		st.Agg, st.AggCol = st.Aggs[0].Kind, st.Aggs[0].Col
+	}
+	return nil
+}
+
+var aggKeywords = map[string]scanengine.AggKind{
+	"COUNT": scanengine.AggCount, "SUM": scanengine.AggSum,
+	"MIN": scanengine.AggMin, "MAX": scanengine.AggMax,
+}
+
 func (p *parser) parseSelectList(st *Statement) error {
-	t := p.peek()
-	if t == "*" {
+	if p.peek() == "*" {
 		st.Star = true
 		p.pos++
 		return nil
 	}
-	up := strings.ToUpper(t)
-	if up == "COUNT" || up == "SUM" || up == "MIN" || up == "MAX" {
-		p.pos++
-		if err := p.expect("("); err != nil {
+	for {
+		if err := p.parseSelectItem(st); err != nil {
 			return err
 		}
-		switch up {
-		case "COUNT":
-			st.Agg = scanengine.AggCount
-			if err := p.expect("*"); err != nil {
-				return err
-			}
-		case "SUM":
-			st.Agg = scanengine.AggSum
-			st.AggCol = p.next()
-		case "MIN":
-			st.Agg = scanengine.AggMin
-			st.AggCol = p.next()
-		case "MAX":
-			st.Agg = scanengine.AggMax
-			st.AggCol = p.next()
-		}
-		return p.expect(")")
-	}
-	for {
-		col := p.next()
-		if col == "" || col == "," {
-			return fmt.Errorf("sqlmini: bad select list")
-		}
-		st.Columns = append(st.Columns, col)
 		if p.peek() != "," {
 			return nil
 		}
 		p.pos++
 	}
+}
+
+// parseSelectItem parses one select-list entry: an aggregate when the token
+// is an aggregate keyword followed by '(', otherwise a plain column name.
+func (p *parser) parseSelectItem(st *Statement) error {
+	t := p.peek()
+	if t == "" || t == "," {
+		return fmt.Errorf("sqlmini: bad select list")
+	}
+	kind, isAgg := aggKeywords[strings.ToUpper(t)]
+	if isAgg && p.pos+1 < len(p.toks) && p.toks[p.pos+1] == "(" {
+		p.pos += 2
+		item := AggItem{Kind: kind}
+		if kind == scanengine.AggCount {
+			if err := p.expect("*"); err != nil {
+				return err
+			}
+		} else {
+			item.Col = p.next()
+			if item.Col == "" || item.Col == ")" {
+				return fmt.Errorf("sqlmini: bad select list")
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		st.Aggs = append(st.Aggs, item)
+		return nil
+	}
+	st.Columns = append(st.Columns, p.next())
+	return nil
 }
 
 var opMap = map[string]scanengine.CmpOp{
@@ -276,7 +352,7 @@ func (p *parser) parseCond(st *Statement) error {
 func (st *Statement) Compile(tbl *rowstore.Table, binds map[string]Bind) (*scanengine.Query, error) {
 	schema := tbl.Schema()
 	q := &scanengine.Query{Table: tbl, Agg: st.Agg}
-	if !st.Star && st.Agg == scanengine.AggNone {
+	if !st.Star && st.Agg == scanengine.AggNone && len(st.Aggs) == 0 {
 		for _, name := range st.Columns {
 			ci := schema.ColIndex(name)
 			if ci < 0 {
@@ -291,6 +367,28 @@ func (st *Statement) Compile(tbl *rowstore.Table, binds map[string]Bind) (*scane
 			return nil, fmt.Errorf("sqlmini: no aggregate column %q", st.AggCol)
 		}
 		q.AggCol = ci
+	}
+	// Multi-aggregate and grouped statements compile into the aggregate-list
+	// shape; the lone-aggregate case above keeps the legacy Agg/AggCol shape.
+	if st.Agg == scanengine.AggNone && len(st.Aggs) > 0 {
+		for _, a := range st.Aggs {
+			spec := scanengine.AggSpec{Kind: a.Kind}
+			if a.Col != "" {
+				ci := schema.ColIndex(a.Col)
+				if ci < 0 {
+					return nil, fmt.Errorf("sqlmini: no aggregate column %q", a.Col)
+				}
+				spec.Col = ci
+			}
+			q.Aggs = append(q.Aggs, spec)
+		}
+		for _, name := range st.GroupBy {
+			ci := schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlmini: no column %q", name)
+			}
+			q.GroupBy = append(q.GroupBy, ci)
+		}
 	}
 	for _, c := range st.Conds {
 		ci := schema.ColIndex(c.col)

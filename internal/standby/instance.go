@@ -382,6 +382,12 @@ func (inst *Instance) registerMetrics() {
 		func() float64 { return float64(inst.scanStats.UnitsScanned()) })
 	r.CounterFunc("scan_units_fallback_total", "populated IMCUs whose block range fell back to the row store",
 		func() float64 { return float64(inst.scanStats.UnitsFallback()) })
+	r.CounterFunc("scan_agg_rows_encoded_total", "aggregate folds done in encoded space (RLE/constant runs)",
+		func() float64 { return float64(inst.scanStats.RowsEncoded()) })
+	r.CounterFunc("scan_agg_rows_decoded_total", "aggregate folds that decoded column values",
+		func() float64 { return float64(inst.scanStats.RowsDecoded()) })
+	r.CounterFunc("scan_groups_total", "groups emitted by GROUP BY queries",
+		func() float64 { return float64(inst.scanStats.Groups()) })
 	r.CounterFunc("scan_queries_recorded_total", "profiled queries recorded in the query log",
 		func() float64 { t, _ := inst.queryLog.Totals(); return float64(t) })
 	r.CounterFunc("scan_slow_queries_total", "recorded queries at or above the slow-query threshold",

@@ -14,7 +14,7 @@ import (
 )
 
 // TestRestartInterleavingProperty is the property-style test for invariant 6
-// (DESIGN.md §5): for random interleavings of transactions around a standby
+// (DESIGN.md §6): for random interleavings of transactions around a standby
 // restart — transactions that commit before the restart, transactions that
 // span it (mined partially, so their flagged commits must coarse-invalidate),
 // and transactions begun after it — the standby's hybrid IMCS scan at the

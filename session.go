@@ -227,9 +227,11 @@ func StrBind(v string) Bind { return sqlmini.StrBind(v) }
 
 // QuerySQL parses and executes a SELECT against tbl at the session's current
 // snapshot. The supported subset covers the paper's workload: SELECT */cols/
-// aggregate FROM t WHERE col op literal [AND ...], with :name binds, e.g.
-// Table 1's "SELECT * FROM C101 WHERE n1 = :1". EXPLAIN-prefixed statements
-// are rejected — use ExplainSQL for those.
+// aggregates FROM t WHERE col op literal [AND ...] [GROUP BY cols], with
+// :name binds, e.g. Table 1's "SELECT * FROM C101 WHERE n1 = :1". Grouped
+// statements such as "SELECT c1, COUNT(*), SUM(n1) FROM t GROUP BY c1"
+// return their groups in Result.Grouped, in deterministic key order.
+// EXPLAIN-prefixed statements are rejected — use ExplainSQL for those.
 func (s *Session) QuerySQL(tbl *Table, sql string, binds map[string]Bind) (*Result, error) {
 	st, err := sqlmini.Parse(sql)
 	if err != nil {

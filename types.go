@@ -50,6 +50,15 @@ type (
 	CmpOp = scanengine.CmpOp
 	// AggKind selects a pushed-down aggregate.
 	AggKind = scanengine.AggKind
+	// AggSpec names one select-list aggregate (Query.Aggs entry).
+	AggSpec = scanengine.AggSpec
+	// GroupedResult is a GROUP BY result (Result.Grouped), with groups in
+	// deterministic key order regardless of scan parallelism.
+	GroupedResult = scanengine.GroupedResult
+	// GroupRow is one output group of a GroupedResult.
+	GroupRow = scanengine.GroupRow
+	// GroupValue is one group-key value of a GroupRow.
+	GroupValue = scanengine.GroupValue
 
 	// ScanProfile is a per-query EXPLAIN / EXPLAIN ANALYZE document: the
 	// partition and IMCU pruning decisions plus (under ANALYZE) per-path
