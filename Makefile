@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race chaos verify bench bench-json
+.PHONY: all build vet fmt staticcheck test race chaos verify bench bench-json
 
 # Seed count for the chaos harness; override as `make chaos CHAOS_SEEDS=100`.
 CHAOS_SEEDS ?= 10
@@ -19,6 +19,16 @@ vet:
 # Fail if any file is not gofmt-clean; prints the offending paths.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Static analysis beyond vet. Skipped with a notice when the staticcheck
+# binary is not on PATH (the repo adds no module dependency for it); CI
+# installs a pinned version, so findings always gate merges there.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -40,7 +50,7 @@ chaos:
 	$(GO) test -race -run TestChaos -timeout 20m ./internal/chaos/ \
 		-chaos.seeds $(CHAOS_SEEDS) -chaos.seedbase $(CHAOS_SEEDBASE)
 
-verify: fmt vet build test race chaos
+verify: fmt vet staticcheck build test race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

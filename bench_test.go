@@ -398,6 +398,84 @@ type benchSnapshotter struct{ f func() scn.SCN }
 
 func (s benchSnapshotter) CaptureSnapshot() scn.SCN { return s.f() }
 
+// --- Commit-to-visible freshness ---------------------------------------------
+
+// BenchmarkFreshness measures the paper's headline freshness claim end to end:
+// each iteration commits one transaction on the primary, waits until the
+// standby's published QuerySCN covers it, and runs one standby query against
+// the new snapshot. Every commit is traced (sample-every-1), so the tracer's
+// summary decomposes commit-to-visible latency by pipeline stage; the
+// reported c2v-*/qage-*/<stage>-* metrics feed benchjson's freshness block.
+func BenchmarkFreshness(b *testing.B) {
+	const rows = 4000
+	c, err := dbimadg.Open(dbimadg.Config{
+		CheckpointInterval:   time.Millisecond,
+		PopulationInterval:   2 * time.Millisecond,
+		BlocksPerIMCU:        16,
+		FreshnessSampleEvery: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	tbl, err := c.Primary().Instance(0).CreateTable(workload.WideTableSpec("C101", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AlterInMemory(1, "C101", "", dbimadg.InMemoryAttr{Enabled: true, Service: dbimadg.ServiceStandbyOnly}); err != nil {
+		b.Fatal(err)
+	}
+	loadRows(b, c, tbl, 0, rows)
+	if !c.WaitStandbyCaughtUp(60*time.Second) || !c.WaitPopulated(60*time.Second) {
+		b.Fatal("fixture sync failed")
+	}
+	sTbl, err := c.StandbyTable(1, "C101")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pri := c.PrimarySession(0)
+	sby := c.StandbySession()
+	s := tbl.Schema()
+	rng := rand.New(rand.NewSource(11))
+	master := c.StandbyMaster()
+	n1 := s.ColIndex("n1")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := pri.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Insert(tbl, workload.FillRow(s, rows+int64(i), rng)); err != nil {
+			b.Fatal(err)
+		}
+		commitSCN, err := tx.Commit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !master.WaitForSCN(commitSCN, 30*time.Second) {
+			b.Fatalf("standby never published commit SCN %d", commitSCN)
+		}
+		if _, err := sby.Query(&dbimadg.Query{
+			Table:   sTbl,
+			Filters: []dbimadg.Filter{dbimadg.EqNum(n1, rng.Int63n(workload.NumDomain))},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	sum := c.Freshness().Summary()
+	b.ReportMetric(sum.CommitToVisible.P50*1e3, "c2v-p50-ms")
+	b.ReportMetric(sum.CommitToVisible.P99*1e3, "c2v-p99-ms")
+	b.ReportMetric(sum.QueryAge.P50*1e3, "qage-p50-ms")
+	b.ReportMetric(sum.QueryAge.P99*1e3, "qage-p99-ms")
+	for _, st := range sum.Stages {
+		b.ReportMetric(st.P50*1e3, st.Stage+"-p50-ms")
+		b.ReportMetric(st.P99*1e3, st.Stage+"-p99-ms")
+	}
+}
+
 // --- Micro-benchmarks of the substrates --------------------------------------
 
 func BenchmarkMicroRedoCodecEncode(b *testing.B) {

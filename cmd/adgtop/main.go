@@ -7,13 +7,15 @@
 //
 // Usage:
 //
-//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow]
+//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3]
 //
 // Run cmd/adgdemo with -metrics 127.0.0.1:9187 -hold 2m in one terminal and
 // adgtop in another to watch the pipeline drain. With -queries N, each sample
 // is followed by a pane of the N most recent query profiles from the
 // instance's /debug/queries endpoint (-slow restricts it to the slow-query
-// log).
+// log). With -freshness N, each sample is followed by the commit-to-visible
+// SLO summary and the N most recent per-transaction span waterfalls from
+// /debug/freshness.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"dbimadg/internal/obs"
 	"dbimadg/internal/standby"
 )
 
@@ -109,6 +112,41 @@ func printQueries(client *http.Client, addr string, n int, slowOnly bool) {
 	}
 }
 
+// freshnessDoc is the /debug/freshness response envelope.
+type freshnessDoc struct {
+	Summary obs.FreshnessSummary `json:"summary"`
+	Spans   []obs.SpanJSON       `json:"spans"`
+}
+
+// printFreshness renders the commit-to-visible pane: the SLO quantile summary
+// followed by the n most recent span waterfalls, one segment chain per span.
+func printFreshness(client *http.Client, addr string, n int) {
+	var doc freshnessDoc
+	if err := fetchJSON(client, fmt.Sprintf("http://%s/debug/freshness?n=%d", addr, n), &doc); err != nil {
+		fmt.Printf("  freshness: %v\n", err)
+		return
+	}
+	st := doc.Summary.Stats
+	c2v := doc.Summary.CommitToVisible
+	fmt.Printf("  freshness: 1/%d sampled, %d complete, %d truncated, %d open | c2v p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		st.SampleEvery, st.Completed, st.Truncated, st.Open,
+		c2v.P50*1e3, c2v.P95*1e3, c2v.P99*1e3)
+	for _, sp := range doc.Spans {
+		line := fmt.Sprintf("  scn %-8d txn %-6d %-9s %8.3fms  ",
+			sp.SCN, sp.Txn, sp.State, float64(sp.CommitToVisible)/1e6)
+		for i, seg := range sp.Segments {
+			if i > 0 {
+				line += " > "
+			}
+			line += fmt.Sprintf("%s %.3fms", seg.Stage, float64(seg.Dur)/1e6)
+		}
+		if sp.TruncatedWhy != "" {
+			line += " [" + sp.TruncatedWhy + "]"
+		}
+		fmt.Println(line)
+	}
+}
+
 const headerEvery = 20
 
 func header() {
@@ -134,6 +172,7 @@ func main() {
 		count    = flag.Int("n", 0, "number of samples to print (0 = until interrupted)")
 		queries  = flag.Int("queries", 0, "show the N most recent query profiles under each sample (0 = off)")
 		slowOnly = flag.Bool("slow", false, "with -queries, show only slow-query-log entries")
+		fresh    = flag.Int("freshness", 0, "show the commit-to-visible summary and N span waterfalls under each sample (0 = off)")
 	)
 	flag.Parse()
 
@@ -180,6 +219,9 @@ func main() {
 		)
 		if *queries > 0 {
 			printQueries(client, *addr, *queries, *slowOnly)
+		}
+		if *fresh > 0 {
+			printFreshness(client, *addr, *fresh)
 		}
 		prev, prevAt = cur, now
 	}

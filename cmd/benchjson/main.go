@@ -49,6 +49,10 @@ type Doc struct {
 	// grouped aggregate vs the row-at-a-time fallback, and the single-pass
 	// multi-aggregate vs two separate scans.
 	GroupBy *GroupBySummary `json:"groupby,omitempty"`
+	// Freshness summarizes BenchmarkFreshness when present: end-to-end
+	// commit-to-visible latency quantiles decomposed by pipeline stage, plus
+	// the first-query visibility age.
+	Freshness *FreshnessSummary `json:"freshness,omitempty"`
 }
 
 // FailoverSummary is derived from BenchmarkFailover's reported metrics.
@@ -117,6 +121,62 @@ func groupBySummary(benchmarks []Benchmark) *GroupBySummary {
 	return s
 }
 
+// FreshnessSummary is derived from BenchmarkFreshness's reported metrics.
+type FreshnessSummary struct {
+	// C2V* are end-to-end commit-to-visible quantiles: primary commit wall
+	// clock (stamped into the redo frame) to standby QuerySCN publication.
+	C2VP50Ms float64 `json:"c2v_p50_ms"`
+	C2VP99Ms float64 `json:"c2v_p99_ms"`
+	// QueryAge* are first-query visibility ages: commit to the first standby
+	// query whose snapshot covered it.
+	QueryAgeP50Ms float64 `json:"query_age_p50_ms"`
+	QueryAgeP99Ms float64 `json:"query_age_p99_ms"`
+	// Stages decomposes the pipeline in flow order (only observed stages).
+	Stages []FreshnessStage `json:"stages"`
+}
+
+// FreshnessStage is one pipeline stage's latency contribution.
+type FreshnessStage struct {
+	Stage string  `json:"stage"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// freshnessStageOrder is the redo pipeline's flow order for stable output.
+var freshnessStageOrder = []string{"ship", "merge", "dispatch", "apply", "mine", "journal", "flush", "publish"}
+
+// freshnessSummary extracts the summary from a parsed benchmark set; nil when
+// the run did not include BenchmarkFreshness.
+func freshnessSummary(benchmarks []Benchmark) *FreshnessSummary {
+	for _, b := range benchmarks {
+		if name, _, _ := strings.Cut(b.Name, "-"); name != "BenchmarkFreshness" {
+			continue
+		}
+		p50, okP := b.Metrics["c2v-p50-ms"]
+		p99, okQ := b.Metrics["c2v-p99-ms"]
+		if !okP || !okQ {
+			return nil
+		}
+		s := &FreshnessSummary{
+			C2VP50Ms:      p50,
+			C2VP99Ms:      p99,
+			QueryAgeP50Ms: b.Metrics["qage-p50-ms"],
+			QueryAgeP99Ms: b.Metrics["qage-p99-ms"],
+		}
+		for _, stage := range freshnessStageOrder {
+			sp50, ok := b.Metrics[stage+"-p50-ms"]
+			if !ok {
+				continue
+			}
+			s.Stages = append(s.Stages, FreshnessStage{
+				Stage: stage, P50Ms: sp50, P99Ms: b.Metrics[stage+"-p99-ms"],
+			})
+		}
+		return s
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -174,6 +234,7 @@ func parse(r io.Reader) (*Doc, error) {
 	}
 	doc.Failover = failoverSummary(doc.Benchmarks)
 	doc.GroupBy = groupBySummary(doc.Benchmarks)
+	doc.Freshness = freshnessSummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

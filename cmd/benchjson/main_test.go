@@ -117,3 +117,39 @@ func TestGroupBySummaryAbsent(t *testing.T) {
 		t.Fatalf("spurious groupby summary: %+v", doc.GroupBy)
 	}
 }
+
+func TestFreshnessSummary(t *testing.T) {
+	in := `goos: linux
+BenchmarkFreshness-8 	 50	 2500000 ns/op	 2.0 c2v-p50-ms	 55.0 c2v-p99-ms	 2.5 qage-p50-ms	 150.0 qage-p99-ms	 0.01 apply-p50-ms	 22.0 apply-p99-ms	 0.002 flush-p50-ms	 0.02 flush-p99-ms	 0.0001 merge-p50-ms	 0.0002 merge-p99-ms
+PASS
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := doc.Freshness
+	if fs == nil {
+		t.Fatal("freshness summary not extracted")
+	}
+	if fs.C2VP50Ms != 2.0 || fs.C2VP99Ms != 55.0 || fs.QueryAgeP50Ms != 2.5 {
+		t.Fatalf("bad summary: %+v", fs)
+	}
+	// Stages come out in pipeline flow order, observed stages only.
+	if len(fs.Stages) != 3 || fs.Stages[0].Stage != "merge" || fs.Stages[1].Stage != "apply" || fs.Stages[2].Stage != "flush" {
+		t.Fatalf("bad stage order: %+v", fs.Stages)
+	}
+	if fs.Stages[1].P99Ms != 22.0 {
+		t.Fatalf("bad stage quantile: %+v", fs.Stages[1])
+	}
+}
+
+func TestFreshnessSummaryAbsent(t *testing.T) {
+	in := "BenchmarkFig9_Q1_StandbyIMCS-8 100 123 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Freshness != nil {
+		t.Fatalf("spurious freshness summary: %+v", doc.Freshness)
+	}
+}

@@ -92,6 +92,13 @@ type Config struct {
 	// QueryLogSize is the recent/slow query ring capacity behind
 	// Cluster.QueryLog and /debug/queries (default 128).
 	QueryLogSize int
+	// FreshnessSampleEvery traces every Nth SCN end-to-end through the
+	// commit-to-visible freshness tracer (default 16; 1 traces every commit,
+	// negative disables tracing). See Cluster.Freshness and /debug/freshness.
+	FreshnessSampleEvery int
+	// FreshnessRing is the closed-span waterfall ring capacity behind
+	// Cluster.Freshness and /debug/freshness (default 512).
+	FreshnessRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,20 +175,22 @@ func Open(cfg Config) (*Cluster, error) {
 	c.priEng.Start()
 
 	sbyCfg := standby.Config{
-		ApplyWorkers:       cfg.ApplyWorkers,
-		CheckpointInterval: cfg.CheckpointInterval,
-		CommitTableParts:   cfg.CommitTableParts,
-		DisableCoopFlush:   cfg.DisableCoopFlush,
-		RowsPerBlock:       cfg.RowsPerBlock,
-		BlocksPerIMCU:      cfg.BlocksPerIMCU,
-		PopulationWorkers:  cfg.PopulationWorkers,
-		PopulationInterval: cfg.PopulationInterval,
-		RepopThreshold:     cfg.RepopThreshold,
-		MemLimitBytes:      cfg.MemLimitBytes,
-		MetricsAddr:        cfg.MetricsAddr,
-		LagSampleInterval:  cfg.LagSampleInterval,
-		SlowQueryThreshold: cfg.SlowQueryThreshold,
-		QueryLogSize:       cfg.QueryLogSize,
+		ApplyWorkers:         cfg.ApplyWorkers,
+		CheckpointInterval:   cfg.CheckpointInterval,
+		CommitTableParts:     cfg.CommitTableParts,
+		DisableCoopFlush:     cfg.DisableCoopFlush,
+		RowsPerBlock:         cfg.RowsPerBlock,
+		BlocksPerIMCU:        cfg.BlocksPerIMCU,
+		PopulationWorkers:    cfg.PopulationWorkers,
+		PopulationInterval:   cfg.PopulationInterval,
+		RepopThreshold:       cfg.RepopThreshold,
+		MemLimitBytes:        cfg.MemLimitBytes,
+		MetricsAddr:          cfg.MetricsAddr,
+		LagSampleInterval:    cfg.LagSampleInterval,
+		SlowQueryThreshold:   cfg.SlowQueryThreshold,
+		QueryLogSize:         cfg.QueryLogSize,
+		FreshnessSampleEvery: cfg.FreshnessSampleEvery,
+		FreshnessRing:        cfg.FreshnessRing,
 	}
 	c.sbyCfg = sbyCfg
 	c.sc = rac.NewStandbyCluster(sbyCfg, cfg.StandbyReaders)
@@ -382,6 +391,13 @@ func (c *Cluster) MetricsAddr() string { return c.sc.Master.MetricsAddr() }
 // standby session runs is profiled and recorded here (and served on
 // /debug/queries when MetricsAddr is set).
 func (c *Cluster) QueryLog() *QueryLog { return c.sc.Master.QueryLog() }
+
+// Freshness returns the standby master's commit-to-visible freshness tracer
+// (nil when Config.FreshnessSampleEvery is negative): sampled per-transaction
+// spans from primary commit through ship/merge/dispatch/apply/mine/flush to
+// QuerySCN publication, with SLO percentile summaries and span waterfalls
+// (also served on /debug/freshness when MetricsAddr is set).
+func (c *Cluster) Freshness() *obs.FreshnessTracer { return c.standbyCluster().Master.Freshness() }
 
 // PrimaryPopulation exposes the primary-side population engine.
 func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }

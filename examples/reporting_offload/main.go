@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,7 +23,12 @@ const (
 	reportFor = 4 * time.Second
 )
 
+// metricsAddr, when set, serves each phase's observability endpoints
+// (/metrics, /debug/stats, /debug/freshness, ...) while the phase runs.
+var metricsAddr = flag.String("metrics", "", "serve observability endpoints on this addr (e.g. 127.0.0.1:9187)")
+
 func main() {
+	flag.Parse()
 	fmt.Println("phase 1: reporting on the standby WITHOUT DBIM-on-ADG")
 	without := runPhase(false)
 	fmt.Println("phase 2: reporting on the standby WITH DBIM-on-ADG")
@@ -36,11 +42,17 @@ func main() {
 }
 
 func runPhase(useDBIM bool) metrics.LatencySummary {
-	c, err := dbimadg.Open(dbimadg.Config{})
+	c, err := dbimadg.Open(dbimadg.Config{
+		MetricsAddr:          *metricsAddr,
+		FreshnessSampleEvery: 1, // trace every commit end-to-end for the demo
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	if *metricsAddr != "" {
+		fmt.Printf("  observability on http://%s (try /debug/freshness?n=5)\n", c.MetricsAddr())
+	}
 
 	tbl, err := c.CreateTable(&dbimadg.TableSpec{
 		Name:   "FACTS",
@@ -160,6 +172,15 @@ func runPhase(useDBIM bool) metrics.LatencySummary {
 	total, slow := c.QueryLog().Totals()
 	fmt.Printf("  query log: %d queries recorded, %d slow (threshold %v)\n",
 		total, slow, c.QueryLog().SlowThreshold())
+
+	// Commit-to-visible freshness: every commit above was traced from the
+	// primary's commit wall clock to QuerySCN publication (the live span
+	// waterfalls are on /debug/freshness when -metrics is set).
+	fsum := c.Freshness().Summary()
+	fmt.Printf("  freshness: %d spans complete | commit-to-visible p50 %.2fms p95 %.2fms p99 %.2fms | first-query age p50 %.2fms\n",
+		fsum.Stats.Completed,
+		fsum.CommitToVisible.P50*1e3, fsum.CommitToVisible.P95*1e3, fsum.CommitToVisible.P99*1e3,
+		fsum.QueryAge.P50*1e3)
 
 	fmt.Printf("  standby telemetry at end of phase:\n")
 	for _, line := range strings.Split(strings.TrimRight(c.Observability().Snapshot().String(), "\n"), "\n") {

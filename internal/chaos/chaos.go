@@ -88,6 +88,12 @@ type Result struct {
 	Corrupt     int64 // frames rejected by CRC and refetched
 	Duplicates  int64 // duplicate records dropped by the receiver
 	Transition  string
+	// Freshness-span accounting (sample-every-1 tracing is on for every chaos
+	// run): spans that closed complete vs. spans explicitly truncated by a
+	// crash-restart or role transition. The oracle fails the run if any span
+	// leaks or closes with missing stages.
+	SpansCompleted uint64
+	SpansTruncated uint64
 }
 
 // rowsPerBlock / base workload shape: small blocks and IMCUs so a modest row
@@ -201,6 +207,10 @@ func (r *Runner) setup() error {
 		CheckpointInterval: time.Millisecond,
 		PopulationInterval: time.Millisecond,
 		BlocksPerIMCU:      blocksPerIMCU,
+		// Trace every commit end-to-end so the oracle can assert that every
+		// sampled span closes complete (or is explicitly truncated by a
+		// crash/transition) — never leaked, never gap-ridden.
+		FreshnessSampleEvery: 1,
 	}
 	r.sc = rac.NewStandbyCluster(cfg, 0)
 	r.sby = r.sc.Master
@@ -546,9 +556,10 @@ func (r *Runner) transition() error {
 		Server:       r.srv,
 		DrainTimeout: 20 * time.Second,
 		StandbyConfig: standby.Config{
-			CheckpointInterval: time.Millisecond,
-			PopulationInterval: time.Millisecond,
-			BlocksPerIMCU:      blocksPerIMCU,
+			CheckpointInterval:   time.Millisecond,
+			PopulationInterval:   time.Millisecond,
+			BlocksPerIMCU:        blocksPerIMCU,
+			FreshnessSampleEvery: 1,
 		},
 	})
 

@@ -12,6 +12,7 @@ import (
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
+	"dbimadg/internal/standby"
 	"dbimadg/internal/testutil"
 )
 
@@ -298,6 +299,42 @@ func (o *oracle) quiesceCheck() error {
 			}
 		}
 	}
+
+	// (5) Freshness-span completeness: every commit is traced (sample-every-1),
+	// so with the pipeline quiescent at QuerySCN q no sampled commit span at or
+	// below q may still be open, and no span may have closed with required
+	// pipeline stages missing. Spans interrupted by a crash-restart are
+	// explicitly truncated — counted, never leaked.
+	return o.freshnessCheck(r.sby, q)
+}
+
+// freshnessCheck asserts the complete-span invariant on inst's tracer with
+// every commit at or below published visible.
+func (o *oracle) freshnessCheck(inst *standby.Instance, published scn.SCN) error {
+	r := o.r
+	ft := inst.Freshness()
+	if ft == nil {
+		return r.fail("freshness tracer not attached (chaos runs trace every commit)")
+	}
+	st := ft.Stats()
+	if n := ft.OpenCommitsAtOrBelow(uint64(published)); n != 0 {
+		return r.fail("freshness: %d sampled commit spans at or below published SCN %d never closed (%+v)",
+			n, published, st)
+	}
+	if st.Incomplete != 0 {
+		return r.fail("freshness: %d spans closed with required pipeline stages missing (%+v)",
+			st.Incomplete, st)
+	}
+	if st.Completed == 0 {
+		return r.fail("freshness: no span completed despite committed workload (%+v)", st)
+	}
+	for _, sp := range ft.Waterfalls(0) {
+		if sp.State == "truncated" && sp.TruncatedWhy == "" {
+			return r.fail("freshness: span %d truncated without a reason", sp.SCN)
+		}
+	}
+	r.res.SpansCompleted = st.Completed
+	r.res.SpansTruncated = st.Truncated
 	return nil
 }
 
@@ -340,6 +377,14 @@ func (o *oracle) postPromotion(newPri *primary.Cluster, promoted scn.SCN, newSb 
 		return nil
 	}
 	if err := check("post-promotion"); err != nil {
+		return err
+	}
+
+	// Freshness spans survive the transition: terminal recovery published every
+	// shipped commit and explicitly truncated the remainder, so the promoted
+	// master's tracer must hold no open commit spans at or below the promotion
+	// SCN and no gap-ridden completions.
+	if err := o.freshnessCheck(master, promoted); err != nil {
 		return err
 	}
 
@@ -392,6 +437,11 @@ func (o *oracle) postPromotion(newPri *primary.Cluster, promoted scn.SCN, newSb 
 		}
 		if a != b {
 			return r.fail("rebuilt standby diverges from promoted node at %d: %s", q2, diffKeys(a, b))
+		}
+		// The rebuilt standby runs its own tracer from the promotion SCN on;
+		// the post-promotion DML must have traced end-to-end through it too.
+		if err := o.freshnessCheck(newSb.Master, q2); err != nil {
+			return err
 		}
 		newSb.Stop()
 	}

@@ -237,6 +237,52 @@ func TestPendingInvalidationDuringBuild(t *testing.T) {
 	}
 }
 
+func TestCoarseInvalidationDuringBuild(t *testing.T) {
+	// A coarse invalidation that lands while a build is in flight must
+	// survive Attach: the build's snapshot may predate the invalidated
+	// commit, so resetting allInvalid there would let scans read stale
+	// column data as fully valid (the chaos harness caught exactly this
+	// after a crash-restart's coarse flush fallback).
+	c, tbl := testCluster(t)
+	insertRows(t, c, tbl, 0, 32)
+	store := imcs.NewStore()
+	seg := tbl.Segments()[0]
+	eng := newEngine(c, tbl, store, imcs.Config{})
+
+	// Placeholder phase: coarse-invalidate between CreateUnit and Attach.
+	unit, err := store.CreateUnit(seg.Obj(), 1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imcu := eng.BuildIMCU(imcs.Target{Seg: seg, Table: tbl}, unit)
+	unit.InvalidateAll()
+	unit.Attach(imcu)
+	if _, _, ok := unit.ScanView(); ok {
+		t.Fatal("attach wiped a coarse invalidation that arrived during the initial build")
+	}
+
+	// Repopulation phase: same race against an already-populated unit.
+	if !unit.BeginRepopulate() {
+		t.Fatal("BeginRepopulate refused")
+	}
+	imcu2 := eng.BuildIMCU(imcs.Target{Seg: seg, Table: tbl}, unit)
+	unit.InvalidateAll()
+	unit.Attach(imcu2)
+	if _, _, ok := unit.ScanView(); ok {
+		t.Fatal("attach wiped a coarse invalidation that arrived during repopulation")
+	}
+
+	// A rebuild whose snapshot postdates the coarse invalidation clears it.
+	if !unit.BeginRepopulate() {
+		t.Fatal("second BeginRepopulate refused")
+	}
+	imcu3 := eng.BuildIMCU(imcs.Target{Seg: seg, Table: tbl}, unit)
+	unit.Attach(imcu3)
+	if _, _, ok := unit.ScanView(); !ok {
+		t.Fatal("unit still coarse-invalid after a covering rebuild")
+	}
+}
+
 func TestCoarseInvalidationByTenant(t *testing.T) {
 	c, tbl := testCluster(t)
 	insertRows(t, c, tbl, 0, 32)

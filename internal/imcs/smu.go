@@ -38,6 +38,12 @@ type SMU struct {
 	// pending buffers invalidations while imcu == nil or a repopulation is in
 	// flight (they apply to the replacement IMCU).
 	pending []pendingInval
+	// pendingAllInvalid records a coarse invalidation that arrived while a
+	// build was in flight: the build's snapshot may predate the invalidated
+	// commit, so Attach must install the IMCU as coarse-invalid rather than
+	// resetting the flag (the repopulation heuristics then rebuild it at a
+	// covering snapshot).
+	pendingAllInvalid bool
 
 	// totalInvalidations counts rows invalidated since the last (re)populate,
 	// feeding the repopulation heuristics.
@@ -72,7 +78,8 @@ func (u *Unit) Attach(imcu *IMCU) {
 	s.imcu = imcu
 	s.invalid = make([]uint64, (imcu.Rows()+63)/64)
 	s.invalidRows = 0
-	s.allInvalid = false
+	s.allInvalid = s.pendingAllInvalid
+	s.pendingAllInvalid = false
 	s.repopulating = false
 	s.totalInvalidations = 0
 	for _, p := range s.pending {
@@ -101,11 +108,15 @@ func (u *Unit) BeginRepopulate() bool {
 }
 
 // AbortRepopulate cancels an in-flight repopulation (e.g. the builder failed).
+// Buffered invalidations are dropped: they were also applied to the current
+// bitmap (and allInvalid stays set for a coarse one), so the surviving IMCU's
+// validity state is intact and the next rebuild captures a covering snapshot.
 func (u *Unit) AbortRepopulate() {
 	s := &u.smu
 	s.mu.Lock()
 	s.repopulating = false
 	s.pending = nil
+	s.pendingAllInvalid = false
 	s.mu.Unlock()
 }
 
@@ -144,11 +155,16 @@ func (u *Unit) InvalidateRows(blk rowstore.BlockNo, slots []uint16) {
 }
 
 // InvalidateAll coarse-invalidates the unit (paper §III.E): every row is
-// treated as invalid and scans bypass the IMCU until repopulation.
+// treated as invalid and scans bypass the IMCU until repopulation. While a
+// build is in flight the flag is additionally latched so Attach cannot wipe
+// it — the in-flight snapshot may predate the invalidated commit.
 func (u *Unit) InvalidateAll() {
 	s := &u.smu
 	s.mu.Lock()
 	s.allInvalid = true
+	if s.imcu == nil || s.repopulating {
+		s.pendingAllInvalid = true
+	}
 	s.totalInvalidations += int64(u.rowsLocked())
 	s.mu.Unlock()
 }
@@ -168,6 +184,7 @@ func (u *Unit) Drop() {
 	s.imcu = nil
 	s.invalid = nil
 	s.pending = nil
+	s.pendingAllInvalid = false
 	s.mu.Unlock()
 }
 

@@ -81,8 +81,24 @@ func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
 	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+		return err
+	}
+	// Pre-computed percentile gauges alongside the raw buckets, so dashboards
+	// that cannot run histogram_quantile (or humans eyeballing curl output)
+	// still get the SLO quantiles. Skipped while the histogram is empty.
+	if h.Count == 0 {
+		return nil
+	}
+	for _, q := range [...]struct {
+		label string
+		p     float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		if _, err := fmt.Fprintf(w, "%s_%s %s\n", name, q.label, formatFloat(h.Quantile(q.p))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StatsFunc produces one component's JSON-marshalable stats snapshot.
@@ -90,19 +106,21 @@ type StatsFunc func() any
 
 // Handler serves the observability endpoints:
 //
-//	/metrics        Prometheus text format of every registered metric
-//	/debug/stats    JSON snapshot of every registered component's Stats
-//	/debug/trace    recent pipeline trace events (?n=256 limits the window)
-//	/debug/queries  recent query profiles (?n=32 limits, ?slow=1 slow-only)
-//	/debug/pprof/*  the standard net/http/pprof profiles
+//	/metrics          Prometheus text format of every registered metric
+//	/debug/stats      JSON snapshot of every registered component's Stats
+//	/debug/trace      recent pipeline trace events (?n=256 limits the window)
+//	/debug/queries    recent query profiles (?n=32 limits, ?slow=1 slow-only)
+//	/debug/freshness  commit-to-visible SLO summary + span waterfalls (?n=32)
+//	/debug/pprof/*    the standard net/http/pprof profiles
 type Handler struct {
 	reg   *Registry
 	trace *PipelineTrace
 
-	mu      sync.Mutex
-	stats   map[string]StatsFunc
-	queries *QueryLog
-	mux     *http.ServeMux
+	mu        sync.Mutex
+	stats     map[string]StatsFunc
+	queries   *QueryLog
+	freshness *FreshnessTracer
+	mux       *http.ServeMux
 }
 
 // NewHandler builds the endpoint handler; trace may be nil.
@@ -113,6 +131,7 @@ func NewHandler(reg *Registry, trace *PipelineTrace) *Handler {
 	h.mux.HandleFunc("/debug/stats", h.serveStats)
 	h.mux.HandleFunc("/debug/trace", h.serveTrace)
 	h.mux.HandleFunc("/debug/queries", h.serveQueries)
+	h.mux.HandleFunc("/debug/freshness", h.serveFreshness)
 	// net/http/pprof registers on http.DefaultServeMux; the metrics listener
 	// uses its own mux, so route the handlers explicitly.
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -134,6 +153,14 @@ func (h *Handler) AddStats(name string, fn StatsFunc) {
 func (h *Handler) SetQueryLog(l *QueryLog) {
 	h.mu.Lock()
 	h.queries = l
+	h.mu.Unlock()
+}
+
+// SetFreshness attaches the freshness tracer backing /debug/freshness; nil
+// detaches it.
+func (h *Handler) SetFreshness(t *FreshnessTracer) {
+	h.mu.Lock()
+	h.freshness = t
 	h.mu.Unlock()
 }
 
@@ -186,6 +213,26 @@ func (h *Handler) serveQueries(w http.ResponseWriter, r *http.Request) {
 		"total":             total,
 		"slow_total":        slow,
 		"queries":           recs,
+	})
+}
+
+func (h *Handler) serveFreshness(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	t := h.freshness
+	h.mu.Unlock()
+	if t == nil {
+		http.Error(w, "no freshness tracer attached", http.StatusNotFound)
+		return
+	}
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	writeJSON(w, map[string]any{
+		"summary": t.Summary(),
+		"spans":   t.Waterfalls(n),
 	})
 }
 

@@ -11,7 +11,7 @@ import (
 
 // TestWritePrometheusGolden pins the exposition format byte-for-byte: sorted
 // metric names, HELP/TYPE headers, cumulative buckets with a +Inf terminator,
-// and _sum/_count series.
+// _sum/_count series, and the derived p50/p95/p99 quantile lines.
 func TestWritePrometheusGolden(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("batch_total", "batches processed").Add(42)
@@ -40,6 +40,9 @@ lat_seconds_bucket{le="2"} 3
 lat_seconds_bucket{le="+Inf"} 4
 lat_seconds_sum 6.75
 lat_seconds_count 4
+lat_seconds_p50 0.75
+lat_seconds_p95 5
+lat_seconds_p99 5
 `
 	if got := b.String(); got != want {
 		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -103,5 +106,72 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if len(traceOut.Events) != 1 || traceOut.Events[0].Stage != "apply" || traceOut.Events[0].SCN != 99 {
 		t.Fatalf("/debug/trace: %+v", traceOut.Events)
+	}
+}
+
+// TestWritePrometheusEmptyHistogram: no percentile lines until data arrives.
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty_seconds", "", []float64{1})
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "_p50") {
+		t.Fatalf("empty histogram emitted percentiles:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "empty_seconds_count 0") {
+		t.Fatalf("empty histogram missing count:\n%s", b.String())
+	}
+}
+
+// TestHandlerFreshnessEndpoint exercises /debug/freshness detached (404) and
+// attached (summary + waterfall JSON round-trips).
+func TestHandlerFreshnessEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHandler(reg, NewPipelineTrace(reg, 8))
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/freshness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("detached endpoint: status %d, want 404", resp.StatusCode)
+	}
+
+	ft := NewFreshnessTracer(reg, 1, 8)
+	h.SetFreshness(ft)
+	for _, s := range requiredStages {
+		ft.Note(s, 3, time.Microsecond)
+	}
+	ft.Commit(3, 1, time.Now().UnixNano())
+	ft.Publish(3)
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/freshness?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attached endpoint: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Summary FreshnessSummary `json:"summary"`
+		Spans   []SpanJSON       `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Summary.Stats.Completed != 1 || len(doc.Spans) != 1 {
+		t.Fatalf("freshness doc: %+v", doc)
+	}
+	if doc.Spans[0].SCN != 3 || doc.Spans[0].State != "complete" {
+		t.Fatalf("span: %+v", doc.Spans[0])
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -231,5 +232,157 @@ func TestSampler(t *testing.T) {
 	defer mu.Unlock()
 	if !sampled || got[0] != 11 {
 		t.Fatalf("samples: %v", got)
+	}
+}
+
+// TestSamplerLifecycle exercises the restartable state machine: Stop before
+// Start is a no-op, double Start spawns a single loop, and a stopped sampler
+// can start sampling again.
+func TestSamplerLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("lag", "test", func() float64 { return 1 })
+	var count atomic.Int64
+	s := NewSampler(reg, time.Millisecond, map[string]func(float64){
+		"lag": func(float64) { count.Add(1) },
+	})
+
+	s.Stop() // never started: must not hang or panic
+	s.Stop()
+
+	s.Start()
+	s.Start() // no-op: must not spawn a second loop
+	if !testutil.WaitFor(5*time.Second, 0, func() bool { return count.Load() >= 2 }) {
+		t.Fatal("sampler not sampling after Start")
+	}
+	s.Stop()
+	// A leaked second loop would keep sampling past Stop (Stop only joins the
+	// loop it knows about); a quiet counter proves exactly one loop ran.
+	settled := count.Load()
+	time.Sleep(20 * time.Millisecond)
+	if count.Load() != settled {
+		t.Fatalf("sampling continued after Stop: %d -> %d (leaked loop)", settled, count.Load())
+	}
+
+	// Restart: sampling resumes after a full Stop.
+	s.Start()
+	if !testutil.WaitFor(5*time.Second, 0, func() bool { return count.Load() > settled }) {
+		t.Fatal("sampler did not resume after restart")
+	}
+	s.Stop()
+	s.Stop()
+}
+
+// TestSamplerConcurrentStartStop hammers the lifecycle from many goroutines;
+// run with -race to catch channel-swap races.
+func TestSamplerConcurrentStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("lag", "test", func() float64 { return 1 })
+	s := NewSampler(reg, time.Millisecond, map[string]func(float64){"lag": func(float64) {}})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if (i+k)%2 == 0 {
+					s.Start()
+				} else {
+					s.Stop()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Stop()
+}
+
+// TestTraceRingWraparound pins the event ring's overwrite semantics: once the
+// ring is full, the oldest events go first, Events stays oldest-first, and
+// seq numbers remain strictly monotonic across the wrap.
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewPipelineTrace(NewRegistry(), 4)
+	for scn := uint64(1); scn <= 10; scn++ {
+		tr.Observe(StageApply, scn, time.Microsecond)
+	}
+	ev := tr.Events(0)
+	if len(ev) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(7 + i); e.SCN != want || e.Seq != want {
+			t.Fatalf("events[%d] = {scn %d seq %d}, want scn/seq %d (oldest-first)", i, e.SCN, e.Seq, want)
+		}
+	}
+
+	// Limits slice from the newest end, still oldest-first within the window.
+	lim := tr.Events(2)
+	if len(lim) != 2 || lim[0].SCN != 9 || lim[1].SCN != 10 {
+		t.Fatalf("limited events: %+v", lim)
+	}
+	// A limit beyond retention returns everything retained.
+	if all := tr.Events(100); len(all) != 4 {
+		t.Fatalf("over-limit returned %d events", len(all))
+	}
+	// Histograms count the whole run, not just the ring.
+	if n := tr.StageCount(StageApply); n != 10 {
+		t.Fatalf("stage count = %d, want 10", n)
+	}
+}
+
+// TestTraceRingPartiallyFull: before the first wrap, Events returns exactly
+// what was observed, in order.
+func TestTraceRingPartiallyFull(t *testing.T) {
+	tr := NewPipelineTrace(NewRegistry(), 8)
+	tr.Observe(StageMerge, 1, time.Microsecond)
+	tr.Observe(StageApply, 2, time.Microsecond)
+	ev := tr.Events(0)
+	if len(ev) != 2 || ev[0].Stage != "merge" || ev[1].Stage != "apply" || ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Fatalf("events: %+v", ev)
+	}
+}
+
+// TestTraceConcurrentObserveEvents drives writers across every stage while
+// readers snapshot the ring; run with -race. Every snapshot must be
+// seq-ordered with no duplicates — a torn ring copy would show as a
+// non-monotonic seq.
+func TestTraceConcurrentObserveEvents(t *testing.T) {
+	tr := NewPipelineTrace(NewRegistry(), 32)
+	var wg sync.WaitGroup
+	stopC := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Observe(Stage(i%int(numStages)), uint64(i), time.Microsecond)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				ev := tr.Events(16)
+				for i := 1; i < len(ev); i++ {
+					if ev[i].Seq <= ev[i-1].Seq {
+						t.Errorf("snapshot seq not monotonic: %d then %d", ev[i-1].Seq, ev[i].Seq)
+						return
+					}
+				}
+				select {
+				case <-stopC:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopC)
+	readers.Wait()
+	if ev := tr.Events(0); len(ev) != 32 {
+		t.Fatalf("full ring holds %d events", len(ev))
 	}
 }

@@ -10,14 +10,19 @@ import (
 // staleness, journal residency, commit-table pending) through a sampler into
 // metrics.Series, producing the Fig.-11-style lag-over-time plots without obs
 // depending on the metrics package.
+//
+// The lifecycle is a restartable state machine: Start while running and Stop
+// while stopped are no-ops, Stop blocks until the loop has exited, and a
+// stopped sampler can be started again (the standby restarts its sampler
+// across crash-recovery cycles).
 type Sampler struct {
 	reg      *Registry
 	interval time.Duration
 	sinks    map[string]func(float64)
 
-	stop chan struct{}
-	wg   sync.WaitGroup
-	once sync.Once
+	mu   sync.Mutex
+	stop chan struct{} // non-nil while running; closed to halt the loop
+	done chan struct{} // closed by the loop on exit
 }
 
 // NewSampler builds a sampler polling the named gauges every interval.
@@ -25,25 +30,33 @@ func NewSampler(reg *Registry, interval time.Duration, sinks map[string]func(flo
 	if interval <= 0 {
 		interval = time.Second
 	}
-	return &Sampler{reg: reg, interval: interval, sinks: sinks, stop: make(chan struct{})}
+	return &Sampler{reg: reg, interval: interval, sinks: sinks}
 }
 
-// Start launches the sampling loop.
+// Start launches the sampling loop; a no-op if it is already running.
 func (s *Sampler) Start() {
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		t := time.NewTicker(s.interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-s.stop:
-				return
-			case <-t.C:
-				s.SampleOnce()
-			}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.SampleOnce()
 		}
-	}()
+	}
 }
 
 // SampleOnce evaluates every tracked gauge once (also used by tests).
@@ -55,8 +68,16 @@ func (s *Sampler) SampleOnce() {
 	}
 }
 
-// Stop halts the sampling loop; safe to call more than once.
+// Stop halts the sampling loop and waits for it to exit. Idempotent, and a
+// no-op on a sampler that was never started.
 func (s *Sampler) Stop() {
-	s.once.Do(func() { close(s.stop) })
-	s.wg.Wait()
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -78,6 +79,12 @@ type traceEvent struct {
 type PipelineTrace struct {
 	hists [numStages]*Histogram
 
+	// freshness, when set, receives every observation as a span segment: the
+	// trace is the single funnel all pipeline stages already report through,
+	// so attaching the tracer here instruments ship/merge/dispatch/apply/
+	// mine/journal/flush without touching any component.
+	freshness atomic.Pointer[FreshnessTracer]
+
 	mu   sync.Mutex
 	ring []traceEvent
 	next int
@@ -105,12 +112,32 @@ func NewPipelineTrace(reg *Registry, ringSize int) *PipelineTrace {
 	return t
 }
 
+// SetFreshness attaches (or, with nil, detaches) a freshness tracer fed by
+// every subsequent Observe.
+func (t *PipelineTrace) SetFreshness(ft *FreshnessTracer) {
+	if t == nil {
+		return
+	}
+	t.freshness.Store(ft)
+}
+
+// Freshness returns the attached freshness tracer, if any.
+func (t *PipelineTrace) Freshness() *FreshnessTracer {
+	if t == nil {
+		return nil
+	}
+	return t.freshness.Load()
+}
+
 // Observe records that the batch/commit at scn spent d in stage.
 func (t *PipelineTrace) Observe(stage Stage, scn uint64, d time.Duration) {
 	if t == nil {
 		return
 	}
 	t.hists[stage].ObserveDuration(d)
+	if ft := t.freshness.Load(); ft != nil {
+		ft.Note(stage, scn, d)
+	}
 	now := time.Now()
 	t.mu.Lock()
 	t.seq++

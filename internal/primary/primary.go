@@ -253,11 +253,13 @@ type LogWriter struct {
 	mu sync.Mutex
 }
 
-// Emit implements txn.RedoEmitter.
+// Emit implements txn.RedoEmitter. Every record is stamped with the
+// primary-side wall clock at emission; the standby's freshness tracer reads
+// the stamp off commit records to measure commit-to-visible latency.
 func (w *LogWriter) Emit(cvs []redo.CV) scn.SCN {
 	w.mu.Lock()
 	s := w.clock.Next()
-	w.stream.Append(&redo.Record{SCN: s, Thread: w.thread, CVs: cvs})
+	w.stream.Append(&redo.Record{SCN: s, Thread: w.thread, CVs: cvs, OriginNS: time.Now().UnixNano()})
 	w.mu.Unlock()
 	return s
 }
@@ -267,7 +269,7 @@ func (w *LogWriter) EmitCommit(cvs []redo.CV, commitHook func(scn.SCN)) scn.SCN 
 	w.gate.Lock()
 	w.mu.Lock()
 	s := w.clock.Next()
-	w.stream.Append(&redo.Record{SCN: s, Thread: w.thread, CVs: cvs})
+	w.stream.Append(&redo.Record{SCN: s, Thread: w.thread, CVs: cvs, OriginNS: time.Now().UnixNano()})
 	if commitHook != nil {
 		commitHook(s)
 	}

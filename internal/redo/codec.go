@@ -14,11 +14,19 @@ import (
 
 // Wire format (all integers unsigned varints unless noted):
 //
-//	record  := scn thread nCV cv*
+//	record  := scn thread nCV cv* ext*
 //	cv      := kind txn tenant dba slot flags nChanged changed* row marker
 //	row     := nNums num* nStrs str*          (nums are zig-zag varints)
 //	str     := len bytes
 //	marker  := len jsonBytes                  (only when kind == CVMarker)
+//	ext     := tag(byte) len payload          (versioned record extensions)
+//
+// Extensions are the record format's versioning mechanism: each is a tagged,
+// length-prefixed block appended after the CV list. A record without
+// extensions is byte-identical to the pre-extension format, so old frames
+// decode unchanged; a decoder that does not know a tag skips its payload by
+// length, so new senders interoperate with older receivers. Tag zero is
+// reserved (a zero byte there indicates corruption, not an extension).
 //
 // Records are framed on the wire as
 //
@@ -34,6 +42,14 @@ import (
 // object.
 const cvFlagHasIMCS = 1 << 0
 
+// Record-extension tags (see the wire-format comment above). Tag 0 is
+// reserved so a stray zero byte after the CV list reads as corruption.
+const (
+	// extOriginNS carries Record.OriginNS as a uvarint payload: the
+	// primary-side emission wall clock consumed by the freshness tracer.
+	extOriginNS byte = 1
+)
+
 // AppendRecord serializes r onto buf and returns the extended slice.
 func AppendRecord(buf []byte, r *Record) []byte {
 	buf = binary.AppendUvarint(buf, uint64(r.SCN))
@@ -41,6 +57,13 @@ func AppendRecord(buf []byte, r *Record) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(r.CVs)))
 	for i := range r.CVs {
 		buf = appendCV(buf, &r.CVs[i])
+	}
+	if r.OriginNS > 0 {
+		var payload [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(payload[:], uint64(r.OriginNS))
+		buf = append(buf, extOriginNS)
+		buf = binary.AppendUvarint(buf, uint64(n))
+		buf = append(buf, payload[:n]...)
 	}
 	return buf
 }
@@ -166,8 +189,27 @@ func DecodeRecord(buf []byte) (*Record, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	if d.off != len(buf) {
-		return nil, fmt.Errorf("redo: %d trailing bytes after record", len(buf)-d.off)
+	// Anything after the CV list is a sequence of tagged extensions; unknown
+	// tags are skipped by length so newer senders stay decodable.
+	for d.off < len(buf) {
+		tag := d.byte()
+		n := d.uvarint()
+		payload := d.bytes(n)
+		if d.err != nil {
+			return nil, d.err
+		}
+		switch tag {
+		case 0:
+			return nil, fmt.Errorf("redo: reserved extension tag 0 at offset %d", d.off)
+		case extOriginNS:
+			v, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return nil, fmt.Errorf("redo: bad origin-timestamp extension payload")
+			}
+			r.OriginNS = int64(v)
+		default:
+			// Unknown extension: skipped.
+		}
 	}
 	return r, nil
 }

@@ -153,6 +153,13 @@ type Record struct {
 	SCN    scn.SCN
 	Thread uint16 // generating primary instance id (RAC redo thread)
 	CVs    []CV
+
+	// OriginNS is the primary-side wall clock (UnixNano) at which the record
+	// was emitted — for a commit record, the moment of commit. It rides the
+	// wire as an optional tagged frame extension (see codec.go), so the
+	// standby's freshness tracer can measure true commit-to-visible latency.
+	// Zero means the origin timestamp was absent from the frame.
+	OriginNS int64
 }
 
 // CommitSCN returns the commitSCN for a commit CV inside this record: by the

@@ -259,3 +259,84 @@ func TestStreamTryNext(t *testing.T) {
 		t.Fatal("closed drained stream should report end-of-log")
 	}
 }
+
+func TestCodecOriginExtensionRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	r.OriginNS = 1_722_000_000_123_456_789
+	buf := AppendRecord(nil, r)
+	got, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("origin round trip mismatch:\n in: %+v\nout: %+v", r, got)
+	}
+	// The stamped frame must also survive the full wire framing.
+	var w bytes.Buffer
+	if _, err := WriteFrame(&w, r); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadFrame(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.OriginNS != r.OriginNS {
+		t.Fatalf("framed origin = %d, want %d", got2.OriginNS, r.OriginNS)
+	}
+}
+
+func TestCodecLegacyRecordDecodes(t *testing.T) {
+	// A record without extensions is byte-identical to the pre-extension
+	// format; decoding it must succeed with OriginNS zero.
+	r := sampleRecord()
+	buf := AppendRecord(nil, r)
+	withExt := AppendRecord(nil, &Record{SCN: r.SCN, Thread: r.Thread, CVs: r.CVs, OriginNS: 1})
+	if len(withExt) <= len(buf) {
+		t.Fatal("extension did not extend the encoding")
+	}
+	got, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OriginNS != 0 {
+		t.Fatalf("legacy record decoded OriginNS = %d, want 0", got.OriginNS)
+	}
+}
+
+func TestCodecUnknownExtensionSkipped(t *testing.T) {
+	r := sampleRecord()
+	r.OriginNS = 42
+	buf := AppendRecord(nil, r)
+	// A future sender appends an extension this decoder does not know.
+	buf = append(buf, 0x7E)    // unknown tag
+	buf = append(buf, 3)       // payload length
+	buf = append(buf, 9, 9, 9) // opaque payload
+	got, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatalf("unknown extension rejected: %v", err)
+	}
+	if got.OriginNS != 42 {
+		t.Fatalf("known extension lost while skipping unknown one: OriginNS = %d", got.OriginNS)
+	}
+}
+
+func TestCodecExtensionCorruption(t *testing.T) {
+	r := sampleRecord()
+	r.OriginNS = 42
+	buf := AppendRecord(nil, r)
+	// Reserved tag zero reads as corruption.
+	if _, err := DecodeRecord(append(append([]byte{}, buf...), 0, 1, 1)); err == nil {
+		t.Fatal("reserved tag 0 accepted")
+	}
+	// Truncated extension payloads are rejected at every cut.
+	for cut := len(buf) - 1; cut > len(buf)-8; cut-- {
+		if _, err := DecodeRecord(buf[:cut]); err == nil {
+			// Cutting the whole extension off is legal (optional block); any
+			// partial cut is not. Find the extension start to tell them apart.
+			plain := AppendRecord(nil, &Record{SCN: r.SCN, Thread: r.Thread, CVs: r.CVs})
+			if cut != len(plain) {
+				t.Fatalf("truncated extension at %d/%d accepted", cut, len(buf))
+			}
+		}
+	}
+}

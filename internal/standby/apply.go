@@ -143,6 +143,12 @@ func (inst *Instance) dispatch(r *redo.Record) bool {
 			}
 			continue
 		}
+		if cv.Kind == redo.CVCommit {
+			// The dispatcher is the one pipeline point holding the whole
+			// record: promote the sampled span to a commit span and attach
+			// the primary's origin wall clock from the frame extension.
+			inst.freshness.Commit(uint64(r.SCN), uint64(cv.Txn), r.OriginNS)
+		}
 		w := inst.workerFor(cv)
 		w.dispatched.Add(1)
 		select {
@@ -413,6 +419,10 @@ func (inst *Instance) advance() {
 	}
 	inst.querySCN.Store(uint64(target))
 	inst.advances.Add(1)
+	// Close every sampled span this consistency point covers. All pipeline
+	// work for SCNs <= target finished above (the worklink drained before the
+	// store), so the spans are final.
+	inst.freshness.Publish(uint64(target))
 	if inst.onPublish != nil {
 		inst.onPublish(target, events)
 	}

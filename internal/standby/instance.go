@@ -76,6 +76,14 @@ type Config struct {
 	// QueryLogSize is the capacity of the recent- and slow-query rings
 	// behind /debug/queries (default obs.DefaultQueryLogSize).
 	QueryLogSize int
+
+	// FreshnessSampleEvery traces every Nth SCN end-to-end through the
+	// freshness tracer (default obs.DefaultFreshnessSampleEvery; 1 traces
+	// every commit, negative disables tracing).
+	FreshnessSampleEvery int
+	// FreshnessRing is the closed-span waterfall ring capacity behind
+	// /debug/freshness (default obs.DefaultFreshnessRing).
+	FreshnessRing int
 }
 
 // Gauge names for the derived lag metrics registered on every instance's
@@ -191,6 +199,7 @@ type Instance struct {
 
 	reg       *obs.Registry
 	trace     *obs.PipelineTrace
+	freshness *obs.FreshnessTracer
 	scanStats *scanengine.PathStats
 	queryLog  *obs.QueryLog
 	scanHist  map[string]*obs.Histogram // per scan path, keyed by Profile.Path()
@@ -238,6 +247,13 @@ func build(cfg Config, db *rowstore.Database, txns *txn.Table, services *service
 	inst.roleMask.Store(uint32(service.RoleStandby))
 	inst.queryLog.SetSlowThreshold(cfg.SlowQueryThreshold)
 	inst.trace = obs.NewPipelineTrace(inst.reg, cfg.TraceRing)
+	if cfg.FreshnessSampleEvery >= 0 {
+		// The tracer (like the trace and registry) is NOT volatile state: spans
+		// survive Restart's initVolatile so a crash mid-span shows up as an
+		// explicit truncation, never a silent leak.
+		inst.freshness = obs.NewFreshnessTracer(inst.reg, cfg.FreshnessSampleEvery, cfg.FreshnessRing)
+		inst.trace.SetFreshness(inst.freshness)
+	}
 	inst.lagSeries = map[string]*metrics.Series{
 		GaugeApplyLag:       metrics.NewSeries(GaugeApplyLag),
 		GaugeQueryStaleness: metrics.NewSeries(GaugeQueryStaleness),
@@ -411,6 +427,9 @@ func (inst *Instance) RecordQuery(p *scanengine.Profile) {
 	if p == nil || !p.Analyze {
 		return
 	}
+	// First-query visibility age: the query's snapshot covers every sampled
+	// commit published at or below it.
+	inst.freshness.ObserveQuery(uint64(p.SnapSCN), time.Now().UnixNano())
 	path := p.Path()
 	if h := inst.scanHist[path]; h != nil {
 		h.ObserveDuration(p.Wall())
@@ -480,6 +499,10 @@ func (inst *Instance) Obs() *obs.Registry { return inst.reg }
 
 // Trace returns the instance's pipeline trace.
 func (inst *Instance) Trace() *obs.PipelineTrace { return inst.trace }
+
+// Freshness returns the commit-to-visible freshness tracer (nil when
+// Config.FreshnessSampleEvery is negative).
+func (inst *Instance) Freshness() *obs.FreshnessTracer { return inst.freshness }
 
 // ScanStats returns the accumulator the instance's scan executors report
 // into; attach it as Executor.Obs when building sessions.
@@ -563,6 +586,7 @@ func (inst *Instance) startObservability() {
 	}
 	h := obs.NewHandler(inst.reg, inst.trace)
 	h.SetQueryLog(inst.queryLog)
+	h.SetFreshness(inst.freshness)
 	h.AddStats("standby", func() any { return inst.Stats() })
 	h.AddStats("imcs", func() any { s, _, _, _, _, _ := inst.components(); return s.Stats() })
 	h.AddStats("population", func() any { _, e, _, _, _, _ := inst.components(); return e.Stats() })
@@ -607,6 +631,12 @@ func (inst *Instance) Stop() scn.SCN {
 // archived logs); records at or below the checkpoint are skipped.
 func (inst *Instance) Restart(src transport.Source) {
 	checkpoint := inst.Stop()
+	// Crash semantics for in-flight freshness spans: whatever the pipeline
+	// still held is explicitly truncated. Replayed records (above the
+	// checkpoint) open fresh spans and complete normally; records at or below
+	// it became visible through the checkpoint itself and keep their
+	// truncation marker.
+	inst.freshness.TruncateOpen("restart")
 	inst.initVolatile()
 	inst.querySCN.Store(uint64(checkpoint))
 	inst.watermark.Store(uint64(checkpoint))

@@ -49,7 +49,12 @@ func (inst *Instance) FinishRecovery(timeout time.Duration) (scn.SCN, error) {
 		time.Sleep(50 * time.Microsecond)
 	}
 	inst.Stop()
-	return inst.terminalAdvance(), nil
+	final := inst.terminalAdvance()
+	// Every shipped commit was covered by the terminal advancement; anything
+	// still open (e.g. records shipped but never merged before the stop) is
+	// explicitly truncated so no span outlives the transition.
+	inst.freshness.TruncateOpen("failover")
+	return final, nil
 }
 
 // terminalAdvance runs one QuerySCN advancement on a stopped instance. The
@@ -87,6 +92,7 @@ func (inst *Instance) terminalAdvance() scn.SCN {
 	}
 	inst.querySCN.Store(uint64(target))
 	inst.advances.Add(1)
+	inst.freshness.Publish(uint64(target))
 	if inst.onPublish != nil {
 		inst.onPublish(target, events)
 	}
