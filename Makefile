@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt staticcheck test race chaos verify bench bench-json
+.PHONY: all build vet fmt staticcheck test race chaos leakcheck verify bench bench-json
 
 # Seed count for the chaos harness; override as `make chaos CHAOS_SEEDS=100`.
 CHAOS_SEEDS ?= 10
@@ -45,12 +45,21 @@ race:
 
 # Deterministic chaos harness: seeded fault injection against the full
 # primary→transport→standby pipeline with a cross-node equivalence oracle
-# (see DESIGN.md, "Fault model & testing"). Always race-enabled.
+# (see DESIGN.md, "Fault model & testing"). Always race-enabled. TestWatchdog*
+# covers the liveness watchdog: scripted permanent-outage stall detection and
+# idle false-positive suppression. The high-pressure regression set always
+# includes seed 4000 (the receiver livelock fixed in the transport layer).
 chaos:
-	$(GO) test -race -run TestChaos -timeout 20m ./internal/chaos/ \
+	$(GO) test -race -run 'TestChaos|TestWatchdog' -timeout 20m ./internal/chaos/ \
 		-chaos.seeds $(CHAOS_SEEDS) -chaos.seedbase $(CHAOS_SEEDBASE)
 
-verify: fmt vet staticcheck build test race chaos
+# Goroutine-leak gate: deploys the full stack (TCP, RAC, watchdog, metrics
+# server), closes it, and fails if any pipeline goroutine survives teardown
+# (internal/testutil.NoGoroutineLeak).
+leakcheck:
+	$(GO) test -race -count=1 -run TestCloseLeavesNoPipelineGoroutines .
+
+verify: fmt vet staticcheck build test race leakcheck chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -15,6 +15,7 @@ import (
 	"dbimadg"
 	"dbimadg/internal/core"
 	"dbimadg/internal/imcs"
+	"dbimadg/internal/obs"
 	"dbimadg/internal/redo"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scn"
@@ -224,13 +225,15 @@ func BenchmarkTable2_Q1_Standby(b *testing.B) {
 
 // benchmarkRedoApply measures end-to-end replication of b.N update
 // transactions (generate redo, ship, parallel apply, mine, flush, advance
-// QuerySCN) with the given flush mode.
-func benchmarkRedoApply(b *testing.B, disableCoop bool) {
+// QuerySCN) with the given flush mode and watchdog interval (0 = default
+// production interval, negative = background evaluation disabled).
+func benchmarkRedoApply(b *testing.B, disableCoop bool, watchdog time.Duration) {
 	c, err := dbimadg.Open(dbimadg.Config{
 		CheckpointInterval: time.Millisecond,
 		PopulationInterval: 2 * time.Millisecond,
 		BlocksPerIMCU:      16,
 		DisableCoopFlush:   disableCoop,
+		WatchdogInterval:   watchdog,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -273,14 +276,38 @@ func benchmarkRedoApply(b *testing.B, disableCoop bool) {
 }
 
 func BenchmarkFig11_RedoApplyWithDBIM(b *testing.B) {
-	benchmarkRedoApply(b, false)
+	benchmarkRedoApply(b, false, 0)
+}
+
+// --- Liveness watchdog: heartbeat overhead on the apply hot path -------------
+
+// BenchmarkWatchdog prices the liveness watchdog on the redo apply hot path:
+// ApplyOn runs the full replication loop with the watchdog evaluating at its
+// production interval, ApplyOff with the background evaluation disabled, and
+// HeartbeatTick isolates the per-record cost of the obs.Progress heartbeat the
+// apply workers tick unconditionally. benchjson derives the watchdog block
+// (overhead_pct) from the On/Off pair; the budget is < 2%.
+func BenchmarkWatchdog(b *testing.B) {
+	b.Run("ApplyOn", func(b *testing.B) { benchmarkRedoApply(b, false, 0) })
+	b.Run("ApplyOff", func(b *testing.B) { benchmarkRedoApply(b, false, -1) })
+	b.Run("HeartbeatTick", func(b *testing.B) {
+		var p obs.Progress
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				p.Tick()
+			}
+		})
+		if p.Count() == 0 {
+			b.Fatal("heartbeat never ticked")
+		}
+	})
 }
 
 // --- Ablations ---------------------------------------------------------------
 
 // Serial (coordinator-only) flush vs cooperative flush (§III.D.2).
 func BenchmarkAblationFlushSerial(b *testing.B) {
-	benchmarkRedoApply(b, true)
+	benchmarkRedoApply(b, true, 0)
 }
 
 // Partitioned vs single-list IM-ADG Commit Table (§III.D.1).

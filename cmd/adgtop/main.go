@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3]
+//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3] [-health]
 //
 // Run cmd/adgdemo with -metrics 127.0.0.1:9187 -hold 2m in one terminal and
 // adgtop in another to watch the pipeline drain. With -queries N, each sample
@@ -15,7 +15,9 @@
 // instance's /debug/queries endpoint (-slow restricts it to the slow-query
 // log). With -freshness N, each sample is followed by the commit-to-visible
 // SLO summary and the N most recent per-transaction span waterfalls from
-// /debug/freshness.
+// /debug/freshness. With -health, each sample is followed by the liveness
+// watchdog's verdict and per-stage progress/backlog table from /debug/health
+// (the endpoint a stalled pipeline answers with 503).
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"dbimadg/internal/obs"
@@ -147,6 +150,44 @@ func printFreshness(client *http.Client, addr string, n int) {
 	}
 }
 
+// printHealth renders the liveness pane: the watchdog verdict and the
+// per-stage progress/backlog table from /debug/health. The endpoint answers
+// 503 when the watchdog has declared a stall — that is a payload, not an
+// error, so the pane fetches it with its own status handling.
+func printHealth(client *http.Client, addr string) {
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/health", addr))
+	if err != nil {
+		fmt.Printf("  health: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		fmt.Printf("  health: status %d\n", resp.StatusCode)
+		return
+	}
+	var rep obs.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		fmt.Printf("  health: %v\n", err)
+		return
+	}
+	line := fmt.Sprintf("  health: %s", rep.Verdict)
+	if len(rep.Paused) > 0 {
+		line += fmt.Sprintf(" (paused: %s)", strings.Join(rep.Paused, ", "))
+	}
+	if rep.Stalls > 0 {
+		line += fmt.Sprintf(", %d stall(s) detected", rep.Stalls)
+	}
+	fmt.Println(line)
+	for _, s := range rep.Stages {
+		backlog := fmt.Sprintf("%d", s.Backlog)
+		if s.Backlog < 0 {
+			backlog = "-"
+		}
+		fmt.Printf("  %-9s %-8s count=%-10d backlog=%-8s advance %.1fs ago\n",
+			s.Stage, s.State, s.Count, backlog, s.SinceAdvance)
+	}
+}
+
 const headerEvery = 20
 
 func header() {
@@ -173,6 +214,7 @@ func main() {
 		queries  = flag.Int("queries", 0, "show the N most recent query profiles under each sample (0 = off)")
 		slowOnly = flag.Bool("slow", false, "with -queries, show only slow-query-log entries")
 		fresh    = flag.Int("freshness", 0, "show the commit-to-visible summary and N span waterfalls under each sample (0 = off)")
+		health   = flag.Bool("health", false, "show the watchdog verdict and per-stage liveness table under each sample")
 	)
 	flag.Parse()
 
@@ -222,6 +264,9 @@ func main() {
 		}
 		if *fresh > 0 {
 			printFreshness(client, *addr, *fresh)
+		}
+		if *health {
+			printHealth(client, *addr)
 		}
 		prev, prevAt = cur, now
 	}

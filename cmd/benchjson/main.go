@@ -53,6 +53,10 @@ type Doc struct {
 	// commit-to-visible latency quantiles decomposed by pipeline stage, plus
 	// the first-query visibility age.
 	Freshness *FreshnessSummary `json:"freshness,omitempty"`
+	// Watchdog summarizes BenchmarkWatchdog when present: the redo apply hot
+	// path with the liveness watchdog running vs disabled, the derived
+	// heartbeat overhead (budget < 2%), and the per-record heartbeat tick cost.
+	Watchdog *WatchdogSummary `json:"watchdog,omitempty"`
 }
 
 // FailoverSummary is derived from BenchmarkFailover's reported metrics.
@@ -177,6 +181,43 @@ func freshnessSummary(benchmarks []Benchmark) *FreshnessSummary {
 	return nil
 }
 
+// WatchdogSummary is derived from BenchmarkWatchdog's sub-benchmarks.
+type WatchdogSummary struct {
+	// ApplyOnNs / ApplyOffNs are ns/op of the end-to-end redo apply loop with
+	// the watchdog evaluating at its production interval vs disabled.
+	ApplyOnNs  float64 `json:"apply_on_ns"`
+	ApplyOffNs float64 `json:"apply_off_ns"`
+	// OverheadPct is the watchdog's cost on the apply hot path as a percentage
+	// of the watchdog-off baseline. Benchmark noise can make it slightly
+	// negative; the acceptance budget is < 2%.
+	OverheadPct float64 `json:"overhead_pct"`
+	// TickNs is the isolated cost of one obs.Progress heartbeat tick (the
+	// per-record instrument the apply workers always pay, watchdog or not).
+	TickNs float64 `json:"tick_ns"`
+}
+
+// watchdogSummary extracts the summary from a parsed benchmark set; nil when
+// the run did not include BenchmarkWatchdog's On/Off pair.
+func watchdogSummary(benchmarks []Benchmark) *WatchdogSummary {
+	ns := map[string]float64{}
+	for _, b := range benchmarks {
+		name, _, _ := strings.Cut(b.Name, "-")
+		if sub, ok := strings.CutPrefix(name, "BenchmarkWatchdog/"); ok {
+			ns[sub] = b.Metrics["ns/op"]
+		}
+	}
+	s := &WatchdogSummary{
+		ApplyOnNs:  ns["ApplyOn"],
+		ApplyOffNs: ns["ApplyOff"],
+		TickNs:     ns["HeartbeatTick"],
+	}
+	if s.ApplyOnNs <= 0 || s.ApplyOffNs <= 0 {
+		return nil
+	}
+	s.OverheadPct = (s.ApplyOnNs - s.ApplyOffNs) / s.ApplyOffNs * 100
+	return s
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -235,6 +276,7 @@ func parse(r io.Reader) (*Doc, error) {
 	doc.Failover = failoverSummary(doc.Benchmarks)
 	doc.GroupBy = groupBySummary(doc.Benchmarks)
 	doc.Freshness = freshnessSummary(doc.Benchmarks)
+	doc.Watchdog = watchdogSummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

@@ -143,6 +143,40 @@ PASS
 	}
 }
 
+func TestWatchdogSummary(t *testing.T) {
+	in := `goos: linux
+BenchmarkWatchdog/ApplyOn-8        	    1000	   1010000 ns/op	  42.0 cvs/s
+BenchmarkWatchdog/ApplyOff-8       	    1000	   1000000 ns/op	  42.5 cvs/s
+BenchmarkWatchdog/HeartbeatTick-8  	100000000	         2.5 ns/op
+PASS
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := doc.Watchdog
+	if ws == nil {
+		t.Fatal("watchdog summary not extracted")
+	}
+	if ws.ApplyOnNs != 1010000 || ws.ApplyOffNs != 1000000 || ws.TickNs != 2.5 {
+		t.Fatalf("bad summary: %+v", ws)
+	}
+	if ws.OverheadPct < 0.99 || ws.OverheadPct > 1.01 {
+		t.Fatalf("overhead = %v%%, want ~1%%", ws.OverheadPct)
+	}
+}
+
+func TestWatchdogSummaryAbsent(t *testing.T) {
+	in := "BenchmarkWatchdog/HeartbeatTick-8 100 2.5 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Watchdog != nil {
+		t.Fatalf("spurious watchdog summary: %+v", doc.Watchdog)
+	}
+}
+
 func TestFreshnessSummaryAbsent(t *testing.T) {
 	in := "BenchmarkFig9_Q1_StandbyIMCS-8 100 123 ns/op\n"
 	doc, err := parse(strings.NewReader(in))

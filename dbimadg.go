@@ -99,6 +99,17 @@ type Config struct {
 	// FreshnessRing is the closed-span waterfall ring capacity behind
 	// Cluster.Freshness and /debug/freshness (default 512).
 	FreshnessRing int
+	// WatchdogInterval is the standby liveness watchdog's evaluation period
+	// (default 250ms; negative disables the background evaluation — see
+	// Cluster.StandbyWatchdog and /debug/health).
+	WatchdogInterval time.Duration
+	// WatchdogStallDeadline is how long a pipeline stage may hold a non-empty
+	// backlog without progress before the watchdog declares a stall and
+	// captures a flight-recorder bundle (default 5s).
+	WatchdogStallDeadline time.Duration
+	// FlightRecorderBundles is the stall-bundle ring capacity behind
+	// Cluster.FlightRecorder and /debug/flightrecorder (default 8).
+	FlightRecorderBundles int
 }
 
 func (c Config) withDefaults() Config {
@@ -175,22 +186,25 @@ func Open(cfg Config) (*Cluster, error) {
 	c.priEng.Start()
 
 	sbyCfg := standby.Config{
-		ApplyWorkers:         cfg.ApplyWorkers,
-		CheckpointInterval:   cfg.CheckpointInterval,
-		CommitTableParts:     cfg.CommitTableParts,
-		DisableCoopFlush:     cfg.DisableCoopFlush,
-		RowsPerBlock:         cfg.RowsPerBlock,
-		BlocksPerIMCU:        cfg.BlocksPerIMCU,
-		PopulationWorkers:    cfg.PopulationWorkers,
-		PopulationInterval:   cfg.PopulationInterval,
-		RepopThreshold:       cfg.RepopThreshold,
-		MemLimitBytes:        cfg.MemLimitBytes,
-		MetricsAddr:          cfg.MetricsAddr,
-		LagSampleInterval:    cfg.LagSampleInterval,
-		SlowQueryThreshold:   cfg.SlowQueryThreshold,
-		QueryLogSize:         cfg.QueryLogSize,
-		FreshnessSampleEvery: cfg.FreshnessSampleEvery,
-		FreshnessRing:        cfg.FreshnessRing,
+		ApplyWorkers:          cfg.ApplyWorkers,
+		CheckpointInterval:    cfg.CheckpointInterval,
+		CommitTableParts:      cfg.CommitTableParts,
+		DisableCoopFlush:      cfg.DisableCoopFlush,
+		RowsPerBlock:          cfg.RowsPerBlock,
+		BlocksPerIMCU:         cfg.BlocksPerIMCU,
+		PopulationWorkers:     cfg.PopulationWorkers,
+		PopulationInterval:    cfg.PopulationInterval,
+		RepopThreshold:        cfg.RepopThreshold,
+		MemLimitBytes:         cfg.MemLimitBytes,
+		MetricsAddr:           cfg.MetricsAddr,
+		LagSampleInterval:     cfg.LagSampleInterval,
+		SlowQueryThreshold:    cfg.SlowQueryThreshold,
+		QueryLogSize:          cfg.QueryLogSize,
+		FreshnessSampleEvery:  cfg.FreshnessSampleEvery,
+		FreshnessRing:         cfg.FreshnessRing,
+		WatchdogInterval:      cfg.WatchdogInterval,
+		WatchdogStallDeadline: cfg.WatchdogStallDeadline,
+		FlightRecorderBundles: cfg.FlightRecorderBundles,
 	}
 	c.sbyCfg = sbyCfg
 	c.sc = rac.NewStandbyCluster(sbyCfg, cfg.StandbyReaders)
@@ -202,6 +216,19 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	c.src = src
 	c.sc.Attach(src)
+	// Ship-stage backlog: the furthest redo any primary instance has written
+	// minus the receiver's delivery frontier. Heartbeats (always on for
+	// multi-instance primaries) keep idle threads' streams advancing, so the
+	// frontier comparison never wedges on a quiet thread.
+	c.sc.Master.SetShipFrontier(func() scn.SCN {
+		var last scn.SCN
+		for _, inst := range pri.Instances() {
+			if l := inst.Stream().LastSCN(); l > last {
+				last = l
+			}
+		}
+		return last
+	})
 	c.sc.Start()
 	if cfg.HeartbeatInterval > 0 {
 		c.pri.StartHeartbeats(cfg.HeartbeatInterval)
@@ -398,6 +425,19 @@ func (c *Cluster) QueryLog() *QueryLog { return c.sc.Master.QueryLog() }
 // QuerySCN publication, with SLO percentile summaries and span waterfalls
 // (also served on /debug/freshness when MetricsAddr is set).
 func (c *Cluster) Freshness() *obs.FreshnessTracer { return c.standbyCluster().Master.Freshness() }
+
+// StandbyWatchdog returns the standby master's pipeline liveness watchdog:
+// per-stage progress/backlog liveness with planned-pause suppression (also
+// served on /debug/health when MetricsAddr is set).
+func (c *Cluster) StandbyWatchdog() *obs.Watchdog { return c.standbyCluster().Master.Watchdog() }
+
+// FlightRecorder returns the standby master's stall-bundle recorder: bounded
+// diagnostic bundles (stage table, metrics, trace tail, goroutine profile,
+// transport state) captured at each stall onset (also served on
+// /debug/flightrecorder when MetricsAddr is set).
+func (c *Cluster) FlightRecorder() *obs.FlightRecorder {
+	return c.standbyCluster().Master.FlightRecorder()
+}
 
 // PrimaryPopulation exposes the primary-side population engine.
 func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }

@@ -194,6 +194,12 @@ func (b *Broker) Failover() (*FailoverResult, error) {
 	if b.state != StateSteady {
 		return nil, fmt.Errorf("broker: failover from state %v", b.state)
 	}
+	// A promotion drains, stops and reopens the pipeline; none of that is a
+	// stall. The pause covers the error paths too — Resume resets every stage
+	// clock so the disruption gets a fresh deadline.
+	wd := b.cfg.Standby.Master.Watchdog()
+	wd.Pause("failover")
+	defer wd.Resume("failover")
 	res, _, err := b.promote(true)
 	if err != nil {
 		return nil, err
@@ -216,6 +222,9 @@ func (b *Broker) Switchover() (*SwitchoverResult, error) {
 	if b.cfg.Primary == nil {
 		return nil, fmt.Errorf("broker: switchover needs a live primary")
 	}
+	wd := b.cfg.Standby.Master.Watchdog()
+	wd.Pause("switchover")
+	defer wd.Resume("switchover")
 	res, newPri, err := b.promote(false)
 	if err != nil {
 		return nil, err

@@ -24,16 +24,22 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"dbimadg/internal/broker"
+	"dbimadg/internal/obs"
 	"dbimadg/internal/primary"
 	"dbimadg/internal/rac"
 	"dbimadg/internal/redo"
 	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
 	"dbimadg/internal/standby"
 	"dbimadg/internal/transport"
 )
@@ -87,6 +93,7 @@ type Result struct {
 	Reconnects  int64
 	Corrupt     int64 // frames rejected by CRC and refetched
 	Duplicates  int64 // duplicate records dropped by the receiver
+	Stalls      int64 // watchdog stall onsets (a passing run must report 0)
 	Transition  string
 	// Freshness-span accounting (sample-every-1 tracing is on for every chaos
 	// run): spans that closed complete vs. spans explicitly truncated by a
@@ -136,6 +143,7 @@ type Runner struct {
 
 	oracle  *oracle
 	monitor *monitor
+	stallCh chan *obs.Bundle // watchdog stall onsets (fail-fast in quiesceCatchUp)
 
 	nextID  int64   // fresh-id allocator for inserts
 	liveIDs []int64 // committed inserted ids eligible for deletion
@@ -211,6 +219,12 @@ func (r *Runner) setup() error {
 		// sampled span closes complete (or is explicitly truncated by a
 		// crash/transition) — never leaked, never gap-ridden.
 		FreshnessSampleEvery: 1,
+		// Liveness: a wedged pipeline should fail the run within the stall
+		// deadline with a diagnostic bundle, not hang until quiesceCatchUp's
+		// 30s timeout. The deadline is generous enough that fault-storm
+		// backoff stretches (capped at 1s per reconnect) never false-positive.
+		WatchdogInterval:      50 * time.Millisecond,
+		WatchdogStallDeadline: 8 * time.Second,
 	}
 	r.sc = rac.NewStandbyCluster(cfg, 0)
 	r.sby = r.sc.Master
@@ -220,6 +234,24 @@ func (r *Runner) setup() error {
 		return err
 	}
 	r.sc.Attach(src)
+	// Ship-stage backlog: furthest redo written on the primary minus the
+	// receiver's delivery frontier.
+	r.sby.SetShipFrontier(func() scn.SCN {
+		var last scn.SCN
+		for _, s := range r.priStreams() {
+			if l := s.LastSCN(); l > last {
+				last = l
+			}
+		}
+		return last
+	})
+	r.stallCh = make(chan *obs.Bundle, 1)
+	r.sby.Watchdog().OnStall(func(b *obs.Bundle) {
+		select {
+		case r.stallCh <- b:
+		default:
+		}
+	})
 	r.sc.Start()
 
 	tbl, err := r.pri.Instance(0).CreateTable(&rowstore.TableSpec{
@@ -482,20 +514,86 @@ func (r *Runner) singleUpdate(id, marker int64) error {
 }
 
 // quiesceCatchUp waits until the standby's QuerySCN reaches the primary's
-// current snapshot.
+// current snapshot. A watchdog stall verdict fails the wait immediately (with
+// the captured flight-recorder bundle) instead of burning the full timeout; a
+// plain timeout captures a bundle manually so the failure is equally
+// diagnosable.
 func (r *Runner) quiesceCatchUp() error {
 	target := r.pri.Snapshot()
-	if !r.sby.WaitForSCN(target, 30*time.Second) {
-		detail := ""
-		if r.rcv != nil {
-			detail = fmt.Sprintf(" rcv={records:%d reconnects:%d corrupt:%d dups:%d err:%v}",
-				r.rcv.RecordsReceived(), r.rcv.Reconnects(), r.rcv.CorruptFrames(),
-				r.rcv.DuplicatesDropped(), r.rcv.Err())
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.sby.QuerySCN() >= target {
+			return nil
 		}
-		return fmt.Errorf("standby stuck: QuerySCN=%d target=%d stats=%+v%s",
-			r.sby.QuerySCN(), target, r.sby.Stats(), detail)
+		select {
+		case b := <-r.stallCh:
+			// Re-check before failing: a transient verdict that already
+			// healed (progress resumed) is not a wedge.
+			if rep := r.sby.Watchdog().Health(); rep.Verdict == "stalled" {
+				return fmt.Errorf("standby stalled: %s", r.stallDigest(b, target))
+			}
+		default:
+			time.Sleep(200 * time.Microsecond)
+		}
 	}
-	return nil
+	if r.sby.QuerySCN() >= target {
+		return nil
+	}
+	b := r.sby.FlightRecorder().Capture("quiesce timeout", r.sby.Watchdog().Health().Stages)
+	return fmt.Errorf("standby stuck: %s", r.stallDigest(b, target))
+}
+
+// stallDigest renders a bounded, human-readable summary of a stall bundle:
+// the liveness table, transport state and pipeline stats. The full bundle
+// (goroutine profile, metrics, trace tail) stays in the flight recorder — and
+// is additionally written to CHAOS_ARTIFACT_DIR when that is set, so CI can
+// upload it next to the failing log.
+func (r *Runner) stallDigest(b *obs.Bundle, target scn.SCN) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "QuerySCN=%d target=%d stats=%+v", r.sby.QuerySCN(), target, r.sby.Stats())
+	if b == nil {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "\n  bundle #%d: %s", b.Seq, b.Reason)
+	for _, s := range b.Stages {
+		fmt.Fprintf(&sb, "\n  stage %-9s %-8s count=%-8d backlog=%-6d since_advance=%.1fs",
+			s.Stage, s.State, s.Count, s.Backlog, s.SinceAdvance)
+	}
+	if ts, ok := b.State["transport"]; ok {
+		fmt.Fprintf(&sb, "\n  transport=%+v", ts)
+	}
+	if path := r.dumpBundle(b); path != "" {
+		fmt.Fprintf(&sb, "\n  full bundle written to %s", path)
+	}
+	return sb.String()
+}
+
+// dumpBundle writes the full diagnostic bundle (goroutine profile, metrics
+// snapshot, trace tail, component states) plus the replay seed as JSON into
+// the directory named by the CHAOS_ARTIFACT_DIR environment variable, and
+// returns the file path. No-op (empty path) when the variable is unset; best
+// effort on error — artifact capture must never mask the underlying failure.
+func (r *Runner) dumpBundle(b *obs.Bundle) string {
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" || b == nil {
+		return ""
+	}
+	doc := struct {
+		ReplaySeed int64       `json:"replay_seed"`
+		Bundle     *obs.Bundle `json:"bundle"`
+	}{r.opts.Seed, b}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-bundle-seed%d-%d.json", r.opts.Seed, b.Seq))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return ""
+	}
+	return path
 }
 
 // quiescePoint catches up and runs the full oracle.
@@ -591,6 +689,9 @@ func (r *Runner) transition() error {
 func (r *Runner) collectCounters() {
 	if r.injector != nil {
 		r.res.FaultCounts = r.injector.Counts()
+	}
+	if r.sby != nil {
+		r.res.Stalls = r.sby.Watchdog().Stalls()
 	}
 	if r.rcv != nil {
 		r.res.Reconnects = r.rcv.Reconnects()

@@ -107,11 +107,13 @@ type StatsFunc func() any
 // Handler serves the observability endpoints:
 //
 //	/metrics          Prometheus text format of every registered metric
-//	/debug/stats      JSON snapshot of every registered component's Stats
-//	/debug/trace      recent pipeline trace events (?n=256 limits the window)
-//	/debug/queries    recent query profiles (?n=32 limits, ?slow=1 slow-only)
-//	/debug/freshness  commit-to-visible SLO summary + span waterfalls (?n=32)
-//	/debug/pprof/*    the standard net/http/pprof profiles
+//	/debug/stats           JSON snapshot of every registered component's Stats
+//	/debug/trace           recent pipeline trace events (?n=256 limits the window)
+//	/debug/queries         recent query profiles (?n=32 limits, ?slow=1 slow-only)
+//	/debug/freshness       commit-to-visible SLO summary + span waterfalls (?n=32)
+//	/debug/health          per-stage liveness table + watchdog verdict
+//	/debug/flightrecorder  captured stall bundles (?n=1 limits, newest last)
+//	/debug/pprof/*         the standard net/http/pprof profiles
 type Handler struct {
 	reg   *Registry
 	trace *PipelineTrace
@@ -120,6 +122,8 @@ type Handler struct {
 	stats     map[string]StatsFunc
 	queries   *QueryLog
 	freshness *FreshnessTracer
+	watchdog  *Watchdog
+	recorder  *FlightRecorder
 	mux       *http.ServeMux
 }
 
@@ -132,6 +136,8 @@ func NewHandler(reg *Registry, trace *PipelineTrace) *Handler {
 	h.mux.HandleFunc("/debug/trace", h.serveTrace)
 	h.mux.HandleFunc("/debug/queries", h.serveQueries)
 	h.mux.HandleFunc("/debug/freshness", h.serveFreshness)
+	h.mux.HandleFunc("/debug/health", h.serveHealth)
+	h.mux.HandleFunc("/debug/flightrecorder", h.serveFlightRecorder)
 	// net/http/pprof registers on http.DefaultServeMux; the metrics listener
 	// uses its own mux, so route the handlers explicitly.
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -161,6 +167,15 @@ func (h *Handler) SetQueryLog(l *QueryLog) {
 func (h *Handler) SetFreshness(t *FreshnessTracer) {
 	h.mu.Lock()
 	h.freshness = t
+	h.mu.Unlock()
+}
+
+// SetWatchdog attaches the liveness watchdog backing /debug/health and, via
+// its recorder, /debug/flightrecorder; nil detaches both.
+func (h *Handler) SetWatchdog(w *Watchdog) {
+	h.mu.Lock()
+	h.watchdog = w
+	h.recorder = w.Recorder()
 	h.mu.Unlock()
 }
 
@@ -244,6 +259,38 @@ func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{"events": h.trace.Events(n)})
+}
+
+func (h *Handler) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	wd := h.watchdog
+	h.mu.Unlock()
+	if wd == nil {
+		http.Error(w, "no watchdog attached", http.StatusNotFound)
+		return
+	}
+	rep := wd.Health()
+	if rep.Verdict == "stalled" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, rep)
+}
+
+func (h *Handler) serveFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	fr := h.recorder
+	h.mu.Unlock()
+	if fr == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	bundles := fr.Bundles()
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 && len(bundles) > v {
+			bundles = bundles[len(bundles)-v:]
+		}
+	}
+	writeJSON(w, map[string]any{"bundles": bundles})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

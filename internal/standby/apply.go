@@ -190,6 +190,7 @@ func (inst *Instance) workerLoop(w *applyWorker) {
 			w.appliedSCN.Store(uint64(t.scn))
 			w.applied.Add(1)
 			inst.cvsApplied.Add(1)
+			inst.applyBeat.Tick()
 			inst.trace.Observe(obs.StageApply, uint64(t.scn), time.Since(t.enq))
 			if !inst.cfg.DisableCoopFlush {
 				if wl := inst.pendingWL.Load(); wl != nil {

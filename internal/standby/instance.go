@@ -84,6 +84,18 @@ type Config struct {
 	// FreshnessRing is the closed-span waterfall ring capacity behind
 	// /debug/freshness (default obs.DefaultFreshnessRing).
 	FreshnessRing int
+
+	// WatchdogInterval is the liveness watchdog's evaluation period (default
+	// obs.DefaultWatchdogInterval). Negative disables the background
+	// evaluation goroutine; /debug/health still evaluates on demand.
+	WatchdogInterval time.Duration
+	// WatchdogStallDeadline is how long a stage may sit on a non-empty
+	// backlog without progress before it is declared stalled
+	// (default obs.DefaultStallDeadline).
+	WatchdogStallDeadline time.Duration
+	// FlightRecorderBundles is the stall-bundle ring capacity
+	// (default obs.DefaultBundleRing).
+	FlightRecorderBundles int
 }
 
 // Gauge names for the derived lag metrics registered on every instance's
@@ -200,12 +212,18 @@ type Instance struct {
 	reg       *obs.Registry
 	trace     *obs.PipelineTrace
 	freshness *obs.FreshnessTracer
-	scanStats *scanengine.PathStats
-	queryLog  *obs.QueryLog
-	scanHist  map[string]*obs.Histogram // per scan path, keyed by Profile.Path()
-	lagSeries map[string]*metrics.Series
-	sampler   *obs.Sampler
-	obsSrv    *obs.Server
+	watchdog  *obs.Watchdog
+	recorder  *obs.FlightRecorder
+	applyBeat obs.Progress // apply-stage heartbeat, ticked per CV on the hot path
+	// shipUpstream, when set, reports the primary's redo frontier; the ship
+	// stage's backlog is upstream minus the receiver's delivery frontier.
+	shipUpstream atomic.Pointer[func() scn.SCN]
+	scanStats    *scanengine.PathStats
+	queryLog     *obs.QueryLog
+	scanHist     map[string]*obs.Histogram // per scan path, keyed by Profile.Path()
+	lagSeries    map[string]*metrics.Series
+	sampler      *obs.Sampler
+	obsSrv       *obs.Server
 }
 
 // New builds a standby instance with an empty replica database. The catalog
@@ -260,9 +278,131 @@ func build(cfg Config, db *rowstore.Database, txns *txn.Table, services *service
 		GaugeJournalTxns:    metrics.NewSeries(GaugeJournalTxns),
 		GaugeCommitPending:  metrics.NewSeries(GaugeCommitPending),
 	}
+	// The watchdog, like the registry and trace, persists across Restart: a
+	// crash-restart is a planned pause, not a fresh watchdog.
+	inst.recorder = obs.NewFlightRecorder(inst.reg, inst.trace, cfg.FlightRecorderBundles)
+	inst.watchdog = obs.NewWatchdog(inst.reg, inst.recorder, obs.WatchdogOptions{
+		Interval:      cfg.WatchdogInterval,
+		StallDeadline: cfg.WatchdogStallDeadline,
+	})
+	inst.recorder.AddState("standby", func() any { return inst.Stats() })
 	inst.initVolatile()
 	inst.registerMetrics()
+	inst.registerStages()
 	return inst
+}
+
+// registerStages describes the standby pipeline to the liveness watchdog.
+// Each stage pairs a monotone progress count with a backlog: the watchdog
+// declares a stall only when backlog is non-empty and the count is frozen
+// past the deadline, so an idle primary never false-positives. The closures
+// resolve current components on every evaluation and so survive Restart.
+func (inst *Instance) registerStages() {
+	w := inst.watchdog
+	// ship: the transport receiver (including its reconnect/refetch loop).
+	// Backlog is the primary's redo frontier minus the receiver's delivery
+	// frontier, available once the cluster wires SetShipFrontier; sources
+	// without a frontier (in-process streams) report idle.
+	w.Register(obs.StageConfig{
+		Name: "ship",
+		Count: func() int64 {
+			if rc, ok := inst.source().(interface{ RecordsReceived() int64 }); ok {
+				return rc.RecordsReceived()
+			}
+			return 0
+		},
+		Backlog: func() int64 {
+			fn := inst.shipUpstream.Load()
+			if fn == nil {
+				return 0
+			}
+			fr, ok := inst.source().(interface{ Frontier() scn.SCN })
+			if !ok {
+				return 0
+			}
+			if d := int64((*fn)()) - int64(fr.Frontier()); d > 0 {
+				return d
+			}
+			return 0
+		},
+	})
+	// merge: the log merger + dispatcher. Backlog is the SCN distance between
+	// the furthest shipped redo and the dispatch frontier.
+	w.Register(obs.StageConfig{
+		Name:  "merge",
+		Count: func() int64 { return inst.recordsApplied.Load() },
+		Backlog: func() int64 {
+			src := inst.source()
+			if src == nil {
+				return 0
+			}
+			var last scn.SCN
+			for _, s := range src.Streams() {
+				if l := s.LastSCN(); l > last {
+					last = l
+				}
+			}
+			if d := int64(last) - int64(inst.lastDispatched.Load()); d > 0 {
+				return d
+			}
+			return 0
+		},
+	})
+	// apply: the recovery workers (apply + mine). The hot-path heartbeat is a
+	// Progress ticked per CV; backlog is the summed worker queue depth.
+	w.Register(obs.StageConfig{
+		Name:     "apply",
+		Progress: &inst.applyBeat,
+		Backlog: func() int64 {
+			ws := inst.workersRef.Load()
+			if ws == nil {
+				return 0
+			}
+			var depth int64
+			for _, wk := range *ws {
+				depth += wk.dispatched.Load() - wk.applied.Load()
+			}
+			return depth
+		},
+	})
+	// mine: visibility only — mining happens inline in apply, so the apply
+	// stage already judges its liveness.
+	w.Register(obs.StageConfig{
+		Name:  "mine",
+		Count: func() int64 { _, _, _, _, m, _ := inst.components(); return m.MinedRecords() },
+	})
+	// flush: the journal flusher. Backlog is the pending worklink's length
+	// while it is not yet drained.
+	w.Register(obs.StageConfig{
+		Name:  "flush",
+		Count: func() int64 { _, _, _, _, _, f := inst.components(); return f.FlushedRecords() },
+		Backlog: func() int64 {
+			if wl := inst.pendingWL.Load(); wl != nil && !wl.Drained() {
+				return int64(wl.Len())
+			}
+			return 0
+		},
+	})
+	// publish: the recovery coordinator. Backlog is the applied-but-not-yet-
+	// visible SCN distance (query staleness).
+	w.Register(obs.StageConfig{
+		Name:  "publish",
+		Count: func() int64 { return inst.advances.Load() },
+		Backlog: func() int64 {
+			q, wm, _ := inst.scns()
+			return int64(wm - q)
+		},
+	})
+	// populate: the IMCS population engine.
+	w.Register(obs.StageConfig{
+		Name: "populate",
+		Count: func() int64 {
+			_, e, _, _, _, _ := inst.components()
+			s := e.Stats()
+			return s.UnitsPopulated + s.UnitsRepopulated
+		},
+		Backlog: func() int64 { _, e, _, _, _, _ := inst.components(); return e.Pending() },
+	})
 }
 
 // Role returns the roles this instance currently serves (RoleStandby until a
@@ -527,11 +667,27 @@ func (inst *Instance) MetricsAddr() string {
 // queries on the standby.
 func (inst *Instance) QuerySCN() scn.SCN { return scn.SCN(inst.querySCN.Load()) }
 
+// source reads the current redo source coherently (watchdog stage closures
+// race with Restart's reattachment otherwise).
+func (inst *Instance) source() transport.Source {
+	inst.stateMu.RLock()
+	defer inst.stateMu.RUnlock()
+	return inst.src
+}
+
+func (inst *Instance) setSource(src transport.Source) {
+	inst.stateMu.Lock()
+	inst.src = src
+	inst.stateMu.Unlock()
+}
+
 // Attach connects the redo source. Must be called before Start. Sources that
 // support pipeline tracing (the TCP Receiver) get the instance's trace
-// attached so ship-stage latency is observed.
+// attached so ship-stage latency is observed; sources with debug state are
+// registered with the flight recorder so stall bundles carry the transport's
+// connection, reconnect and refetch state.
 func (inst *Instance) Attach(src transport.Source) {
-	inst.src = src
+	inst.setSource(src)
 	if t, ok := src.(interface{ SetTrace(*obs.PipelineTrace) }); ok {
 		t.SetTrace(inst.trace)
 	}
@@ -540,7 +696,27 @@ func (inst *Instance) Attach(src transport.Source) {
 			"shipping connections redialled after a drop",
 			func() float64 { return float64(rc.Reconnects()) })
 	}
+	if ds, ok := src.(interface{ DebugState() any }); ok {
+		inst.recorder.AddState("transport", ds.DebugState)
+	}
 }
+
+// SetShipFrontier wires the upstream (primary) redo frontier used to compute
+// the ship stage's backlog; nil detaches it (ship reports idle).
+func (inst *Instance) SetShipFrontier(fn func() scn.SCN) {
+	if fn == nil {
+		inst.shipUpstream.Store(nil)
+		return
+	}
+	inst.shipUpstream.Store(&fn)
+}
+
+// Watchdog returns the instance's pipeline liveness watchdog.
+func (inst *Instance) Watchdog() *obs.Watchdog { return inst.watchdog }
+
+// FlightRecorder returns the stall-bundle recorder backing
+// /debug/flightrecorder.
+func (inst *Instance) FlightRecorder() *obs.FlightRecorder { return inst.recorder }
 
 // Start launches redo apply, the recovery coordinator, population, and (when
 // configured) the observability exporter and lag sampler.
@@ -566,6 +742,9 @@ func (inst *Instance) Start() {
 	go inst.mergerLoop()
 	go inst.coordinatorLoop()
 	inst.engine.Start()
+	if inst.cfg.WatchdogInterval >= 0 {
+		inst.watchdog.Start()
+	}
 	inst.startObservability()
 }
 
@@ -587,6 +766,7 @@ func (inst *Instance) startObservability() {
 	h := obs.NewHandler(inst.reg, inst.trace)
 	h.SetQueryLog(inst.queryLog)
 	h.SetFreshness(inst.freshness)
+	h.SetWatchdog(inst.watchdog)
 	h.AddStats("standby", func() any { return inst.Stats() })
 	h.AddStats("imcs", func() any { s, _, _, _, _, _ := inst.components(); return s.Stats() })
 	h.AddStats("population", func() any { _, e, _, _, _, _ := inst.components(); return e.Stats() })
@@ -606,6 +786,8 @@ func (inst *Instance) Stop() scn.SCN {
 		return scn.SCN(inst.watermark.Load())
 	}
 	inst.started = false
+	// Stop the watchdog first: a pipeline being torn down must not be judged.
+	inst.watchdog.Stop()
 	close(inst.stop)
 	inst.wg.Wait()
 	inst.engine.Stop()
@@ -630,6 +812,10 @@ func (inst *Instance) Stop() scn.SCN {
 // durable in the real system). src supplies the redo threads again (the
 // archived logs); records at or below the checkpoint are skipped.
 func (inst *Instance) Restart(src transport.Source) {
+	// A restart is a planned disruption: suppress stall detection until the
+	// pipeline is back up, then give every stage a fresh deadline.
+	inst.watchdog.Pause("restart")
+	defer inst.watchdog.Resume("restart")
 	checkpoint := inst.Stop()
 	// Crash semantics for in-flight freshness spans: whatever the pipeline
 	// still held is explicitly truncated. Replayed records (above the
@@ -642,7 +828,9 @@ func (inst *Instance) Restart(src transport.Source) {
 	inst.watermark.Store(uint64(checkpoint))
 	inst.lastDispatched.Store(uint64(checkpoint))
 	inst.startSCN = checkpoint
-	inst.src = src
+	// Full reattachment: the replacement source gets the trace and replaces
+	// the flight recorder's transport state provider.
+	inst.Attach(src)
 	inst.Start()
 }
 

@@ -1,0 +1,74 @@
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// leakIgnored are stack substrings of goroutines that are not pipeline
+// workers: the runtime's own helpers, the testing framework, and net/http
+// background readers that outlive a closed test server briefly.
+var leakIgnored = []string{
+	"testing.(*T).Run",
+	"testing.tRunner",
+	"testing.runTests",
+	"testing.(*M).",
+	"runtime.goexit",
+	"created by runtime",
+	"signal.signal_recv",
+	"runtime/pprof",
+	"net/http.(*persistConn)",
+	"net/http.(*Transport)",
+}
+
+// pipelineGoroutines returns the stacks of goroutines whose creation frame
+// matches any of the given substrings (e.g. "dbimadg/internal/"), excluding
+// the current goroutine and known-benign runtime/testing goroutines.
+func pipelineGoroutines(match ...string) []string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var leaked []string
+stacks:
+	for _, stack := range strings.Split(string(buf), "\n\n") {
+		if stack == "" || strings.HasPrefix(stack, "goroutine ") && strings.Contains(strings.SplitN(stack, "\n", 2)[0], "[running]") {
+			// The current goroutine (the one taking the dump) is [running].
+			continue
+		}
+		for _, ig := range leakIgnored {
+			if strings.Contains(stack, ig) {
+				continue stacks
+			}
+		}
+		for _, m := range match {
+			if strings.Contains(stack, m) {
+				leaked = append(leaked, stack)
+				continue stacks
+			}
+		}
+	}
+	return leaked
+}
+
+// NoGoroutineLeak fails the test when goroutines created inside any of the
+// given package path substrings (default "dbimadg/") are still alive after
+// the grace period. Call it explicitly after tearing everything down
+// (Close/Stop) — not via defer, which would run before any t.Cleanup-
+// registered teardown. It polls for up to 2 seconds before failing, because
+// Stop paths signal their goroutines and return without always joining the
+// final descheduling.
+func NoGoroutineLeak(t failer, match ...string) {
+	t.Helper()
+	if len(match) == 0 {
+		match = []string{"dbimadg/"}
+	}
+	var leaked []string
+	ok := WaitFor(2*time.Second, time.Millisecond, func() bool {
+		leaked = pipelineGoroutines(match...)
+		return len(leaked) == 0
+	})
+	if !ok {
+		t.Fatalf("%d pipeline goroutine(s) still running after teardown:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}

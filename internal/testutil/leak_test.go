@@ -1,0 +1,33 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPipelineGoroutinesDetectsAndClears(t *testing.T) {
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() { // a "leaked" pipeline goroutine, created in this package
+		close(parked)
+		<-release
+	}()
+	<-parked
+
+	if !WaitFor(time.Second, 0, func() bool {
+		return len(pipelineGoroutines("dbimadg/internal/testutil")) == 1
+	}) {
+		t.Fatalf("parked goroutine not detected: %v", pipelineGoroutines("dbimadg/internal/testutil"))
+	}
+
+	close(release)
+	if !WaitFor(time.Second, 0, func() bool {
+		return len(pipelineGoroutines("dbimadg/internal/testutil")) == 0
+	}) {
+		t.Fatalf("released goroutine still reported: %v", pipelineGoroutines("dbimadg/internal/testutil"))
+	}
+}
+
+func TestNoGoroutineLeakClean(t *testing.T) {
+	NoGoroutineLeak(t, "dbimadg/internal/testutil")
+}

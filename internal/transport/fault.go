@@ -83,6 +83,7 @@ type FaultInjector struct {
 	rng    *rand.Rand
 	plan   FaultPlan
 	script []FaultKind
+	tail   FaultKind // fault applied to every frame past the script's end
 	next   int
 	counts [FaultCorrupt + 1]int64
 }
@@ -96,9 +97,21 @@ func NewFaultInjector(seed int64, plan FaultPlan) *FaultInjector {
 }
 
 // NewScriptedInjector builds an injector that replays exactly the given fault
-// sequence, one entry per shipped frame, then ships clean.
+// sequence, one entry per shipped frame, then ships clean (or applies the
+// SetScriptTail fault, if one is set).
 func NewScriptedInjector(script ...FaultKind) *FaultInjector {
 	return &FaultInjector{rng: rand.New(rand.NewSource(1)), script: append([]FaultKind(nil), script...)}
+}
+
+// SetScriptTail sets the fault applied to every frame after the script is
+// exhausted (default FaultNone: ship clean). A FaultDrop tail models a
+// permanent outage — every subsequent frame severs the connection, so no redo
+// is ever delivered again no matter how often the receiver redials. Targeted
+// liveness tests use this to wedge the pipeline on purpose.
+func (f *FaultInjector) SetScriptTail(kind FaultKind) {
+	f.mu.Lock()
+	f.tail = kind
+	f.mu.Unlock()
 }
 
 // decision is one injector verdict for a frame.
@@ -114,9 +127,11 @@ func (f *FaultInjector) nextDecision() decision {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var d decision
-	if f.script != nil {
+	if f.script != nil || f.tail != FaultNone {
 		if f.next < len(f.script) {
 			d.kind = f.script[f.next]
+		} else {
+			d.kind = f.tail
 		}
 		f.next++
 	} else {

@@ -279,6 +279,8 @@ type Receiver struct {
 	reconnects atomic.Int64 // successful redials after a dropped connection
 	corrupt    atomic.Int64 // frames rejected by CRC verification
 	dups       atomic.Int64 // duplicate records dropped by SCN dedup
+	windowed   atomic.Int64 // records accepted into a reorder window (cumulative)
+	frames     atomic.Int64 // frames read off the wire, including duplicates
 	rngState   atomic.Uint64
 }
 
@@ -287,10 +289,16 @@ type Options struct {
 	// ReorderWindow, when >= 2, buffers up to that many records per thread
 	// and releases them to the mirror in SCN order, healing bounded
 	// out-of-order delivery (e.g. FaultReorder's adjacent swaps). The buffer
-	// is flushed on a clean end of log and DISCARDED on any connection error:
-	// unflushed records are refetched from the archived log at LastSCN+1, so
-	// nothing is lost. 0 (the default) appends records as they arrive and
-	// treats out-of-order delivery as a protocol violation.
+	// is flushed on a clean end of log and SURVIVES connection errors: the
+	// redial refetches from the archived log at LastSCN+1 and duplicates are
+	// dropped against the window, so records delivered on a short-lived
+	// connection accumulate instead of being re-fetched forever. (Discarding
+	// the window on error looked equivalent — "nothing is lost, just refetch"
+	// — but under sustained fault churn each connection dies before the
+	// window overflows into a release, so the receiver livelocks refetching
+	// the same records: the seed-4000 chaos stall.) 0 (the default) appends
+	// records as they arrive and treats out-of-order delivery as a protocol
+	// violation.
 	ReorderWindow int
 }
 
@@ -315,6 +323,56 @@ func (r *Receiver) CorruptFrames() int64 { return r.corrupt.Load() }
 // DuplicatesDropped returns how many already-mirrored records were discarded
 // by SCN deduplication.
 func (r *Receiver) DuplicatesDropped() int64 { return r.dups.Load() }
+
+// FramesRead returns how many frames were read off the wire, including
+// duplicates and frames still buffered in a reorder window.
+func (r *Receiver) FramesRead() int64 { return r.frames.Load() }
+
+// Frontier returns the lowest per-thread delivery frontier: the smallest
+// LastSCN across the mirror streams. The watchdog compares it against the
+// primary's commit frontier — if any thread's mirror freezes while the
+// primary advances, the ship-stage backlog grows.
+func (r *Receiver) Frontier() scn.SCN {
+	var min scn.SCN
+	for i, m := range r.mirrors {
+		last := m.LastSCN()
+		if i == 0 || last < min {
+			min = last
+		}
+	}
+	return min
+}
+
+// DebugState reports the receiver's connection and refetch state for
+// flight-recorder bundles: per-thread mirror frontiers plus the cumulative
+// wire counters. It is safe to call from any goroutine.
+func (r *Receiver) DebugState() any {
+	threads := make(map[string]uint64, len(r.mirrors))
+	for _, m := range r.mirrors {
+		threads[fmt.Sprintf("thread_%d_last_scn", m.Thread())] = uint64(m.LastSCN())
+	}
+	r.mu.Lock()
+	lastErr := ""
+	if r.lastErr != nil {
+		lastErr = r.lastErr.Error()
+	}
+	liveConns := len(r.conns)
+	r.mu.Unlock()
+	return map[string]any{
+		"addr":            r.addr,
+		"live_conns":      liveConns,
+		"records":         r.records.Load(),
+		"bytes":           r.bytes.Load(),
+		"frames_read":     r.frames.Load(),
+		"reconnects":      r.reconnects.Load(),
+		"corrupt_frames":  r.corrupt.Load(),
+		"dups_dropped":    r.dups.Load(),
+		"windowed":        r.windowed.Load(),
+		"reorder_window":  r.opts.ReorderWindow,
+		"last_dial_error": lastErr,
+		"threads":         threads,
+	}
+}
 
 // dial opens and handshakes one shipping connection for thread th starting at
 // from, registering it so Close can interrupt a blocked read.
@@ -383,15 +441,25 @@ func (r *Receiver) pump(th uint16, conn net.Conn, mirror *redo.Stream, from scn.
 	defer r.wg.Done()
 	defer mirror.Close()
 	backoff := reconnectBase
+	// The reorder window outlives individual connections: records a dying
+	// connection managed to deliver stay buffered, and the redial's refetch
+	// fills the gaps below them. See Options.ReorderWindow.
+	var window []*redo.Record
 	for {
-		before := r.records.Load()
-		err := r.drainConn(conn, mirror)
+		before := r.frames.Load()
+		err := r.drainConn(conn, mirror, &window)
 		if err == redo.ErrEndOfLog {
 			return // primary closed this redo thread cleanly
 		}
-		if r.records.Load() > before {
-			// The dropped connection shipped records; treat the next drop as a
-			// fresh fault rather than a continuation of the previous backoff.
+		if r.frames.Load() > before {
+			// The dropped connection shipped frames — even duplicates of
+			// already-buffered records prove the link works — so treat the
+			// next drop as a fresh fault rather than a continuation of the
+			// previous backoff. Escalating backoff while every short-lived
+			// connection delivers a few frames throttles recovery to the cap
+			// and starves the refetch path (the seed-4000 stall's second
+			// half); only connections that die without delivering anything
+			// (a true partition) escalate.
 			backoff = reconnectBase
 		}
 		// Dropped connection (io.EOF, reset, or a local Close). Redial unless
@@ -423,13 +491,19 @@ func (r *Receiver) pump(th uint16, conn net.Conn, mirror *redo.Stream, from scn.
 }
 
 // drainConn reads frames until the connection errors or signals end-of-log.
-// Records already in the mirror (duplicates after FaultDup) are dropped; with
-// a ReorderWindow, records are buffered and released in SCN order. The window
-// is flushed on a clean end of log and discarded on any error — unflushed
-// records are simply refetched at LastSCN+1 on the redial, which is also how
-// a CRC-rejected frame gets its archived-log refetch.
-func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream) error {
-	var window []*redo.Record // sorted ascending by SCN, len <= opts.ReorderWindow
+// Records already in the mirror (duplicates after FaultDup) or already
+// buffered are dropped; with a ReorderWindow, records are buffered in *wp and
+// released in SCN order. The window is flushed on a clean end of log and kept
+// across connection errors — the redial refetches at LastSCN+1 (which is also
+// how a CRC-rejected frame gets its archived-log refetch) and re-served
+// records dedupe against the window, so short-lived connections still make
+// durable progress.
+//
+// Releasing window[0] at overflow can never skip a record: the server ships
+// in ascending SCN order from the resume point and FaultReorder displaces a
+// frame by at most one position, so any not-yet-delivered SCN is above all
+// but the newest buffered record.
+func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream, wp *[]*redo.Record) error {
 	release := func(rec *redo.Record) {
 		mirror.Append(rec)
 		r.records.Add(1)
@@ -438,15 +512,21 @@ func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream) error {
 	for {
 		start := time.Now()
 		rec, err := redo.ReadFrame(conn)
+		if err == nil {
+			r.frames.Add(1)
+		}
 		if err != nil {
 			var ce *redo.ChecksumError
 			if errors.As(err, &ce) {
 				r.corrupt.Add(1)
 			}
 			if err == redo.ErrEndOfLog {
-				for _, w := range window {
+				// Clean end of log: the server has shipped everything from the
+				// resume point, so the window is gap-free and can drain.
+				for _, w := range *wp {
 					release(w)
 				}
+				*wp = nil
 			}
 			return err
 		}
@@ -459,6 +539,7 @@ func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream) error {
 			release(rec)
 			continue
 		}
+		window := *wp
 		i := sort.Search(len(window), func(i int) bool { return window[i].SCN >= rec.SCN })
 		if i < len(window) && window[i].SCN == rec.SCN {
 			r.dups.Add(1)
@@ -467,10 +548,12 @@ func (r *Receiver) drainConn(conn net.Conn, mirror *redo.Stream) error {
 		window = append(window, nil)
 		copy(window[i+1:], window[i:])
 		window[i] = rec
+		r.windowed.Add(1)
 		for len(window) > r.opts.ReorderWindow {
 			release(window[0])
 			window = window[1:]
 		}
+		*wp = window
 	}
 }
 
