@@ -36,12 +36,14 @@ test:
 # Race-check the concurrency-heavy trees: the telemetry registry/trace, the
 # standby apply pipeline, the mining/journal/flush core, the column store and
 # its batch kernels, the parallel scan engine and its SQL front end,
-# role-based service routing, the role-transition broker, the reconnecting
-# TCP transport, and the public Session API.
+# role-based service routing, the reader fleet and its session router, the
+# role-transition broker, the reconnecting TCP transport, and the public
+# Session API.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/standby/... ./internal/core/... \
 		./internal/imcs/... ./internal/scanengine/... ./internal/sqlmini/... \
-		./internal/service/... ./internal/broker/... ./internal/transport/... .
+		./internal/service/... ./internal/fleet/... ./internal/router/... \
+		./internal/broker/... ./internal/transport/... .
 
 # Deterministic chaos harness: seeded fault injection against the full
 # primary→transport→standby pipeline with a cross-node equivalence oracle

@@ -14,6 +14,7 @@ import (
 
 	"dbimadg"
 	"dbimadg/internal/core"
+	"dbimadg/internal/experiments"
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/obs"
 	"dbimadg/internal/redo"
@@ -500,6 +501,55 @@ func BenchmarkFreshness(b *testing.B) {
 	for _, st := range sum.Stages {
 		b.ReportMetric(st.P50*1e3, st.Stage+"-p50-ms")
 		b.ReportMetric(st.P99*1e3, st.Stage+"-p99-ms")
+	}
+}
+
+// --- Fleet overload: admission control under a 10k-session scan storm --------
+
+// BenchmarkFleetOverload runs the reader-fleet admission-control experiment at
+// acceptance scale: 10,000 concurrent scan sessions routed over a two-reader
+// fleet while the primary's paced DML load replicates. The reported metrics
+// feed benchjson's fleet block: bounded routing quantiles, ErrOverloaded
+// shedding, and redo apply throughput under the storm vs the no-load baseline
+// (budget: within 10%).
+func BenchmarkFleetOverload(b *testing.B) {
+	var acc experiments.FleetOverloadResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFleetOverload(experiments.Params{
+			Rows:     20000,
+			Duration: 2 * time.Second,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Placed += res.Placed
+		acc.Shed += res.Shed
+		acc.NoReader += res.NoReader
+		acc.ScansRun += res.ScansRun
+		acc.StormSeconds += res.StormSeconds
+		acc.BaselineCVsPerSec += res.BaselineCVsPerSec
+		acc.LoadedCVsPerSec += res.LoadedCVsPerSec
+		// Quantiles don't sum; keep the worst iteration (the claim is a bound).
+		if res.RouteP50Ms > acc.RouteP50Ms {
+			acc.RouteP50Ms = res.RouteP50Ms
+		}
+		if res.RouteP99Ms > acc.RouteP99Ms {
+			acc.RouteP99Ms = res.RouteP99Ms
+		}
+		acc.Sessions = res.Sessions
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(acc.Sessions), "sessions")
+	b.ReportMetric(acc.RouteP50Ms, "route-p50-ms")
+	b.ReportMetric(acc.RouteP99Ms, "route-p99-ms")
+	b.ReportMetric(float64(acc.Placed)/acc.StormSeconds, "placed/s")
+	b.ReportMetric(float64(acc.Shed)/acc.StormSeconds, "shed/s")
+	b.ReportMetric(acc.BaselineCVsPerSec/n, "apply-base-cvs/s")
+	b.ReportMetric(acc.LoadedCVsPerSec/n, "apply-load-cvs/s")
+	b.ReportMetric(acc.LoadedCVsPerSec/acc.BaselineCVsPerSec*100, "apply-ratio-pct")
+	if acc.Shed == 0 {
+		b.Fatal("acceptance: the 10k-session storm never shed with ErrOverloaded")
 	}
 }
 

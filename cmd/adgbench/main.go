@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	adgbench [-experiment fig9|fig10|table2|fig11|cpu|groupby|all]
+//	adgbench [-experiment fig9|fig10|table2|fig11|cpu|groupby|fleet|all]
 //	         [-rows N] [-duration D] [-ops N] [-threads N] [-seed N]
-//	         [-telemetry]
+//	         [-sessions N] [-telemetry]
 //
 // The paper's setup is 6M rows at 4000 ops/s for an hour on Exadata; the
 // defaults here (300k rows, 10s per phase) reproduce the shapes — who wins
@@ -26,22 +26,24 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig9 | fig10 | table2 | fig11 | cpu | groupby | all")
+		exp      = flag.String("experiment", "all", "fig9 | fig10 | table2 | fig11 | cpu | groupby | fleet | all")
 		rows     = flag.Int("rows", 300000, "initial wide-table rows (paper: 6,000,000)")
 		duration = flag.Duration("duration", 10*time.Second, "measured phase duration (paper: 1h)")
 		ops      = flag.Int("ops", 0, "target DML throughput, ops/s (0 = auto-scale with rows; paper: 4000 on 6M rows)")
 		threads  = flag.Int("threads", 0, "workload driver threads (0 = auto)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		sessions = flag.Int("sessions", 0, "fleet experiment's concurrent scan-session pool (0 = 10,000)")
 		telem    = flag.Bool("telemetry", false, "print the standby telemetry registry snapshot after each measured phase")
 	)
 	flag.Parse()
 
 	p := experiments.Params{
-		Rows:      *rows,
-		Duration:  *duration,
-		TargetOps: *ops,
-		Threads:   *threads,
-		Seed:      *seed,
+		Rows:          *rows,
+		Duration:      *duration,
+		TargetOps:     *ops,
+		Threads:       *threads,
+		Seed:          *seed,
+		FleetSessions: *sessions,
 	}
 	if *telem {
 		p.SnapshotSink = func(phase string, snap obs.Snapshot) {
@@ -82,6 +84,7 @@ func main() {
 		{"fig11", func() (fmt.Stringer, error) { return experiments.RunFig11(p) }},
 		{"cpu", func() (fmt.Stringer, error) { return experiments.RunCPU(p) }},
 		{"groupby", func() (fmt.Stringer, error) { return experiments.RunGroupBy(p) }},
+		{"fleet", func() (fmt.Stringer, error) { return experiments.RunFleetOverload(p) }},
 	}
 
 	selected := all[:0:0]

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3] [-health]
+//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3] [-health] [-fleet]
 //
 // Run cmd/adgdemo with -metrics 127.0.0.1:9187 -hold 2m in one terminal and
 // adgtop in another to watch the pipeline drain. With -queries N, each sample
@@ -18,6 +18,10 @@
 // /debug/freshness. With -health, each sample is followed by the liveness
 // watchdog's verdict and per-stage progress/backlog table from /debug/health
 // (the endpoint a stalled pipeline answers with 503).
+// With -fleet, each sample is followed by the reader-fleet pane from the
+// /debug/stats "fleet" and "router" blocks: per-reader state, QuerySCN lag
+// against the fleet watermark, in-flight/queued/shed counts, and the router's
+// cumulative placement totals with per-interval rates.
 package main
 
 import (
@@ -45,10 +49,43 @@ type standbyStats struct {
 	QuerySCNAdvances int64
 }
 
-// snapshot is the subset of the /debug/stats document adgtop consumes.
+// fleetReaderStats mirrors one row of the /debug/stats "fleet" block's
+// per-reader table (fleet.ReaderStats).
+type fleetReaderStats struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	QuerySCN uint64 `json:"query_scn"`
+	LagSCN   uint64 `json:"lag_scn"`
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+	Admitted int64  `json:"admitted"`
+	Shed     int64  `json:"shed"`
+	PopUnits int64  `json:"populated_units"`
+}
+
+// fleetStats mirrors the /debug/stats "fleet" block (fleet.Stats).
+type fleetStats struct {
+	SpecReaders int                `json:"spec_readers"`
+	Watermark   uint64             `json:"watermark_scn"`
+	Readers     []fleetReaderStats `json:"readers"`
+}
+
+// routerTotals mirrors the /debug/stats "router" block (router.Totals).
+type routerTotals struct {
+	Placed     int64   `json:"placed"`
+	Shed       int64   `json:"shed"`
+	NoReader   int64   `json:"no_reader"`
+	PlaceP50MS float64 `json:"place_p50_ms"`
+	PlaceP99MS float64 `json:"place_p99_ms"`
+}
+
+// snapshot is the subset of the /debug/stats document adgtop consumes. Fleet
+// and Router stay nil on nodes that run no reader fleet.
 type snapshot struct {
 	Standby standbyStats       `json:"standby"`
 	Gauges  map[string]float64 `json:"gauges"`
+	Fleet   *fleetStats        `json:"fleet"`
+	Router  *routerTotals      `json:"router"`
 }
 
 // queryEntry is the subset of a /debug/queries record adgtop renders.
@@ -188,12 +225,60 @@ func printHealth(client *http.Client, addr string) {
 	}
 }
 
+// printFleet renders the reader-fleet pane: the router's routing totals (with
+// per-interval placement/shed rates from counter deltas) and one line per
+// fleet reader — state, QuerySCN lag against the fleet watermark, in-flight
+// and queued scans, cumulative admissions and sheds, populated IMCUs.
+func printFleet(cur, prev snapshot, dt float64) {
+	if cur.Fleet == nil {
+		fmt.Println("  fleet: no fleet block on this node")
+		return
+	}
+	rate := func(cur, prev int64) float64 {
+		if dt <= 0 {
+			return 0
+		}
+		return float64(cur-prev) / dt
+	}
+	f := cur.Fleet
+	ready := 0
+	for _, r := range f.Readers {
+		if r.State == "READY" {
+			ready++
+		}
+	}
+	line := fmt.Sprintf("  fleet: %d/%d readers ready, watermark scn %d", ready, f.SpecReaders, f.Watermark)
+	if rt := cur.Router; rt != nil {
+		line += fmt.Sprintf(" | router placed %d shed %d no-reader %d", rt.Placed, rt.Shed, rt.NoReader)
+		if prev.Router != nil {
+			line += fmt.Sprintf(" (%.0f/s placed, %.0f/s shed)",
+				rate(rt.Placed, prev.Router.Placed), rate(rt.Shed, prev.Router.Shed))
+		}
+		line += fmt.Sprintf(" | place p50 %.3fms p99 %.3fms", rt.PlaceP50MS, rt.PlaceP99MS)
+	}
+	fmt.Println(line)
+	for _, r := range f.Readers {
+		fmt.Printf("  reader %-3d %-12s scn=%-10d lag=%-8d inflight=%-3d queued=%-3d admitted=%-10d shed=%-10d pop=%d\n",
+			r.ID, r.State, r.QuerySCN, r.LagSCN, r.InFlight, r.Queued, r.Admitted, r.Shed, r.PopUnits)
+	}
+}
+
 const headerEvery = 20
 
 func header() {
-	fmt.Printf("%8s  %7s  %9s  %9s  %9s  %9s  %8s  %8s  %7s  %7s  %7s\n",
+	fmt.Printf("%8s  %7s  %9s  %9s  %9s  %9s  %8s  %8s  %7s  %7s  %7s  %8s  %8s\n",
 		"time", "role", "applied/s", "mined/s", "flushed/s", "scnadv/s",
-		"applyLag", "stale", "jrnTxn", "ctPend", "popPend")
+		"applyLag", "stale", "jrnTxn", "ctPend", "popPend", "placed/s", "shed/s")
+}
+
+// routerRates renders the default pane's router-totals columns from counter
+// deltas; "-" on nodes without a router block.
+func routerRates(cur, prev snapshot, dt float64) (string, string) {
+	if cur.Router == nil || prev.Router == nil || dt <= 0 {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%.0f", float64(cur.Router.Placed-prev.Router.Placed)/dt),
+		fmt.Sprintf("%.0f", float64(cur.Router.Shed-prev.Router.Shed)/dt)
 }
 
 // roleOf renders the node's broker role. The broker_role gauge is registered
@@ -215,6 +300,7 @@ func main() {
 		slowOnly = flag.Bool("slow", false, "with -queries, show only slow-query-log entries")
 		fresh    = flag.Int("freshness", 0, "show the commit-to-visible summary and N span waterfalls under each sample (0 = off)")
 		health   = flag.Bool("health", false, "show the watchdog verdict and per-stage liveness table under each sample")
+		fleetP   = flag.Bool("fleet", false, "show the reader-fleet table and router totals under each sample")
 	)
 	flag.Parse()
 
@@ -246,7 +332,8 @@ func main() {
 		if line%headerEvery == 0 {
 			header()
 		}
-		fmt.Printf("%8s  %7s  %9.0f  %9.0f  %9.0f  %9.1f  %8.0f  %8.0f  %7.0f  %7.0f  %7.0f\n",
+		placedRate, shedRate := routerRates(cur, prev, dt)
+		fmt.Printf("%8s  %7s  %9.0f  %9.0f  %9.0f  %9.1f  %8.0f  %8.0f  %7.0f  %7.0f  %7.0f  %8s  %8s\n",
 			now.Format("15:04:05"),
 			roleOf(cur.Gauges),
 			rate(cur.Standby.RecordsApplied, prev.Standby.RecordsApplied),
@@ -258,6 +345,7 @@ func main() {
 			cur.Gauges[standby.GaugeJournalTxns],
 			cur.Gauges[standby.GaugeCommitPending],
 			cur.Gauges["imcs_population_pending"],
+			placedRate, shedRate,
 		)
 		if *queries > 0 {
 			printQueries(client, *addr, *queries, *slowOnly)
@@ -267,6 +355,9 @@ func main() {
 		}
 		if *health {
 			printHealth(client, *addr)
+		}
+		if *fleetP {
+			printFleet(cur, prev, dt)
 		}
 		prev, prevAt = cur, now
 	}

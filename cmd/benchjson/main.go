@@ -57,6 +57,11 @@ type Doc struct {
 	// path with the liveness watchdog running vs disabled, the derived
 	// heartbeat overhead (budget < 2%), and the per-record heartbeat tick cost.
 	Watchdog *WatchdogSummary `json:"watchdog,omitempty"`
+	// Fleet summarizes BenchmarkFleetOverload when present: the reader fleet's
+	// admission control under a 10k-session scan storm — routing quantiles,
+	// placement/shed rates, and redo apply throughput under load vs the no-load
+	// baseline (budget >= 90%).
+	Fleet *FleetSummary `json:"fleet,omitempty"`
 }
 
 // FailoverSummary is derived from BenchmarkFailover's reported metrics.
@@ -218,6 +223,52 @@ func watchdogSummary(benchmarks []Benchmark) *WatchdogSummary {
 	return s
 }
 
+// FleetSummary is derived from BenchmarkFleetOverload's reported metrics.
+type FleetSummary struct {
+	// Sessions is the concurrent scan-session pool size the storm ran with.
+	Sessions float64 `json:"sessions"`
+	// RouteP50Ms / RouteP99Ms are placement-latency quantiles across every
+	// router Place attempt, sheds included — the "bounded p99" claim.
+	RouteP50Ms float64 `json:"route_p50_ms"`
+	RouteP99Ms float64 `json:"route_p99_ms"`
+	// PlacedPerSec / ShedPerSec are admission outcomes over the storm: sessions
+	// placed on a reader vs shed with ErrOverloaded at the admission gate.
+	PlacedPerSec float64 `json:"placed_per_sec"`
+	ShedPerSec   float64 `json:"shed_per_sec"`
+	// ApplyBaseCVs / ApplyLoadCVs are redo apply throughput (CVs/s) without and
+	// with the storm; ApplyRatioPct is loaded/baseline ×100 (budget >= 90).
+	ApplyBaseCVs  float64 `json:"apply_base_cvs_per_sec"`
+	ApplyLoadCVs  float64 `json:"apply_load_cvs_per_sec"`
+	ApplyRatioPct float64 `json:"apply_ratio_pct"`
+}
+
+// fleetSummary extracts the summary from a parsed benchmark set; nil when the
+// run did not include BenchmarkFleetOverload (or its metrics are incomplete).
+func fleetSummary(benchmarks []Benchmark) *FleetSummary {
+	for _, b := range benchmarks {
+		if name, _, _ := strings.Cut(b.Name, "-"); name != "BenchmarkFleetOverload" {
+			continue
+		}
+		base, okB := b.Metrics["apply-base-cvs/s"]
+		load, okL := b.Metrics["apply-load-cvs/s"]
+		p99, okP := b.Metrics["route-p99-ms"]
+		if !okB || !okL || !okP || base <= 0 {
+			return nil
+		}
+		return &FleetSummary{
+			Sessions:      b.Metrics["sessions"],
+			RouteP50Ms:    b.Metrics["route-p50-ms"],
+			RouteP99Ms:    p99,
+			PlacedPerSec:  b.Metrics["placed/s"],
+			ShedPerSec:    b.Metrics["shed/s"],
+			ApplyBaseCVs:  base,
+			ApplyLoadCVs:  load,
+			ApplyRatioPct: load / base * 100,
+		}
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -277,6 +328,7 @@ func parse(r io.Reader) (*Doc, error) {
 	doc.GroupBy = groupBySummary(doc.Benchmarks)
 	doc.Freshness = freshnessSummary(doc.Benchmarks)
 	doc.Watchdog = watchdogSummary(doc.Benchmarks)
+	doc.Fleet = fleetSummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

@@ -177,6 +177,38 @@ func TestWatchdogSummaryAbsent(t *testing.T) {
 	}
 }
 
+func TestFleetSummary(t *testing.T) {
+	in := `goos: linux
+BenchmarkFleetOverload 	       1	4669214031 ns/op	       149.8 apply-base-cvs/s	       149.7 apply-load-cvs/s	        99.94 apply-ratio-pct	        48.88 placed/s	         0.0006554 route-p50-ms	         5.598 route-p99-ms	     10000 sessions	     23436 shed/s
+PASS
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := doc.Fleet
+	if fs == nil {
+		t.Fatal("fleet summary not extracted")
+	}
+	if fs.Sessions != 10000 || fs.RouteP99Ms != 5.598 || fs.ShedPerSec != 23436 {
+		t.Fatalf("bad summary: %+v", fs)
+	}
+	if fs.ApplyRatioPct < 99.9 || fs.ApplyRatioPct > 100 {
+		t.Fatalf("apply ratio = %v%%, want ~99.93%%", fs.ApplyRatioPct)
+	}
+}
+
+func TestFleetSummaryAbsent(t *testing.T) {
+	in := "BenchmarkFleetOverload-8 1 123 ns/op 5.5 route-p99-ms\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Fleet != nil {
+		t.Fatalf("spurious fleet summary: %+v", doc.Fleet)
+	}
+}
+
 func TestFreshnessSummaryAbsent(t *testing.T) {
 	in := "BenchmarkFig9_Q1_StandbyIMCS-8 100 123 ns/op\n"
 	doc, err := parse(strings.NewReader(in))

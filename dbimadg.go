@@ -33,11 +33,13 @@ import (
 	"time"
 
 	"dbimadg/internal/broker"
+	"dbimadg/internal/fleet"
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/obs"
 	"dbimadg/internal/primary"
 	"dbimadg/internal/rac"
 	"dbimadg/internal/redo"
+	"dbimadg/internal/router"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scn"
 	"dbimadg/internal/standby"
@@ -110,6 +112,22 @@ type Config struct {
 	// FlightRecorderBundles is the stall-bundle ring capacity behind
 	// Cluster.FlightRecorder and /debug/flightrecorder (default 8).
 	FlightRecorderBundles int
+
+	// FleetReaders is the initial number of full-copy reader standbys in the
+	// declaratively managed fleet (default 0 = empty fleet; scale later with
+	// Cluster.ApplyFleet). Fleet readers trail the master asynchronously and
+	// serve RoutedSession queries; they are distinct from StandbyReaders,
+	// which are synchronous RAC share-nothing instances.
+	FleetReaders int
+	// FleetMaxConcurrentScans caps in-flight scans per fleet reader
+	// (default 64).
+	FleetMaxConcurrentScans int
+	// FleetQueueDepth bounds each reader's admission wait queue; arrivals
+	// beyond it shed immediately with ErrOverloaded (default 128).
+	FleetQueueDepth int
+	// FleetQueueTimeout is how long a queued scan waits for a slot before
+	// shedding (default 50ms).
+	FleetQueueTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +164,8 @@ type Cluster struct {
 	sc       *rac.StandbyCluster
 	brk      *broker.Broker
 	promoted *standby.Instance // the promoted standby master; nil in steady state
+	flt      *fleet.Manager
+	rtr      *router.Router
 
 	priStore *imcs.Store
 	priEng   *imcs.Engine
@@ -230,10 +250,38 @@ func Open(cfg Config) (*Cluster, error) {
 		return last
 	})
 	c.sc.Start()
+	// The reader fleet and its router exist even at Readers: 0, so ApplyFleet
+	// can scale up later and routing fails with typed errors, never nil
+	// dereferences.
+	c.flt = fleet.NewManager(c.sc, fleet.Spec{
+		Readers:            cfg.FleetReaders,
+		MaxConcurrentScans: cfg.FleetMaxConcurrentScans,
+		QueueDepth:         cfg.FleetQueueDepth,
+		QueueTimeout:       cfg.FleetQueueTimeout,
+	}, imcs.Config{
+		BlocksPerIMCU:  cfg.BlocksPerIMCU,
+		Workers:        cfg.PopulationWorkers,
+		Interval:       cfg.PopulationInterval,
+		RepopThreshold: cfg.RepopThreshold,
+		MemLimitBytes:  cfg.MemLimitBytes,
+	})
+	c.wireRouter(c.sc)
 	if cfg.HeartbeatInterval > 0 {
 		c.pri.StartHeartbeats(cfg.HeartbeatInterval)
 	}
 	return c, nil
+}
+
+// wireRouter (re)builds the front-door router over the fleet against the
+// given standby cluster's service registry, and exposes the router totals on
+// that master's /debug/stats. Called at Open and again after a switchover
+// rebinds the fleet to the rebuilt standby.
+func (c *Cluster) wireRouter(sc *rac.StandbyCluster) {
+	rtr := router.New(c.flt, sc.Master.Services(), sc.Master.Obs())
+	sc.Master.AddDebugStats("router", func() any { return rtr.Totals() })
+	c.mu.Lock()
+	c.rtr = rtr
+	c.mu.Unlock()
 }
 
 func (c *Cluster) buildTransport() (transport.Source, error) {
@@ -272,7 +320,7 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	pri, sc, promoted := c.pri, c.sc, c.promoted
+	pri, sc, promoted, flt := c.pri, c.sc, c.promoted, c.flt
 	rcv, srv, priEng := c.tcpReceiver, c.tcpServer, c.priEng
 	c.mu.Unlock()
 
@@ -282,6 +330,9 @@ func (c *Cluster) Close() {
 	}
 	if srv != nil {
 		srv.Close()
+	}
+	if flt != nil {
+		flt.Shutdown() // drain fleet readers while the master is still up
 	}
 	sc.Stop()
 	priEng.Stop()
@@ -302,15 +353,23 @@ func (c *Cluster) Close() {
 // StandbySession serves read-only queries against it at live snapshots.
 func (c *Cluster) Failover() (*FailoverResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("dbimadg: cluster closed")
 	}
 	res, err := c.broker().Failover()
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	c.completeTransition()
+	flt := c.flt
+	c.mu.Unlock()
+	// No standby remains after a failover: the fleet drains and every future
+	// routed placement fails with ErrNoReader until a switchover rebinds it.
+	if flt != nil {
+		flt.Shutdown()
+	}
 	return res, nil
 }
 
@@ -320,16 +379,26 @@ func (c *Cluster) Failover() (*FailoverResult, error) {
 // SCN onward. StandbySession targets the rebuilt standby afterwards.
 func (c *Cluster) Switchover() (*SwitchoverResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("dbimadg: cluster closed")
 	}
 	res, err := c.broker().Switchover()
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	c.completeTransition()
 	c.sc = res.NewStandby
+	flt, sc := c.flt, c.sc
+	c.mu.Unlock()
+	// Re-reconcile the fleet against the rebuilt standby: the declared reader
+	// count re-provisions on the new master, and the router re-resolves
+	// services against its registry.
+	if flt != nil {
+		flt.Rebind(sc)
+		c.wireRouter(sc)
+	}
 	return res, nil
 }
 
@@ -394,6 +463,33 @@ func (c *Cluster) PromotedMaster() *standby.Instance {
 
 // StandbyReaders exposes the standby RAC readers.
 func (c *Cluster) StandbyReaders() []*rac.Reader { return c.standbyCluster().Readers() }
+
+// Fleet exposes the reader-fleet manager: declared membership, per-reader
+// state, and the fleet watermark.
+func (c *Cluster) Fleet() *fleet.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flt
+}
+
+// Router exposes the front-door session router over the fleet.
+func (c *Cluster) Router() *router.Router {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rtr
+}
+
+// ApplyFleet declares a new fleet shape and reconciles toward it: readers
+// are provisioned from the row store (catching up via population and the
+// invalidation fanout) or drained and removed. Returns once membership
+// changes are initiated; use WaitFleetReady to block for catch-up.
+func (c *Cluster) ApplyFleet(spec FleetSpec) { c.Fleet().Apply(spec) }
+
+// WaitFleetReady blocks until every fleet reader is Ready or the timeout
+// expires.
+func (c *Cluster) WaitFleetReady(timeout time.Duration) bool {
+	return c.Fleet().WaitReady(timeout)
+}
 
 // standbyCluster reads the current standby cluster under the role lock.
 func (c *Cluster) standbyCluster() *rac.StandbyCluster {

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"dbimadg/internal/broker"
+	"dbimadg/internal/fleet"
+	"dbimadg/internal/imcs"
 	"dbimadg/internal/obs"
 	"dbimadg/internal/primary"
 	"dbimadg/internal/rac"
@@ -81,6 +83,13 @@ type Options struct {
 	// n invalidation records are dropped) before a targeted single-row
 	// update. The harness self-test uses this to prove the oracle has teeth.
 	MutateSkipJournal int64
+	// FleetChurn attaches a reader fleet to the standby and adds/removes
+	// readers as schedule steps while writers and faults run. Every quiesce
+	// point then also checks each caught-up fleet reader's scan at its own
+	// QuerySCN against the standby row store and the primary CR (the same
+	// three-way equivalence the master gets), and the run fails unless every
+	// reader provisioned mid-storm reaches Ready by the final quiesce.
+	FleetChurn bool
 }
 
 // Result summarizes a successful run.
@@ -101,6 +110,17 @@ type Result struct {
 	// leaks or closes with missing stages.
 	SpansCompleted uint64
 	SpansTruncated uint64
+	// Fleet-churn accounting (FleetChurn runs only): membership changes dealt
+	// by the schedule, readers provisioned after the storm began, and
+	// per-reader equivalence checks that ran.
+	FleetChurns  int
+	FleetMidAdds int
+	// FleetMidAddsReady counts mid-storm-added readers verified Ready and
+	// scan-equivalent at a quiesce point; a fleet-churn run fails unless at
+	// least one is (the harness forces an add before the final quiesce).
+	FleetMidAddsReady int
+	FleetChecks       int
+	FleetReaders      int // final membership
 }
 
 // rowsPerBlock / base workload shape: small blocks and IMCUs so a modest row
@@ -144,6 +164,13 @@ type Runner struct {
 	oracle  *oracle
 	monitor *monitor
 	stallCh chan *obs.Bundle // watchdog stall onsets (fail-fast in quiesceCatchUp)
+
+	// fleet churn (Options.FleetChurn): the reader fleet under membership
+	// storm, and the ids of readers provisioned after the base state settled
+	// (each must reach Ready by the final quiesce).
+	flt       *fleet.Manager
+	midAdded  map[int]bool
+	fleetSize int
 
 	nextID  int64   // fresh-id allocator for inserts
 	liveIDs []int64 // committed inserted ids eligible for deletion
@@ -285,9 +312,62 @@ func (r *Runner) setup() error {
 		return fmt.Errorf("initial population did not settle")
 	}
 
+	if r.opts.FleetChurn {
+		// One reader before the storm; churn steps reconcile between 1 and 3.
+		r.fleetSize = 1
+		r.midAdded = map[int]bool{}
+		r.flt = fleet.NewManager(r.sc, fleet.Spec{
+			Readers:      r.fleetSize,
+			DrainTimeout: 2 * time.Second,
+		}, imcs.Config{BlocksPerIMCU: blocksPerIMCU, Interval: time.Millisecond})
+		if !r.flt.WaitReady(20 * time.Second) {
+			return fmt.Errorf("initial fleet reader never Ready: %+v", r.flt.Stats())
+		}
+	}
+
 	r.oracle = &oracle{r: r}
 	r.monitor = startMonitor(r)
 	return nil
+}
+
+// fleetChurnStep reconciles the fleet to a seeded target size while the storm
+// runs. Readers added here are provisioned against a moving watermark — the
+// mid-run-added-reader-reaches-Ready requirement checked at the final quiesce.
+func (r *Runner) fleetChurnStep() {
+	want := 1 + r.rng.Intn(3)
+	if want == r.fleetSize {
+		want = 1 + want%3
+	}
+	r.reconcileFleet(want)
+}
+
+// reconcileFleet applies a new membership target and records every reader it
+// provisioned (churn bookkeeping for the mid-run Ready requirement).
+func (r *Runner) reconcileFleet(want int) {
+	before := map[int]bool{}
+	for _, rd := range r.flt.Readers() {
+		before[rd.ID()] = true
+	}
+	r.flt.SetReaders(want)
+	for _, rd := range r.flt.Readers() {
+		if !before[rd.ID()] {
+			r.midAdded[rd.ID()] = true
+			r.res.FleetMidAdds++
+		}
+	}
+	r.fleetSize = want
+	r.res.FleetChurns++
+}
+
+// midAddedPresent reports whether any reader provisioned mid-storm is still a
+// fleet member.
+func (r *Runner) midAddedPresent() bool {
+	for _, rd := range r.flt.Readers() {
+		if r.midAdded[rd.ID()] {
+			return true
+		}
+	}
+	return false
 }
 
 func (r *Runner) priStreams() []*redo.Stream {
@@ -359,6 +439,8 @@ func (r *Runner) run() error {
 			if err := r.crashRestart(); err != nil {
 				return err
 			}
+		case p < 0.80 && r.flt != nil:
+			r.fleetChurnStep()
 		default:
 			if err := r.quiescePoint(); err != nil {
 				return err
@@ -367,6 +449,12 @@ func (r *Runner) run() error {
 		if err := r.monitor.err(); err != nil {
 			return r.fail("%v", err)
 		}
+	}
+	// A fleet-churn run must always verify a reader provisioned mid-storm: if
+	// no mid-added reader is still a member (the schedule dealt no add, or
+	// churn removed them all again), force one before the final quiesce.
+	if r.flt != nil && !r.midAddedPresent() {
+		r.reconcileFleet(r.fleetSize + 1)
 	}
 	// Always end on a full quiesce point: the run's final state is checked no
 	// matter how the schedule dealt the steps.
@@ -596,13 +684,19 @@ func (r *Runner) dumpBundle(b *obs.Bundle) string {
 	return path
 }
 
-// quiescePoint catches up and runs the full oracle.
+// quiescePoint catches up and runs the full oracle, including the per-reader
+// fleet equivalence when a fleet is attached.
 func (r *Runner) quiescePoint() error {
 	if err := r.quiesceCatchUp(); err != nil {
 		return r.fail("%v", err)
 	}
 	if err := r.oracle.quiesceCheck(); err != nil {
 		return err
+	}
+	if r.flt != nil {
+		if err := r.oracle.fleetCheck(); err != nil {
+			return err
+		}
 	}
 	if err := r.monitor.err(); err != nil {
 		return r.fail("%v", err)
@@ -646,6 +740,11 @@ func (r *Runner) transition() error {
 		return err
 	}
 	r.monitor.stop() // promotion legitimately stops the apply pipeline
+	if r.flt != nil {
+		// The standby is about to be promoted: the fleet drains with it, the
+		// same path Cluster.Failover/Switchover takes.
+		r.flt.Shutdown()
+	}
 
 	brk := broker.New(broker.Config{
 		Primary:      r.pri,
@@ -707,6 +806,10 @@ func (r *Runner) collectCounters() {
 func (r *Runner) teardown() {
 	if r.monitor != nil {
 		r.monitor.stop()
+	}
+	if r.flt != nil {
+		r.flt.Shutdown() // idempotent; transitions already drained it
+		r.res.FleetReaders = r.fleetSize
 	}
 	if r.res.Transition != "" {
 		r.collectCounters()

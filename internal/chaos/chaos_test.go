@@ -115,6 +115,51 @@ func TestChaosHighPressure(t *testing.T) {
 	}
 }
 
+// TestChaosFleetChurn storms the pipeline while reader-fleet membership
+// churns: readers are provisioned and drained as schedule steps, every
+// quiesce point checks each reader's scan at its own QuerySCN three ways
+// (reader hybrid, standby row store, primary CR), and at least one reader
+// added mid-storm must reach Ready and pass the equivalence check.
+func TestChaosFleetChurn(t *testing.T) {
+	for _, seed := range seeds() {
+		res := runSeed(t, Options{Seed: seed, Steps: 12, FleetChurn: true})
+		if res.FleetChecks == 0 {
+			t.Fatalf("seed %d: no fleet reader equivalence check ran", seed)
+		}
+		if res.FleetMidAddsReady == 0 {
+			t.Fatalf("seed %d: no mid-run-added reader verified Ready (churns=%d adds=%d)",
+				seed, res.FleetChurns, res.FleetMidAdds)
+		}
+		t.Logf("seed %d: %d checks (%d fleet), %d churns, %d mid-adds (%d verified Ready), final size %d",
+			seed, res.Checks, res.FleetChecks, res.FleetChurns, res.FleetMidAdds,
+			res.FleetMidAddsReady, res.FleetReaders)
+	}
+}
+
+// TestChaosFleetChurnTCPRestarts layers fleet churn over the faulted TCP
+// transport with standby crash-restarts: readers survive the master's crash
+// (their stores are fleet-local), re-attach to the restarted flusher's
+// fanout, and still pass per-reader equivalence at every quiesce.
+func TestChaosFleetChurnTCPRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet churn over faulted TCP skipped in -short mode")
+	}
+	seed := seeds()[0]
+	res := runSeed(t, Options{
+		Seed:          seed,
+		Steps:         10,
+		UseTCP:        true,
+		ReorderWindow: 4,
+		CrashRestarts: true,
+		FleetChurn:    true,
+	})
+	if res.FleetChecks == 0 || res.FleetMidAddsReady == 0 {
+		t.Fatalf("seed %d: fleet oracle under-ran: %+v", seed, res)
+	}
+	t.Logf("seed %d: %d fleet checks, %d restarts, %d reconnects, %d churns",
+		seed, res.FleetChecks, res.Restarts, res.Reconnects, res.FleetChurns)
+}
+
 // TestChaosFailover runs the storm over TCP and then fails over under load:
 // the standby is promoted while redo is still in flight and its retained
 // store must agree with the row store, before and after new DML.

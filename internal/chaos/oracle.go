@@ -338,6 +338,65 @@ func (o *oracle) freshnessCheck(inst *standby.Instance, published scn.SCN) error
 	return nil
 }
 
+// fleetCheck extends the quiesce oracle over the reader fleet: every reader
+// must converge to the quiescent master's QuerySCN (they trail asynchronously,
+// so this is a bounded wait, not an instant assertion), settle its population,
+// and then serve exactly the standby row store's CR view — and the primary's —
+// at its own published QuerySCN. Readers provisioned mid-storm must reach
+// Ready by the final quiesce like any other.
+func (o *oracle) fleetCheck() error {
+	r := o.r
+	tbl, err := o.table()
+	if err != nil {
+		return r.fail("standby table missing at fleet check: %v", err)
+	}
+	if !r.flt.WaitReady(20 * time.Second) {
+		return r.fail("fleet did not settle at quiesce: %+v", r.flt.Stats())
+	}
+	target := r.sby.QuerySCN()
+	pure := scanengine.NewExecutor(r.sby.Txns())
+	pri := scanengine.NewExecutor(r.pri.Txns())
+	for _, rd := range r.flt.Readers() {
+		rd := rd
+		if !testutil.WaitFor(20*time.Second, 0, func() bool { return rd.QuerySCN() >= target }) {
+			return r.fail("fleet reader %d stuck at QuerySCN %d, master at %d (state %v, stats %+v)",
+				rd.ID(), rd.QuerySCN(), target, rd.State(), r.flt.Stats())
+		}
+		rd.Engine().Scan()
+		if !rd.Engine().WaitIdle(20 * time.Second) {
+			return r.fail("fleet reader %d population did not settle", rd.ID())
+		}
+		q := rd.QuerySCN()
+		hybrid := scanengine.NewExecutor(r.sby.Txns(), rd.Store())
+		h, _, err := canonScan(hybrid, tbl, q)
+		if err != nil {
+			return r.fail("fleet reader %d hybrid scan at %d: %v", rd.ID(), q, err)
+		}
+		p, _, err := canonScan(pure, tbl, q)
+		if err != nil {
+			return r.fail("fleet row-store scan at %d: %v", q, err)
+		}
+		if h != p {
+			return r.fail("fleet reader %d diverges from standby row store at QuerySCN %d: %s",
+				rd.ID(), q, diffKeys(h, p))
+		}
+		g, _, err := canonScan(pri, r.tbl, q)
+		if err != nil {
+			return r.fail("fleet primary CR scan at %d: %v", q, err)
+		}
+		if h != g {
+			return r.fail("fleet reader %d diverges from primary CR at QuerySCN %d: %s",
+				rd.ID(), q, diffKeys(h, g))
+		}
+		if r.midAdded[rd.ID()] {
+			delete(r.midAdded, rd.ID())
+			r.res.FleetMidAddsReady++
+		}
+		r.res.FleetChecks++
+	}
+	return nil
+}
+
 // postPromotion validates a role transition: the promoted node's retained
 // column store must agree with its row store, new DML must commit past the
 // promotion SCN and stay consistent, and after a switchover the rebuilt

@@ -37,6 +37,22 @@ type RemoteSink interface {
 	CoarseInvalidate(tenant rowstore.TenantID)
 }
 
+// Fanout receives a copy of every invalidation the flusher applies,
+// regardless of home instance — the feed behind full-copy reader standbys
+// (internal/fleet), whose column stores mirror the whole standby-enabled set
+// rather than a home-map share. Calls may come from any flushing goroutine
+// (the coordinator or a cooperative helper), but every call for one QuerySCN
+// advancement completes before that advancement publishes, so a FIFO consumer
+// that applies groups before acting on the matching publication stays
+// transactionally consistent. Implementations must not block: a slow consumer
+// must buffer, never stall the flush hot path.
+type Fanout interface {
+	// FanoutGroups delivers one transaction's invalidation groups (all homes).
+	FanoutGroups(groups []Group)
+	// FanoutCoarse mirrors a coarse tenant invalidation (§III.E fallback).
+	FanoutCoarse(tenant rowstore.TenantID)
+}
+
 // Flusher is the Invalidation Flush Component (paper §III.D): it walks a
 // worklink's commit nodes, gathers each transaction's invalidation records
 // through the one-step anchor reference, chunks them into invalidation groups
@@ -53,12 +69,23 @@ type Flusher struct {
 	flushedRecords atomic.Int64
 	coarseCount    atomic.Int64
 
-	trace atomic.Pointer[obs.PipelineTrace]
+	trace  atomic.Pointer[obs.PipelineTrace]
+	fanout atomic.Pointer[Fanout]
 }
 
 // SetTrace attaches an optional pipeline trace; flush-stage latency is
 // observed per commit node when set.
 func (f *Flusher) SetTrace(t *obs.PipelineTrace) { f.trace.Store(t) }
+
+// SetFanout attaches (or, with nil, detaches) the full-copy invalidation
+// fanout; see Fanout.
+func (f *Flusher) SetFanout(fo Fanout) {
+	if fo == nil {
+		f.fanout.Store(nil)
+		return
+	}
+	f.fanout.Store(&fo)
+}
 
 // NewFlusher assembles the flush component. chunk is the population engine's
 // BlocksPerIMCU, which determines IMCU boundaries and hence group homes.
@@ -121,6 +148,9 @@ func (f *Flusher) flushNode(n *CommitNode) {
 		if f.remote != nil {
 			f.remote.CoarseInvalidate(n.Tenant)
 		}
+		if fo := f.fanout.Load(); fo != nil {
+			(*fo).FanoutCoarse(n.Tenant)
+		}
 		if anchor != nil {
 			f.journal.Remove(n.Txn)
 		}
@@ -144,9 +174,14 @@ func (f *Flusher) flushAnchor(a *Anchor) {
 		k := key{r.Obj, r.Blk}
 		groups[k] = append(groups[k], r.Slot)
 	})
+	fo := f.fanout.Load()
+	var all []Group // every group regardless of home, for the full-copy fanout
 	var remote map[int][]Group
 	for k, slots := range groups {
 		f.flushedRecords.Add(int64(len(slots)))
+		if fo != nil {
+			all = append(all, Group{Obj: k.obj, Blk: k.blk, Slots: slots})
+		}
 		home := f.home.HomeOf(k.obj, k.blk-k.blk%f.chunk)
 		if home == f.localID || f.remote == nil {
 			f.local.InvalidateRows(k.obj, k.blk, slots)
@@ -156,6 +191,9 @@ func (f *Flusher) flushAnchor(a *Anchor) {
 			remote = make(map[int][]Group)
 		}
 		remote[home] = append(remote[home], Group{Obj: k.obj, Blk: k.blk, Slots: slots})
+	}
+	if len(all) > 0 {
+		(*fo).FanoutGroups(all)
 	}
 	for inst, gs := range remote {
 		// Deterministic order within a batch helps debugging; order across

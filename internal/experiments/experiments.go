@@ -50,6 +50,10 @@ type Params struct {
 	ScanParallel int
 	// Seed makes runs reproducible.
 	Seed int64
+	// FleetSessions sizes the fleet overload experiment's concurrent
+	// scan-session pool (0 = 10,000, the acceptance scale). Other experiments
+	// ignore it.
+	FleetSessions int
 	// SnapshotSink, when set, receives the standby telemetry registry
 	// snapshot at the end of each measured phase (the phase name identifies
 	// which side of a with/without comparison produced it). cmd/adgbench uses

@@ -117,6 +117,36 @@ func TestCPUShape(t *testing.T) {
 	}
 }
 
+func TestFleetOverloadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	p := tinyParams()
+	p.FleetSessions = 2000 // acceptance scale (10k) lives in BenchmarkFleetOverload
+	res, err := RunFleetOverload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("overload never shed: %+v", res)
+	}
+	if res.ScansRun == 0 {
+		t.Fatalf("no scan completed under overload: %+v", res)
+	}
+	// Bounded routing: placement latency must stay within the admission
+	// machinery's own deadlines (queue timeout + router wait), not grow with
+	// the pool size.
+	if res.RouteP99Ms > 100 {
+		t.Fatalf("routing p99 = %.1fms; admission control is not bounding waits", res.RouteP99Ms)
+	}
+	if res.BaselineCVsPerSec == 0 || res.LoadedCVsPerSec == 0 {
+		t.Fatalf("apply phases did not run: %+v", res)
+	}
+	if !strings.Contains(res.String(), "ErrOverloaded") {
+		t.Fatal("rendering broken")
+	}
+}
+
 func TestGroupByShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// admission is a reader's scan admission control: a semaphore bounding
+// in-flight scans plus a bounded wait queue with deadline shedding. The
+// design goal is graceful degradation under tens of thousands of concurrent
+// scans — excess arrivals shed with ErrOverloaded after a bounded wait
+// instead of piling onto the reader and starving redo apply of CPU.
+type admission struct {
+	sem      chan struct{} // buffered; len == in-flight scans
+	queued   atomic.Int32
+	maxQueue int32
+	timeout  time.Duration
+
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(maxScans, maxQueue int, timeout time.Duration) *admission {
+	return &admission{
+		sem:      make(chan struct{}, maxScans),
+		maxQueue: int32(maxQueue),
+		timeout:  timeout,
+	}
+}
+
+// acquire takes one scan slot, waiting up to the queue deadline when the
+// reader is saturated. It returns the release function, or ErrOverloaded
+// when the wait queue is full or the deadline expires.
+func (a *admission) acquire() (release func(), err error) {
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-timer.C:
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+func (a *admission) inFlight() int { return len(a.sem) }

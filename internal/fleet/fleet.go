@@ -1,0 +1,369 @@
+// Package fleet implements a declaratively managed fleet of full-copy reader
+// standbys over one redo-apply master — the capacity-expansion story of the
+// paper's §I ("three stacked standbys... capacity for analytics grows with
+// each added standby") scaled down to instances inside one process. A
+// Spec{Readers: n} is reconciled by a Manager that provisions new readers
+// from the row store, catches them up via the existing population engine,
+// marks them Ready once their QuerySCN reaches the fleet watermark, drains
+// and removes them, and survives role transitions (failover shuts the fleet
+// down with the lost standby; switchover rebinds it to the rebuilt one).
+//
+// Unlike the RAC readers of internal/rac — which host a home-map *share* of
+// the column store and participate in the master's publication barrier — a
+// fleet reader mirrors the whole standby-enabled set and trails the master
+// asynchronously: the master never waits for it, so a slow reader shows up as
+// apply lag on that reader, never as apply backpressure on the pipeline. The
+// feed is the flusher's invalidation fanout (core.Fanout) plus QuerySCN
+// publication relays, both enqueued FIFO per reader; because all flush for an
+// advancement completes before its publication, applying messages in order
+// keeps each reader transactionally consistent at its own published QuerySCN.
+//
+// Each reader also carries admission control (a concurrent-scan semaphore and
+// a bounded wait queue with deadline shedding) so an analytic overload sheds
+// with ErrOverloaded instead of collapsing the reader — or the apply path.
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbimadg/internal/core"
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+)
+
+// ErrNoReader reports that no standby reader is available to serve the
+// request: the fleet is empty (for example after a failover consumed the
+// standby), no reader is Ready, or none satisfies the caller's freshness or
+// read-your-writes bound within the allowed wait.
+var ErrNoReader = errors.New("fleet: no standby reader available")
+
+// ErrOverloaded reports that admission control shed the request: every
+// eligible reader is at its concurrent-scan limit with a full wait queue, or
+// the queue deadline expired before a slot freed up.
+var ErrOverloaded = errors.New("fleet: readers overloaded, scan shed")
+
+// State is a fleet reader's lifecycle state.
+type State int32
+
+const (
+	// StateProvisioning: enlisted in the invalidation fanout, waiting for its
+	// first QuerySCN publication (the consistency point population starts at).
+	StateProvisioning State = iota
+	// StateCatchingUp: population engine running, initial population from the
+	// row store not yet settled or QuerySCN below the provision-time watermark.
+	StateCatchingUp
+	// StateReady: at or past the fleet watermark captured at provision time
+	// with initial population settled; eligible for routing.
+	StateReady
+	// StateDraining: removed from routing, waiting for in-flight scans.
+	StateDraining
+	// StateGone: fully stopped and detached.
+	StateGone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateProvisioning:
+		return "PROVISIONING"
+	case StateCatchingUp:
+		return "CATCHING_UP"
+	case StateReady:
+		return "READY"
+	case StateDraining:
+		return "DRAINING"
+	case StateGone:
+		return "GONE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Spec is the declared fleet shape the Manager reconciles toward.
+type Spec struct {
+	// Readers is the desired number of reader standbys.
+	Readers int
+	// MaxConcurrentScans caps in-flight scans per reader (default 64).
+	MaxConcurrentScans int
+	// QueueDepth bounds the per-reader admission wait queue; an arrival
+	// beyond it is shed immediately (default 128).
+	QueueDepth int
+	// QueueTimeout is how long a queued scan waits for a slot before being
+	// shed (default 50ms).
+	QueueTimeout time.Duration
+	// DrainTimeout bounds how long a removal waits for in-flight scans
+	// before detaching the reader anyway (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Readers < 0 {
+		s.Readers = 0
+	}
+	if s.MaxConcurrentScans <= 0 {
+		s.MaxConcurrentScans = 64
+	}
+	if s.QueueDepth <= 0 {
+		s.QueueDepth = 128
+	}
+	if s.QueueTimeout <= 0 {
+		s.QueueTimeout = 50 * time.Millisecond
+	}
+	if s.DrainTimeout <= 0 {
+		s.DrainTimeout = 5 * time.Second
+	}
+	return s
+}
+
+// msg is one entry on a reader's pipeline: invalidation groups, a coarse
+// tenant invalidation, or a QuerySCN publication — the same shapes the RAC
+// reader pipeline carries.
+type msg struct {
+	groups  []core.Group
+	coarse  *rowstore.TenantID
+	publish *publication
+}
+
+type publication struct {
+	q       scn.SCN
+	dropped []rowstore.ObjID
+}
+
+// queue is an unbounded FIFO. The flush hot path pushes without ever
+// blocking (the core.Fanout contract); the reader's coordinator goroutine
+// pops in batches. Unboundedness is deliberate: a reader that falls behind
+// accumulates lag here and is skipped by lag-aware routing, instead of
+// stalling the master's flush.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []msg
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m msg) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, m)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// popAll blocks until at least one message is queued (or the queue closes)
+// and returns the whole backlog. ok is false once the queue is closed and
+// drained.
+func (q *queue) popAll() (batch []msg, ok bool) {
+	q.mu.Lock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	batch, q.items = q.items, nil
+	q.mu.Unlock()
+	return batch, len(batch) > 0
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *queue) depth() int {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	return n
+}
+
+// Reader is one fleet reader standby: a full copy of the standby-enabled
+// column-store set over the shared physical replica, a local coordinator
+// applying the fanout feed, and per-reader admission control.
+type Reader struct {
+	id    int
+	store *imcs.Store
+	// engine populates this reader's column store from the shared row store;
+	// started only after the first publication is received, so every
+	// population snapshot is covered by the invalidation feed.
+	engine *imcs.Engine
+
+	state       atomic.Int32
+	querySCN    atomic.Uint64
+	quiesce     sync.RWMutex // local quiesce: population snapshot vs apply
+	readyTarget scn.SCN      // fleet watermark at provision time
+	sawPublish  atomic.Bool
+	engineOn    atomic.Bool
+
+	q   *queue
+	adm *admission
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// ID returns the reader's fleet-unique id.
+func (r *Reader) ID() int { return r.id }
+
+// State returns the reader's lifecycle state.
+func (r *Reader) State() State { return State(r.state.Load()) }
+
+func (r *Reader) setState(s State) { r.state.Store(int32(s)) }
+
+// QuerySCN returns the consistency point published to this reader.
+func (r *Reader) QuerySCN() scn.SCN { return scn.SCN(r.querySCN.Load()) }
+
+// Store returns the reader's column store.
+func (r *Reader) Store() *imcs.Store { return r.store }
+
+// Engine returns the reader's population engine.
+func (r *Reader) Engine() *imcs.Engine { return r.engine }
+
+// Admit acquires one scan slot under the reader's admission control,
+// returning the release function. It sheds with ErrOverloaded when the
+// reader is saturated and the wait queue is full or the queue deadline
+// expires; it fails with ErrNoReader when the reader left Ready while the
+// caller was queued (the caller should re-place).
+func (r *Reader) Admit() (release func(), err error) {
+	release, err = r.adm.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if r.State() != StateReady {
+		release()
+		return nil, ErrNoReader
+	}
+	return release, nil
+}
+
+// InFlight returns the number of scans currently holding a slot.
+func (r *Reader) InFlight() int { return r.adm.inFlight() }
+
+// Queued returns the number of scans waiting for a slot.
+func (r *Reader) Queued() int { return int(r.adm.queued.Load()) }
+
+// Load is the placement cost: in-flight plus queued scans.
+func (r *Reader) Load() int { return r.adm.inFlight() + int(r.adm.queued.Load()) }
+
+// SchedStats returns the reader's admission counters (admitted, shed).
+func (r *Reader) SchedStats() (admitted, shed int64) {
+	return r.adm.admitted.Load(), r.adm.shed.Load()
+}
+
+// loop is the reader's local coordinator: it applies fanout messages in FIFO
+// order. The local quiesce period spans from the first invalidation of an
+// advancement until its publication, exactly as on a RAC reader: a population
+// snapshot captured in between could be older than invalidations already
+// applied, whose effect a later repopulation would silently discard.
+func (r *Reader) loop() {
+	defer r.wg.Done()
+	inQuiesce := false
+	defer func() {
+		if inQuiesce {
+			r.quiesce.Unlock()
+		}
+	}()
+	for {
+		batch, ok := r.q.popAll()
+		if !ok {
+			return
+		}
+		for _, m := range batch {
+			switch {
+			case m.groups != nil:
+				if !inQuiesce {
+					r.quiesce.Lock()
+					inQuiesce = true
+				}
+				core.ApplyGroups(r.store, m.groups)
+			case m.coarse != nil:
+				if !inQuiesce {
+					r.quiesce.Lock()
+					inQuiesce = true
+				}
+				r.store.InvalidateTenant(*m.coarse)
+			case m.publish != nil:
+				if !inQuiesce {
+					r.quiesce.Lock()
+					inQuiesce = true
+				}
+				for _, obj := range m.publish.dropped {
+					r.store.DropObject(obj)
+				}
+				r.querySCN.Store(uint64(m.publish.q))
+				r.quiesce.Unlock()
+				inQuiesce = false
+				r.sawPublish.Store(true)
+			}
+		}
+	}
+}
+
+// lifecycle drives Provisioning -> CatchingUp -> Ready. It waits for the
+// first received publication (so population snapshots are covered by the
+// fanout feed), starts the population engine with an immediate target scan,
+// and promotes the reader to Ready once its QuerySCN reaches the
+// provision-time watermark and the initial population has settled.
+func (r *Reader) lifecycle() {
+	defer r.wg.Done()
+	for !r.sawPublish.Load() {
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	if r.State() != StateProvisioning {
+		return // already draining
+	}
+	r.engine.Start()
+	r.engineOn.Store(true)
+	r.engine.Scan()
+	r.setState(StateCatchingUp)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(200 * time.Microsecond):
+		}
+		if r.State() != StateCatchingUp {
+			return
+		}
+		if r.QuerySCN() >= r.readyTarget && r.engine.Pending() == 0 {
+			r.setState(StateReady)
+			return
+		}
+	}
+}
+
+// close stops the reader's goroutines and engine. Idempotent.
+func (r *Reader) close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.q.close()
+	r.wg.Wait()
+	if r.engineOn.Load() {
+		r.engine.Stop()
+	}
+	r.setState(StateGone)
+}
+
+// snapshotter captures population snapshots under the reader's quiesce lock:
+// outside an advancement the reader's QuerySCN is a stable consistency point,
+// and every invalidation for commits past it arrives through the FIFO feed.
+type snapshotter struct{ r *Reader }
+
+func (s snapshotter) CaptureSnapshot() scn.SCN {
+	s.r.quiesce.RLock()
+	defer s.r.quiesce.RUnlock()
+	return s.r.QuerySCN()
+}

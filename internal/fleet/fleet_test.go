@@ -1,0 +1,363 @@
+package fleet_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"dbimadg/internal/fleet"
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/primary"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/redo"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/standby"
+	"dbimadg/internal/testutil"
+	"dbimadg/internal/transport"
+)
+
+type fleetPair struct {
+	pri *primary.Cluster
+	sc  *rac.StandbyCluster
+	tbl *rowstore.Table
+}
+
+func newFleetPair(t *testing.T) *fleetPair {
+	t.Helper()
+	pri := primary.NewCluster(1, 32)
+	sc := rac.NewStandbyCluster(standby.Config{
+		RowsPerBlock:       32,
+		CheckpointInterval: time.Millisecond,
+		PopulationInterval: time.Millisecond,
+		BlocksPerIMCU:      4,
+	}, 0)
+	var streams []*redo.Stream
+	for _, inst := range pri.Instances() {
+		streams = append(streams, inst.Stream())
+	}
+	sc.Attach(transport.NewInProc(streams...))
+	sc.Start()
+	t.Cleanup(sc.Stop)
+
+	tbl, err := pri.Instance(0).CreateTable(&rowstore.TableSpec{
+		Name: "T", Tenant: 1,
+		Columns: []rowstore.Column{
+			{Name: "id", Kind: rowstore.KindNumber},
+			{Name: "n1", Kind: rowstore.KindNumber},
+		},
+		IdentityCol: 0, PartitionCol: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.Instance(0).AlterInMemory(1, "T", "", rowstore.InMemoryAttr{Enabled: true, Service: "standby"}); err != nil {
+		t.Fatal(err)
+	}
+	return &fleetPair{pri: pri, sc: sc, tbl: tbl}
+}
+
+func popCfg() imcs.Config {
+	return imcs.Config{BlocksPerIMCU: 4, Interval: time.Millisecond}
+}
+
+func (p *fleetPair) manager(t *testing.T, spec fleet.Spec) *fleet.Manager {
+	t.Helper()
+	m := fleet.NewManager(p.sc, spec, popCfg())
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func (p *fleetPair) insert(t *testing.T, from, to int64) {
+	t.Helper()
+	s := p.tbl.Schema()
+	tx := p.pri.Instance(0).Begin()
+	for i := from; i < to; i++ {
+		r := rowstore.NewRow(s)
+		r.Nums[s.Col(0).Slot()] = i
+		r.Nums[s.Col(1).Slot()] = i % 10
+		if _, err := tx.Insert(p.tbl, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// catchUp waits for the master and then every fleet reader to reach the
+// primary's current snapshot.
+func (p *fleetPair) catchUp(t *testing.T, m *fleet.Manager) scn.SCN {
+	t.Helper()
+	target := p.pri.Snapshot()
+	if !p.sc.Master.WaitForSCN(target, 10*time.Second) {
+		t.Fatalf("master did not catch up: %+v", p.sc.Master.Stats())
+	}
+	for _, r := range m.Readers() {
+		r := r
+		if !testutil.WaitFor(10*time.Second, 0, func() bool { return r.QuerySCN() >= target }) {
+			t.Fatalf("fleet reader %d stuck at QuerySCN %d, target %d (state %v)",
+				r.ID(), r.QuerySCN(), target, r.State())
+		}
+	}
+	return target
+}
+
+func (p *fleetPair) sbyTable(t *testing.T) *rowstore.Table {
+	t.Helper()
+	tbl, err := p.sc.Master.DB().Table(1, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// scanKey canonicalizes a full scan for equivalence checks.
+func scanKey(t *testing.T, ex *scanengine.Executor, tbl *rowstore.Table, snap scn.SCN) string {
+	t.Helper()
+	res, err := ex.Run(&scanengine.Query{Table: tbl}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema()
+	keys := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		keys = append(keys, fmt.Sprintf("%d:%d", r.Num(s, 0), r.Num(s, 1)))
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}
+
+// TestReaderLifecycleToReady provisions a reader against a standby with data
+// already applied and checks the Provisioning -> CatchingUp -> Ready walk:
+// the reader must reach the fleet watermark captured at provision time and
+// settle its initial population before turning Ready.
+func TestReaderLifecycleToReady(t *testing.T) {
+	p := newFleetPair(t)
+	p.insert(t, 0, 1000)
+	target := p.pri.Snapshot()
+	if !p.sc.Master.WaitForSCN(target, 10*time.Second) {
+		t.Fatal("master lagging")
+	}
+	m := p.manager(t, fleet.Spec{Readers: 1})
+	if got := len(m.Readers()); got != 1 {
+		t.Fatalf("readers = %d, want 1", got)
+	}
+	if !m.WaitReady(10 * time.Second) {
+		r := m.Readers()[0]
+		t.Fatalf("reader never Ready: state=%v q=%d wm=%d pending=%d",
+			r.State(), r.QuerySCN(), m.Watermark(), r.Engine().Pending())
+	}
+	r := m.Readers()[0]
+	if r.State() != fleet.StateReady {
+		t.Fatalf("state = %v, want READY", r.State())
+	}
+	if r.QuerySCN() < target {
+		t.Fatalf("Ready below provision watermark: q=%d, want >= %d", r.QuerySCN(), target)
+	}
+	if r.Store().Stats().Units == 0 {
+		t.Fatal("Ready reader has an empty column store")
+	}
+}
+
+// TestIdleMasterProvisioning provisions a reader while the master is
+// completely idle (no redo in flight, watermark parked). The synthetic
+// enlistment publication must still hand the reader a consistency point —
+// without it the lifecycle would wait forever for a publication the
+// coordinator never emits.
+func TestIdleMasterProvisioning(t *testing.T) {
+	p := newFleetPair(t)
+	p.insert(t, 0, 100)
+	target := p.pri.Snapshot()
+	if !p.sc.Master.WaitForSCN(target, 10*time.Second) {
+		t.Fatal("master lagging")
+	}
+	// Let the pipeline go fully quiet before provisioning.
+	time.Sleep(20 * time.Millisecond)
+	m := p.manager(t, fleet.Spec{Readers: 1})
+	if !m.WaitReady(10 * time.Second) {
+		r := m.Readers()[0]
+		t.Fatalf("idle-master reader never Ready: state=%v q=%d wm=%d",
+			r.State(), r.QuerySCN(), m.Watermark())
+	}
+}
+
+// TestReaderScanConsistency checks a fleet reader serves exactly the
+// master's row-store CR view at the reader's own published QuerySCN, across
+// rounds of updates that exercise the invalidation fanout.
+func TestReaderScanConsistency(t *testing.T) {
+	p := newFleetPair(t)
+	p.insert(t, 0, 1000)
+	m := p.manager(t, fleet.Spec{Readers: 1})
+	p.catchUp(t, m)
+	if !m.WaitReady(10 * time.Second) {
+		t.Fatal("reader never Ready")
+	}
+	r := m.Readers()[0]
+	s := p.tbl.Schema()
+	sTbl := p.sbyTable(t)
+	for round := 0; round < 8; round++ {
+		tx := p.pri.Instance(0).Begin()
+		for i := int64(0); i < 40; i++ {
+			id := (int64(round)*61 + i*11) % 1000
+			if err := tx.UpdateByID(p.tbl, id, []uint16{1}, func(row *rowstore.Row) {
+				row.Nums[s.Col(1).Slot()] = int64(round*100 + 1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		p.catchUp(t, m)
+		q := r.QuerySCN()
+		viaReader := scanengine.NewExecutor(p.sc.Master.Txns(), r.Store())
+		viaRowStore := scanengine.NewExecutor(p.sc.Master.Txns())
+		if a, b := scanKey(t, viaReader, sTbl, q), scanKey(t, viaRowStore, sTbl, q); a != b {
+			t.Fatalf("round %d: fleet-reader scan diverges from row store at QuerySCN %d", round, q)
+		}
+	}
+}
+
+// TestScaleUpAndDown reconciles the fleet through 0 -> 2 -> 1 -> 0 and
+// checks membership, Ready catch-up of a mid-stream-added reader, and the
+// Draining -> Gone walk of removed ones.
+func TestScaleUpAndDown(t *testing.T) {
+	p := newFleetPair(t)
+	p.insert(t, 0, 500)
+	m := p.manager(t, fleet.Spec{Readers: 0, DrainTimeout: time.Second})
+	if got := len(m.Readers()); got != 0 {
+		t.Fatalf("empty fleet has %d readers", got)
+	}
+
+	m.SetReaders(2)
+	if got := len(m.Readers()); got != 2 {
+		t.Fatalf("after scale-up: readers = %d, want 2", got)
+	}
+	// More DML lands while the new readers are catching up.
+	p.insert(t, 500, 1000)
+	p.catchUp(t, m)
+	if !m.WaitReady(10 * time.Second) {
+		t.Fatalf("scale-up readers never Ready: %+v", m.Stats())
+	}
+
+	removed := m.Readers()[1]
+	m.SetReaders(1)
+	if got := len(m.Readers()); got != 1 {
+		t.Fatalf("after scale-down: readers = %d, want 1", got)
+	}
+	if removed.State() != fleet.StateGone {
+		t.Fatalf("removed reader state = %v, want GONE", removed.State())
+	}
+	// The survivor keeps applying and stays consistent.
+	p.insert(t, 1000, 1200)
+	p.catchUp(t, m)
+	r := m.Readers()[0]
+	ex := scanengine.NewExecutor(p.sc.Master.Txns(), r.Store())
+	res, err := ex.Run(&scanengine.Query{Table: p.sbyTable(t), Agg: scanengine.AggCount}, r.QuerySCN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1200 {
+		t.Fatalf("survivor count = %d, want 1200", res.Count)
+	}
+
+	m.SetReaders(0)
+	if got := len(m.Readers()); got != 0 {
+		t.Fatalf("after scale-to-zero: readers = %d, want 0", got)
+	}
+}
+
+// TestAdmissionControl exercises the per-reader scan admission: a saturated
+// reader queues up to QueueDepth, sheds the excess immediately, sheds queued
+// waiters at the queue deadline, and recovers once slots release.
+func TestAdmissionControl(t *testing.T) {
+	p := newFleetPair(t)
+	p.insert(t, 0, 200)
+	m := p.manager(t, fleet.Spec{
+		Readers:            1,
+		MaxConcurrentScans: 1,
+		QueueDepth:         1,
+		QueueTimeout:       10 * time.Millisecond,
+	})
+	p.catchUp(t, m)
+	if !m.WaitReady(10 * time.Second) {
+		t.Fatal("reader never Ready")
+	}
+	r := m.Readers()[0]
+
+	release, err := r.Admit()
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if r.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", r.InFlight())
+	}
+	// Second arrival queues and sheds at the deadline (the slot never frees).
+	start := time.Now()
+	if _, err := r.Admit(); !errors.Is(err, fleet.ErrOverloaded) {
+		t.Fatalf("queued admit err = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("queued admit shed before the queue deadline")
+	}
+	// A burst beyond QueueDepth sheds immediately: occupy the queue slot...
+	overflow := make(chan error, 1)
+	go func() {
+		_, err := r.Admit()
+		overflow <- err
+	}()
+	if !testutil.WaitFor(time.Second, 0, func() bool { return r.Queued() == 1 }) {
+		t.Fatal("waiter never queued")
+	}
+	// ...then the next arrival finds the queue full.
+	if _, err := r.Admit(); !errors.Is(err, fleet.ErrOverloaded) {
+		t.Fatalf("overflow admit err = %v, want ErrOverloaded", err)
+	}
+	release() // frees the slot for the queued waiter
+	if err := <-overflow; err != nil {
+		t.Fatalf("queued waiter after release: %v", err)
+	}
+	admitted, shed := r.SchedStats()
+	if admitted != 2 || shed != 2 {
+		t.Fatalf("sched stats admitted=%d shed=%d, want 2/2", admitted, shed)
+	}
+}
+
+// TestShutdownDetaches checks the failover path: Shutdown drains every
+// reader, detaches the fanout so flush no longer blocks on fleet state, and
+// later Admits fail typed.
+func TestShutdownDetaches(t *testing.T) {
+	p := newFleetPair(t)
+	p.insert(t, 0, 200)
+	m := fleet.NewManager(p.sc, fleet.Spec{Readers: 1}, popCfg())
+	p.catchUp(t, m)
+	if !m.WaitReady(10 * time.Second) {
+		t.Fatal("reader never Ready")
+	}
+	r := m.Readers()[0]
+	m.Shutdown()
+	m.Shutdown() // idempotent
+	if got := len(m.Readers()); got != 0 {
+		t.Fatalf("readers after Shutdown = %d, want 0", got)
+	}
+	if r.State() != fleet.StateGone {
+		t.Fatalf("reader state = %v, want GONE", r.State())
+	}
+	if _, err := r.Admit(); !errors.Is(err, fleet.ErrNoReader) {
+		t.Fatalf("admit on gone reader err = %v, want ErrNoReader", err)
+	}
+	// The pipeline keeps running with the fanout detached.
+	p.insert(t, 200, 400)
+	target := p.pri.Snapshot()
+	if !p.sc.Master.WaitForSCN(target, 10*time.Second) {
+		t.Fatal("master stalled after fleet shutdown")
+	}
+}

@@ -1,0 +1,422 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbimadg/internal/core"
+	"dbimadg/internal/imcs"
+	"dbimadg/internal/rac"
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/standby"
+)
+
+// Manager reconciles the fleet toward its Spec: it provisions and drains
+// readers, feeds them through the master flusher's invalidation fanout and
+// the publication relay, and survives role transitions (Shutdown on
+// failover, Rebind on switchover). It implements core.Fanout.
+type Manager struct {
+	mu      sync.Mutex
+	spec    Spec
+	sc      *rac.StandbyCluster
+	imcsCfg imcs.Config // population settings fleet readers inherit
+	readers []*Reader   // live (non-Gone) readers, provision order
+	nextID  int
+	closed  bool
+
+	cancelPub func()
+
+	// live is the broadcast set the fanout hot path reads lock-free. It is
+	// replaced (never mutated) under mu.
+	live atomic.Pointer[[]*Reader]
+
+	// retired admission tallies from drained readers, so fleet-wide counters
+	// stay monotone across membership churn.
+	retiredAdmitted atomic.Int64
+	retiredShed     atomic.Int64
+}
+
+// NewManager builds a fleet manager over the standby cluster and reconciles
+// it to spec. popCfg carries the population-engine settings fleet readers
+// inherit (BlocksPerIMCU, workers, interval, thresholds, memory limit);
+// HomeFilter is ignored — fleet readers are full copies.
+func NewManager(sc *rac.StandbyCluster, spec Spec, popCfg imcs.Config) *Manager {
+	m := &Manager{spec: spec.withDefaults(), imcsCfg: popCfg}
+	m.bind(sc)
+	m.reconcile()
+	return m
+}
+
+// bind attaches the manager to a standby cluster: the flusher fanout, the
+// publication relay, the fleet metrics on the master's registry, and the
+// fleet block in its /debug/stats document. Caller must not hold m.mu with
+// readers live (bind is called from NewManager and Rebind only).
+func (m *Manager) bind(sc *rac.StandbyCluster) {
+	m.sc = sc
+	sc.Master.SetFlushFanout(m)
+	m.cancelPub = sc.SubscribePublish(m.onPublish)
+	m.registerObs(sc.Master)
+}
+
+// registerObs exposes fleet-wide metrics on the master's registry and the
+// per-reader table on its /debug/stats document. Re-run on Rebind (the new
+// master has a fresh registry).
+func (m *Manager) registerObs(master *standby.Instance) {
+	r := master.Obs()
+	r.GaugeFunc("fleet_readers", "fleet readers not yet drained",
+		func() float64 { return float64(len(m.Readers())) })
+	r.GaugeFunc("fleet_readers_ready", "fleet readers in READY state",
+		func() float64 {
+			n := 0
+			for _, rd := range m.Readers() {
+				if rd.State() == StateReady {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("fleet_watermark_scn", "fleet watermark (master QuerySCN)",
+		func() float64 { return float64(m.Watermark()) })
+	r.GaugeFunc("fleet_lag_max_scn", "largest reader apply lag vs the fleet watermark",
+		func() float64 {
+			wm := m.Watermark()
+			var max scn.SCN
+			for _, rd := range m.Readers() {
+				if lag := wm - rd.QuerySCN(); rd.QuerySCN() < wm && lag > max {
+					max = lag
+				}
+			}
+			return float64(max)
+		})
+	r.CounterFunc("fleet_scans_admitted_total", "scans admitted across all fleet readers",
+		func() float64 {
+			n := m.retiredAdmitted.Load()
+			for _, rd := range m.Readers() {
+				a, _ := rd.SchedStats()
+				n += a
+			}
+			return float64(n)
+		})
+	r.CounterFunc("fleet_scans_shed_total", "scans shed (ErrOverloaded) across all fleet readers",
+		func() float64 {
+			n := m.retiredShed.Load()
+			for _, rd := range m.Readers() {
+				_, s := rd.SchedStats()
+				n += s
+			}
+			return float64(n)
+		})
+	master.AddDebugStats("fleet", func() any { return m.Stats() })
+}
+
+// FanoutGroups implements core.Fanout: broadcast one transaction's
+// invalidation groups to every live reader. Called from flushing goroutines
+// while the master holds its quiesce lock; push never blocks.
+func (m *Manager) FanoutGroups(groups []core.Group) {
+	rs := m.live.Load()
+	if rs == nil {
+		return
+	}
+	for _, r := range *rs {
+		r.q.push(msg{groups: groups})
+	}
+}
+
+// FanoutCoarse implements core.Fanout (the §III.E restart fallback).
+func (m *Manager) FanoutCoarse(tenant rowstore.TenantID) {
+	rs := m.live.Load()
+	if rs == nil {
+		return
+	}
+	t := tenant
+	for _, r := range *rs {
+		r.q.push(msg{coarse: &t})
+	}
+}
+
+// onPublish relays a QuerySCN publication to every live reader. Runs on the
+// recovery coordinator's goroutine, after all flush for the advancement.
+func (m *Manager) onPublish(q scn.SCN, dropped []rowstore.ObjID) {
+	rs := m.live.Load()
+	if rs == nil {
+		return
+	}
+	for _, r := range *rs {
+		r.q.push(msg{publish: &publication{q: q, dropped: dropped}})
+	}
+}
+
+// Spec returns the current declared fleet shape.
+func (m *Manager) Spec() Spec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spec
+}
+
+// Apply declares a new fleet shape and reconciles toward it: readers are
+// added (provision, catch up, Ready) or drained and removed to match
+// spec.Readers. It returns once membership changes have been initiated;
+// catch-up completes asynchronously (watch States or WaitReady).
+func (m *Manager) Apply(spec Spec) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.spec = spec.withDefaults()
+	m.mu.Unlock()
+	m.reconcile()
+}
+
+// SetReaders is Apply keeping every other spec field.
+func (m *Manager) SetReaders(n int) {
+	m.mu.Lock()
+	spec := m.spec
+	m.mu.Unlock()
+	spec.Readers = n
+	m.Apply(spec)
+}
+
+// reconcile drives membership toward spec.Readers.
+func (m *Manager) reconcile() {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		want, have := m.spec.Readers, len(m.readers)
+		m.mu.Unlock()
+		switch {
+		case have < want:
+			m.addReader()
+		case have > want:
+			m.removeReader()
+		default:
+			return
+		}
+	}
+}
+
+// addReader provisions one reader. The enlistment runs under the master's
+// shared quiesce lock: no advancement is mid-flight, so the synthetic
+// publication carrying the current QuerySCN is a true consistency point for
+// the empty store, and every later advancement's invalidations arrive FIFO
+// before their publication. This also covers the idle-master case — the
+// coordinator only publishes when the watermark moves, so a reader enlisted
+// on a quiet system would otherwise wait forever for its first publication.
+func (m *Manager) addReader() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	sc := m.sc
+	spec := m.spec
+	id := m.nextID
+	m.nextID++
+	m.mu.Unlock()
+
+	master := sc.Master
+	r := &Reader{
+		id:    id,
+		store: imcs.NewStore(),
+		q:     newQueue(),
+		adm:   newAdmission(spec.MaxConcurrentScans, spec.QueueDepth, spec.QueueTimeout),
+		stop:  make(chan struct{}),
+	}
+	cfg := m.imcsCfg
+	cfg.HomeFilter = nil // full copy
+	cfg.Trace = nil
+	r.engine = imcs.NewEngine(r.store, master.Txns(), snapshotter{r}, func() []imcs.Target {
+		return rac.StandbyTargets(master.DB(), master.Services())
+	}, cfg)
+	r.setState(StateProvisioning)
+	r.wg.Add(2)
+	go r.loop()
+	go r.lifecycle()
+
+	master.WithQuiesceShared(func() {
+		q0 := master.QuerySCN()
+		r.readyTarget = q0
+		r.q.push(msg{publish: &publication{q: q0}})
+		m.mu.Lock()
+		m.readers = append(m.readers, r)
+		m.publishLive()
+		m.mu.Unlock()
+	})
+}
+
+// removeReader drains and detaches the most recently added reader: it leaves
+// routing immediately (state Draining), stops receiving fanout messages (its
+// store freezes at its current QuerySCN, which stays correct for every scan
+// snapshot already placed), waits — bounded — for in-flight and queued scans,
+// and stops.
+func (m *Manager) removeReader() {
+	m.mu.Lock()
+	if len(m.readers) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	r := m.readers[len(m.readers)-1]
+	m.readers = m.readers[:len(m.readers)-1]
+	m.publishLive()
+	timeout := m.spec.DrainTimeout
+	m.mu.Unlock()
+	m.drain(r, timeout)
+}
+
+// drain completes a reader's Draining -> Gone transition.
+func (m *Manager) drain(r *Reader, timeout time.Duration) {
+	r.setState(StateDraining)
+	deadline := time.Now().Add(timeout)
+	for (r.adm.inFlight() > 0 || r.adm.queued.Load() > 0) && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	r.close()
+	a, s := r.SchedStats()
+	m.retiredAdmitted.Add(a)
+	m.retiredShed.Add(s)
+}
+
+// publishLive replaces the lock-free broadcast set. Caller holds m.mu.
+func (m *Manager) publishLive() {
+	rs := make([]*Reader, len(m.readers))
+	copy(rs, m.readers)
+	m.live.Store(&rs)
+}
+
+// Readers returns the live (non-Gone) readers in provision order.
+func (m *Manager) Readers() []*Reader {
+	rs := m.live.Load()
+	if rs == nil {
+		return nil
+	}
+	return *rs
+}
+
+// Watermark returns the fleet watermark: the master's published QuerySCN,
+// the freshest consistency point any reader can have reached.
+func (m *Manager) Watermark() scn.SCN {
+	m.mu.Lock()
+	sc := m.sc
+	m.mu.Unlock()
+	if sc == nil {
+		return 0
+	}
+	return sc.Master.QuerySCN()
+}
+
+// WaitReady blocks until every fleet reader is Ready or the timeout expires;
+// it reports whether the fleet settled.
+func (m *Manager) WaitReady(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		allReady := true
+		for _, r := range m.Readers() {
+			if r.State() != StateReady {
+				allReady = false
+				break
+			}
+		}
+		if allReady {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Shutdown drains every reader and detaches from the master — the failover
+// path: the standby was promoted, there is no standby fleet anymore, and
+// routing fails with ErrNoReader until a Rebind. Idempotent.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	readers := m.readers
+	m.readers = nil
+	m.publishLive()
+	cancel := m.cancelPub
+	m.cancelPub = nil
+	sc := m.sc
+	timeout := m.spec.DrainTimeout
+	m.mu.Unlock()
+
+	if cancel != nil {
+		cancel()
+	}
+	if sc != nil {
+		sc.Master.SetFlushFanout(nil)
+	}
+	for _, r := range readers {
+		m.drain(r, timeout)
+	}
+}
+
+// Rebind re-homes the fleet onto a new standby cluster — the switchover
+// path: the old fleet (whose master was just promoted) is shut down, the
+// manager attaches to the rebuilt standby, and the declared reader count is
+// re-provisioned against the new master and its service registry.
+func (m *Manager) Rebind(sc *rac.StandbyCluster) {
+	m.Shutdown()
+	m.mu.Lock()
+	m.closed = false
+	m.mu.Unlock()
+	m.bind(sc)
+	m.reconcile()
+}
+
+// ReaderStats is one row of the fleet table (the /debug/stats "fleet" block
+// and the adgtop -fleet pane).
+type ReaderStats struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	QuerySCN uint64 `json:"query_scn"`
+	LagSCN   uint64 `json:"lag_scn"`
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+	Admitted int64  `json:"admitted"`
+	Shed     int64  `json:"shed"`
+	PopUnits int64  `json:"populated_units"`
+}
+
+// Stats is the fleet-wide snapshot.
+type Stats struct {
+	SpecReaders int           `json:"spec_readers"`
+	Watermark   uint64        `json:"watermark_scn"`
+	Readers     []ReaderStats `json:"readers"`
+}
+
+// Stats snapshots the fleet table.
+func (m *Manager) Stats() Stats {
+	wm := m.Watermark()
+	st := Stats{SpecReaders: m.Spec().Readers, Watermark: uint64(wm)}
+	for _, r := range m.Readers() {
+		q := r.QuerySCN()
+		var lag scn.SCN
+		if q < wm {
+			lag = wm - q
+		}
+		a, s := r.SchedStats()
+		st.Readers = append(st.Readers, ReaderStats{
+			ID:       r.ID(),
+			State:    r.State().String(),
+			QuerySCN: uint64(q),
+			LagSCN:   uint64(lag),
+			InFlight: r.InFlight(),
+			Queued:   r.Queued(),
+			Admitted: a,
+			Shed:     s,
+			PopUnits: int64(r.store.Stats().PopulatedUnits),
+		})
+	}
+	return st
+}

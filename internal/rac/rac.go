@@ -146,6 +146,10 @@ type StandbyCluster struct {
 	Master  *standby.Instance
 	readers []*Reader
 	sink    *clusterSink
+
+	pubMu   sync.Mutex
+	pubSubs map[int]func(q scn.SCN, dropped []rowstore.ObjID)
+	pubSeq  int
 }
 
 // NewStandbyCluster builds a standby RAC cluster with the given number of
@@ -178,7 +182,7 @@ func assemble(master *standby.Instance, cfg standby.Config, readerCount int) *St
 		}
 		local := i
 		r.engine = imcs.NewEngine(r.store, master.Txns(), readerSnapshotter{r}, func() []imcs.Target {
-			return standbyTargets(master.DB(), master.Services())
+			return StandbyTargets(master.DB(), master.Services())
 		}, imcs.Config{
 			BlocksPerIMCU:  cfg.BlocksPerIMCU,
 			Workers:        cfg.PopulationWorkers,
@@ -257,6 +261,39 @@ func (c *StandbyCluster) onPublish(q scn.SCN, markers []*standby.MarkerEvent) {
 	for _, r := range c.readers {
 		c.sink.send(r, msg)
 	}
+	c.pubMu.Lock()
+	subs := make([]func(scn.SCN, []rowstore.ObjID), 0, len(c.pubSubs))
+	for _, fn := range c.pubSubs {
+		subs = append(subs, fn)
+	}
+	c.pubMu.Unlock()
+	for _, fn := range subs {
+		fn(q, dropped)
+	}
+}
+
+// SubscribePublish registers fn to run after every QuerySCN publication with
+// the new consistency point and the objects dropped by DDL at it. The call
+// happens on the recovery coordinator's goroutine while the master still holds
+// its quiesce lock, exactly after all invalidation flush for the advancement
+// completed — so a subscriber that enqueues work FIFO sees invalidations
+// strictly before the publication that makes them current. fn must not block.
+// The returned cancel function unsubscribes; it is safe to call once from any
+// goroutine.
+func (c *StandbyCluster) SubscribePublish(fn func(q scn.SCN, dropped []rowstore.ObjID)) (cancel func()) {
+	c.pubMu.Lock()
+	if c.pubSubs == nil {
+		c.pubSubs = make(map[int]func(scn.SCN, []rowstore.ObjID))
+	}
+	id := c.pubSeq
+	c.pubSeq++
+	c.pubSubs[id] = fn
+	c.pubMu.Unlock()
+	return func() {
+		c.pubMu.Lock()
+		delete(c.pubSubs, id)
+		c.pubMu.Unlock()
+	}
 }
 
 // clusterSink implements core.RemoteSink over the readers' pipelines.
@@ -305,9 +342,10 @@ func (s *clusterSink) CoarseInvalidate(tenant rowstore.TenantID) {
 	}
 }
 
-// standbyTargets lists standby-enabled segments from the shared catalog (the
-// same resolution the master uses).
-func standbyTargets(db *rowstore.Database, services *service.Registry) []imcs.Target {
+// StandbyTargets lists standby-enabled segments from the shared catalog (the
+// same resolution the master uses). Exported for the fleet layer, whose
+// full-copy readers resolve the identical set.
+func StandbyTargets(db *rowstore.Database, services *service.Registry) []imcs.Target {
 	var out []imcs.Target
 	for _, tbl := range db.Tables() {
 		for _, part := range tbl.Partitions() {

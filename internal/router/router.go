@@ -1,0 +1,213 @@
+// Package router is the standby fleet's front door: it places sessions onto
+// fleet readers by service role, apply lag, and read-your-writes tokens, with
+// least-loaded tie-breaking and per-reader admission control underneath. The
+// paper's §I positions services as the client-visible routing layer ("the
+// Standby-only service... directs analytic sessions to the standby"); this
+// router adds the freshness semantics a lag-prone standby needs:
+//
+//   - Service eligibility: the named service must run on the standby role in
+//     the master's (dynamic) service registry, re-checked on every placement
+//     so a mid-flight Unregister stops new placements immediately.
+//   - Freshness bound: readers whose QuerySCN trails the fleet watermark by
+//     more than MaxLag SCNs are skipped.
+//   - Read-your-writes: a session presenting a commit's QuerySCN token is
+//     placed only on readers at or past it, waiting (bounded) for one to
+//     catch up before failing with ErrNoReader.
+//
+// Placement acquires the chosen reader's admission slot, so a Place that
+// returns also reserved capacity; overload on every eligible reader sheds
+// with ErrOverloaded rather than queueing unboundedly.
+package router
+
+import (
+	"time"
+
+	"dbimadg/internal/fleet"
+	"dbimadg/internal/obs"
+	"dbimadg/internal/scn"
+	"dbimadg/internal/service"
+)
+
+// Typed routing errors, re-exported from the fleet (one source of truth, so
+// errors.Is matches across layers).
+var (
+	ErrNoReader   = fleet.ErrNoReader
+	ErrOverloaded = fleet.ErrOverloaded
+)
+
+// Options constrain one placement.
+type Options struct {
+	// Service names the service the session connects through (default
+	// service.StandbyOnly). It must run on the standby role at placement
+	// time; otherwise the placement fails with ErrNoReader.
+	Service string
+	// MaxLag is the freshness bound: readers trailing the fleet watermark by
+	// more than this many SCNs are skipped (0 = no bound).
+	MaxLag scn.SCN
+	// Token is a read-your-writes QuerySCN token (a primary commit's SCN):
+	// only readers at or past it are eligible (0 = none).
+	Token scn.SCN
+	// Wait bounds how long the placement waits for an eligible reader to
+	// appear or catch up before failing (default 100ms; negative = no wait,
+	// single attempt).
+	Wait time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Service == "" {
+		o.Service = service.StandbyOnly
+	}
+	if o.Wait == 0 {
+		o.Wait = 100 * time.Millisecond
+	} else if o.Wait < 0 {
+		o.Wait = 0
+	}
+	return o
+}
+
+// Placement is a successful routing decision: the chosen reader with one
+// admission slot held. Callers must Release when the scan completes.
+type Placement struct {
+	Reader  *fleet.Reader
+	release func()
+}
+
+// Release returns the admission slot. Idempotent.
+func (p *Placement) Release() {
+	if p.release != nil {
+		p.release()
+		p.release = nil
+	}
+}
+
+// Router places scans onto fleet readers.
+type Router struct {
+	fleet    *fleet.Manager
+	services *service.Registry
+
+	placed    *obs.Counter
+	shed      *obs.Counter
+	noReader  *obs.Counter
+	placeHist *obs.Histogram
+}
+
+// New builds a router over the fleet, resolving services against registry
+// and recording routing metrics (placement latency histogram, routed/shed/
+// no-reader counters) on reg.
+func New(fl *fleet.Manager, registry *service.Registry, reg *obs.Registry) *Router {
+	r := &Router{fleet: fl, services: registry}
+	r.placed = reg.Counter("router_placed_total", "sessions placed on a fleet reader")
+	r.shed = reg.Counter("router_shed_total", "placements shed with ErrOverloaded")
+	r.noReader = reg.Counter("router_no_reader_total", "placements failed with ErrNoReader")
+	r.placeHist = reg.Histogram("router_place_seconds", "placement latency",
+		obs.DurationBuckets(time.Microsecond, time.Second, 4))
+	return r
+}
+
+// Fleet returns the routed fleet manager.
+func (r *Router) Fleet() *fleet.Manager { return r.fleet }
+
+// Totals is the router's cumulative routing outcome summary (the /debug/stats
+// "router" block and the adgtop default-pane totals).
+type Totals struct {
+	Placed   int64 `json:"placed"`
+	Shed     int64 `json:"shed"`
+	NoReader int64 `json:"no_reader"`
+	// Placement latency quantiles in milliseconds (0 until the first Place).
+	PlaceP50MS float64 `json:"place_p50_ms"`
+	PlaceP95MS float64 `json:"place_p95_ms"`
+	PlaceP99MS float64 `json:"place_p99_ms"`
+}
+
+// Totals snapshots the router's counters and placement-latency quantiles.
+func (r *Router) Totals() Totals {
+	t := Totals{
+		Placed:   r.placed.Value(),
+		Shed:     r.shed.Value(),
+		NoReader: r.noReader.Value(),
+	}
+	if s := r.placeHist.Snapshot(); s.Count > 0 {
+		t.PlaceP50MS = s.Quantile(0.50) * 1e3
+		t.PlaceP95MS = s.Quantile(0.95) * 1e3
+		t.PlaceP99MS = s.Quantile(0.99) * 1e3
+	}
+	return t
+}
+
+// Place routes one scan: it picks the least-loaded eligible reader and
+// acquires its admission slot. Eligibility is (Ready) && (lag within
+// MaxLag) && (QuerySCN >= Token) && (service runs on standby). When no
+// reader is eligible it polls until opts.Wait expires, then fails with
+// ErrNoReader; when eligible readers exist but all shed, it fails with
+// ErrOverloaded.
+func (r *Router) Place(opts Options) (*Placement, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	defer func() { r.placeHist.ObserveDuration(time.Since(start)) }()
+	deadline := start.Add(opts.Wait)
+	for {
+		p, err := r.tryPlace(opts)
+		if err == nil {
+			r.placed.Inc()
+			return p, nil
+		}
+		if err == ErrOverloaded {
+			// Admission already waited its queue deadline; don't double-wait.
+			r.shed.Inc()
+			return nil, err
+		}
+		if !time.Now().Before(deadline) {
+			r.noReader.Inc()
+			return nil, ErrNoReader
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// tryPlace is one placement attempt over the current fleet membership.
+func (r *Router) tryPlace(opts Options) (*Placement, error) {
+	// Dynamic service check on every attempt: an Unregister mid-routing stops
+	// new placements immediately.
+	if !r.services.RunsOn(opts.Service, service.RoleStandby) {
+		return nil, ErrNoReader
+	}
+	wm := r.fleet.Watermark()
+	var eligible []*fleet.Reader
+	for _, rd := range r.fleet.Readers() {
+		if rd.State() != fleet.StateReady {
+			continue
+		}
+		q := rd.QuerySCN()
+		if opts.MaxLag > 0 && q < wm && wm-q > opts.MaxLag {
+			continue
+		}
+		if opts.Token > 0 && q < opts.Token {
+			continue
+		}
+		eligible = append(eligible, rd)
+	}
+	if len(eligible) == 0 {
+		return nil, ErrNoReader
+	}
+	// Least-loaded first; on admission shed, fall through to the next.
+	for range eligible {
+		best, bestIdx := eligible[0], 0
+		for i, rd := range eligible[1:] {
+			if rd.Load() < best.Load() {
+				best, bestIdx = rd, i+1
+			}
+		}
+		eligible = append(eligible[:bestIdx], eligible[bestIdx+1:]...)
+		release, err := best.Admit()
+		if err == nil {
+			return &Placement{Reader: best, release: release}, nil
+		}
+		if err == ErrNoReader {
+			continue // reader left Ready while we queued; try another
+		}
+		if len(eligible) == 0 {
+			return nil, ErrOverloaded
+		}
+	}
+	return nil, ErrOverloaded
+}

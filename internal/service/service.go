@@ -70,6 +70,16 @@ func (r *Registry) Register(name string, roles Role) error {
 	return nil
 }
 
+// Unregister removes a service. Sessions already placed by a router keep
+// running — placement checks eligibility at routing time only — but no new
+// session routes to the service afterwards. Unregistering an unknown name is
+// a no-op.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.m, name)
+	r.mu.Unlock()
+}
+
 // RunsOn reports whether the named service runs on role. Unknown or empty
 // service names run nowhere.
 func (r *Registry) RunsOn(name string, role Role) bool {

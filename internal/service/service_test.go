@@ -44,6 +44,62 @@ func TestRegister(t *testing.T) {
 	}
 }
 
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("reporting", RoleStandby); err != nil {
+		t.Fatal(err)
+	}
+	r.Unregister("reporting")
+	if r.RunsOn("reporting", RoleStandby) {
+		t.Fatal("unregistered service still resolves")
+	}
+	if len(r.Services()) != 3 {
+		t.Fatalf("Services() after Unregister = %v", r.Services())
+	}
+	r.Unregister("reporting") // absent: no-op
+	r.Unregister("nope")
+	// Built-ins can be dropped too (and re-registered).
+	r.Unregister(StandbyOnly)
+	if r.RunsOn(StandbyOnly, RoleStandby) {
+		t.Fatal("dropped built-in still resolves")
+	}
+	if err := r.Register(StandbyOnly, RoleStandby); err != nil {
+		t.Fatal(err)
+	}
+	if !r.RunsOn(StandbyOnly, RoleStandby) {
+		t.Fatal("re-registered service does not resolve")
+	}
+}
+
+// TestConcurrentRegisterUnregister hammers registration flips against
+// readers — the pattern the fleet router produces when placements resolve a
+// service that an operator is altering live. Runs under -race.
+func TestConcurrentRegisterUnregister(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if i%2 == 0 {
+				if err := r.Register("reporting", RoleStandby); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				r.Unregister("reporting")
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		r.RunsOn("reporting", RoleStandby)
+		r.Services()
+	}
+	<-done
+	if r.RunsOn("reporting", RoleStandby) {
+		t.Fatal("final state should be unregistered (last flip at i=499)")
+	}
+}
+
 // TestConcurrentRegistryAccess exercises the registry under the -race
 // detector: services are re-registered while readers resolve roles, the
 // pattern a live ALTER of a service policy produces.

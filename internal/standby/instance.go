@@ -198,8 +198,9 @@ type Instance struct {
 	pendingWL      atomic.Pointer[core.Worklink]
 	endOfRedo      chan struct{} // closed by the merger at end of all logs
 
-	remote    core.RemoteSink
-	onPublish func(q scn.SCN, markers []*MarkerEvent)
+	remote      core.RemoteSink
+	flushFanout core.Fanout // full-copy invalidation feed, survives initVolatile
+	onPublish   func(q scn.SCN, markers []*MarkerEvent)
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -224,6 +225,8 @@ type Instance struct {
 	lagSeries    map[string]*metrics.Series
 	sampler      *obs.Sampler
 	obsSrv       *obs.Server
+	obsHandler   *obs.Handler
+	debugStats   map[string]func() any // extra /debug/stats blocks, survive Restart
 }
 
 // New builds a standby instance with an empty replica database. The catalog
@@ -432,6 +435,7 @@ func (inst *Instance) initVolatile() {
 	home := imcs.HomeMap{Instances: inst.cfg.HomeInstances}
 	inst.flusher = core.NewFlusher(inst.journal, inst.store, home, inst.cfg.LocalInstance, inst.cfg.BlocksPerIMCU, inst.remote)
 	inst.flusher.SetTrace(inst.trace)
+	inst.flusher.SetFanout(inst.flushFanout)
 	inst.engine = imcs.NewEngine(inst.store, inst.txns, &quiesceSnapshotter{inst: inst}, inst.populationTargets, imcs.Config{
 		BlocksPerIMCU:  inst.cfg.BlocksPerIMCU,
 		Workers:        inst.cfg.PopulationWorkers,
@@ -605,6 +609,19 @@ func (inst *Instance) SetRemoteSink(sink core.RemoteSink) {
 	inst.initVolatile()
 }
 
+// SetFlushFanout attaches (or, with nil, detaches) the full-copy invalidation
+// fanout on the instance's flusher (see core.Fanout). Unlike the flusher
+// itself the attachment is not volatile: Restart's initVolatile reapplies it
+// to the rebuilt flusher, so fleet readers keep receiving invalidations across
+// a crash-restart (the coarse fallback flows through the same fanout).
+func (inst *Instance) SetFlushFanout(fo core.Fanout) {
+	inst.stateMu.Lock()
+	inst.flushFanout = fo
+	f := inst.flusher
+	inst.stateMu.Unlock()
+	f.SetFanout(fo)
+}
+
 // SetPublishHook registers a callback invoked after each QuerySCN
 // publication with the new QuerySCN and the DDL markers applied at that
 // consistency point; the RAC layer uses it to drive non-master instances'
@@ -666,6 +683,18 @@ func (inst *Instance) MetricsAddr() string {
 // QuerySCN returns the published consistency point: the CR snapshot for
 // queries on the standby.
 func (inst *Instance) QuerySCN() scn.SCN { return scn.SCN(inst.querySCN.Load()) }
+
+// WithQuiesceShared runs fn while holding the quiesce lock shared: no QuerySCN
+// advancement — and therefore no invalidation flush, which only runs inside an
+// advancement — is in progress while fn executes, and the published QuerySCN
+// is stable. The fleet layer uses it to enlist a new full-copy reader into the
+// invalidation fanout at a well-defined point between advancements. fn must
+// not block on the apply pipeline (deadlock: the coordinator needs this lock).
+func (inst *Instance) WithQuiesceShared(fn func()) {
+	inst.quiesce.RLock()
+	defer inst.quiesce.RUnlock()
+	fn()
+}
 
 // source reads the current redo source coherently (watchdog stage closures
 // race with Restart's reattachment otherwise).
@@ -770,6 +799,12 @@ func (inst *Instance) startObservability() {
 	h.AddStats("standby", func() any { return inst.Stats() })
 	h.AddStats("imcs", func() any { s, _, _, _, _, _ := inst.components(); return s.Stats() })
 	h.AddStats("population", func() any { _, e, _, _, _, _ := inst.components(); return e.Stats() })
+	inst.stateMu.Lock()
+	for name, fn := range inst.debugStats {
+		h.AddStats(name, fn)
+	}
+	inst.obsHandler = h
+	inst.stateMu.Unlock()
 	srv, err := obs.Serve(inst.cfg.MetricsAddr, h)
 	if err != nil {
 		return
@@ -777,6 +812,23 @@ func (inst *Instance) startObservability() {
 	inst.stateMu.Lock()
 	inst.obsSrv = srv
 	inst.stateMu.Unlock()
+}
+
+// AddDebugStats registers (or replaces) a named block in the instance's
+// /debug/stats document. Safe before or after Start; registrations survive
+// Restart (the rebuilt handler replays them). The cluster layer uses this to
+// expose the reader-fleet table next to the standby's own pipeline stats.
+func (inst *Instance) AddDebugStats(name string, fn func() any) {
+	inst.stateMu.Lock()
+	if inst.debugStats == nil {
+		inst.debugStats = make(map[string]func() any)
+	}
+	inst.debugStats[name] = fn
+	h := inst.obsHandler
+	inst.stateMu.Unlock()
+	if h != nil {
+		h.AddStats(name, fn)
+	}
 }
 
 // Stop halts the pipeline and returns the checkpoint SCN: the applied
@@ -798,6 +850,7 @@ func (inst *Instance) Stop() scn.SCN {
 	inst.stateMu.Lock()
 	srv := inst.obsSrv
 	inst.obsSrv = nil
+	inst.obsHandler = nil
 	inst.stateMu.Unlock()
 	if srv != nil {
 		_ = srv.Close()

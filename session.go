@@ -86,7 +86,9 @@ func (c *Cluster) StandbyReaderSession(i int) (*Session, error) {
 	sc := c.standbyCluster()
 	readers := sc.Readers()
 	if i < 0 || i >= len(readers) {
-		return nil, fmt.Errorf("dbimadg: no standby reader %d", i)
+		// Typed: after a failover the promoted node serves all ranges itself
+		// and the reader set is empty, so callers match with errors.Is.
+		return nil, fmt.Errorf("dbimadg: standby reader %d: %w", i, ErrNoReader)
 	}
 	r := readers[i]
 	ex := scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...)
