@@ -8,6 +8,7 @@ package dbimadg_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -766,4 +767,49 @@ func BenchmarkGroupBy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMorselScaling measures the work-stealing scan scheduler's speedup
+// with worker count: the same grouped aggregate as BenchmarkGroupBy over the
+// same populated store, executed at Parallel 1/2/4/GOMAXPROCS. Each
+// sub-benchmark reports workers (the requested parallelism), morsels/op (the
+// scheduling granules per query) and steals/op (morsels that ran off their
+// affinity-placed worker). Speedup only materializes with real cores:
+// single-core hosts report ~1× by construction.
+func BenchmarkMorselScaling(b *testing.B) {
+	f := getGroupByFixture(b, "groupby-imcs", dbimadg.ServiceStandbyOnly)
+	sess := f.c.StandbySession()
+	s := f.sTbl.Schema()
+	g, v := s.ColIndex("g"), s.ColIndex("v")
+	run := func(b *testing.B, par int) {
+		q := &dbimadg.Query{
+			Table: f.sTbl,
+			Aggs: []dbimadg.AggSpec{
+				{Kind: dbimadg.AggCount},
+				{Kind: dbimadg.AggSum, Col: v},
+			},
+			GroupBy:  []int{g},
+			Parallel: par,
+		}
+		var morsels, steals int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Grouped.Groups) != 20 {
+				b.Fatalf("groups: %d", len(res.Grouped.Groups))
+			}
+			morsels += res.Morsels
+			steals += res.Steals
+		}
+		b.ReportMetric(float64(par), "workers")
+		b.ReportMetric(float64(morsels)/float64(b.N), "morsels/op")
+		b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+	}
+	b.Run("P1", func(b *testing.B) { run(b, 1) })
+	b.Run("P2", func(b *testing.B) { run(b, 2) })
+	b.Run("P4", func(b *testing.B) { run(b, 4) })
+	b.Run("PMax", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
 }

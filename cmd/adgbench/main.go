@@ -64,9 +64,10 @@ func main() {
 				fmt.Printf("  #%d %s path=%s rows=%d wall=%v%s\n",
 					r.Seq, r.Table, r.Path, r.Rows, r.Wall().Round(time.Microsecond), slow)
 				if p, ok := r.Profile.(*scanengine.Profile); ok {
-					fmt.Printf("     units scan=%d pruned=%d fallback=%d batches=%d | imcs=%d invalid=%d tail=%d rowstore=%d\n",
+					fmt.Printf("     units scan=%d pruned=%d fallback=%d batches=%d | imcs=%d invalid=%d tail=%d rowstore=%d | p=%d morsels=%d steals=%d\n",
 						p.UnitsScanned, p.UnitsPruned, p.UnitsFallback, p.Batches,
-						p.RowsIMCS, p.RowsInvalid, p.RowsTail, p.RowsRowStore)
+						p.RowsIMCS, p.RowsInvalid, p.RowsTail, p.RowsRowStore,
+						p.Parallel, p.Morsels, p.Steals)
 				}
 			}
 			fmt.Println()
@@ -85,6 +86,7 @@ func main() {
 		{"cpu", func() (fmt.Stringer, error) { return experiments.RunCPU(p) }},
 		{"groupby", func() (fmt.Stringer, error) { return experiments.RunGroupBy(p) }},
 		{"fleet", func() (fmt.Stringer, error) { return experiments.RunFleetOverload(p) }},
+		{"morsel", func() (fmt.Stringer, error) { return experiments.RunMorsel(p) }},
 	}
 
 	selected := all[:0:0]

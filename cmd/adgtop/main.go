@@ -90,13 +90,23 @@ type snapshot struct {
 
 // queryEntry is the subset of a /debug/queries record adgtop renders.
 type queryEntry struct {
-	Seq       int64  `json:"seq"`
-	SQL       string `json:"sql"`
-	Table     string `json:"table"`
-	WallNanos int64  `json:"wall_ns"`
-	Rows      int64  `json:"rows"`
-	Path      string `json:"path"`
-	Slow      bool   `json:"slow"`
+	Seq       int64         `json:"seq"`
+	SQL       string        `json:"sql"`
+	Table     string        `json:"table"`
+	WallNanos int64         `json:"wall_ns"`
+	Rows      int64         `json:"rows"`
+	Path      string        `json:"path"`
+	Slow      bool          `json:"slow"`
+	Profile   *queryProfile `json:"profile"`
+}
+
+// queryProfile is the slice of the embedded scanengine.Profile that the
+// queries pane shows: the morsel scheduler's per-query actuals.
+type queryProfile struct {
+	Parallel   int   `json:"parallel"`
+	MorselRows int   `json:"morsel_rows"`
+	Morsels    int64 `json:"morsels"`
+	Steals     int64 `json:"steals"`
 }
 
 // queriesDoc is the /debug/queries response envelope.
@@ -147,8 +157,16 @@ func printQueries(client *http.Client, addr string, n int, slowOnly bool) {
 		if label == "" {
 			label = "scan " + q.Table
 		}
-		fmt.Printf("  %s #%-6d %-8s %8.3fms %8d rows  %s\n",
-			mark, q.Seq, q.Path, float64(q.WallNanos)/1e6, q.Rows, label)
+		sched := ""
+		if p := q.Profile; p != nil && p.Morsels > 0 {
+			sched = fmt.Sprintf("  [p=%d morsels=%d", p.Parallel, p.Morsels)
+			if p.Steals > 0 {
+				sched += fmt.Sprintf(" steals=%d", p.Steals)
+			}
+			sched += "]"
+		}
+		fmt.Printf("  %s #%-6d %-8s %8.3fms %8d rows  %s%s\n",
+			mark, q.Seq, q.Path, float64(q.WallNanos)/1e6, q.Rows, label, sched)
 	}
 }
 

@@ -62,6 +62,10 @@ type Doc struct {
 	// placement/shed rates, and redo apply throughput under load vs the no-load
 	// baseline (budget >= 90%).
 	Fleet *FleetSummary `json:"fleet,omitempty"`
+	// Morsel summarizes BenchmarkMorselScaling when present: the work-stealing
+	// scan scheduler's speedup over the serial baseline at each worker count,
+	// with per-query morsel and steal counts.
+	Morsel *MorselSummary `json:"morsel,omitempty"`
 }
 
 // FailoverSummary is derived from BenchmarkFailover's reported metrics.
@@ -269,6 +273,59 @@ func fleetSummary(benchmarks []Benchmark) *FleetSummary {
 	return nil
 }
 
+// MorselSummary is derived from BenchmarkMorselScaling's sub-benchmarks: one
+// point per worker count, each with its speedup over the serial (P1) run.
+type MorselSummary struct {
+	// SerialNs is the P1 baseline ns/op the speedups are computed against.
+	SerialNs float64 `json:"serial_ns"`
+	// Points holds one entry per worker count, in sub-benchmark order.
+	Points []MorselPoint `json:"points"`
+}
+
+// MorselPoint is one worker-count measurement of the scaling sweep.
+type MorselPoint struct {
+	// Workers is the requested scan parallelism (PMax reports GOMAXPROCS).
+	Workers float64 `json:"workers"`
+	Ns      float64 `json:"ns"`
+	// Speedup is serial ns/op over this point's ns/op (1.0 at P1).
+	Speedup float64 `json:"speedup"`
+	// MorselsPerOp / StealsPerOp are per-query scheduling granules and
+	// off-affinity executions.
+	MorselsPerOp float64 `json:"morsels_per_op"`
+	StealsPerOp  float64 `json:"steals_per_op"`
+}
+
+// morselSummary extracts the summary from a parsed benchmark set; nil when
+// the run did not include BenchmarkMorselScaling's serial baseline.
+func morselSummary(benchmarks []Benchmark) *MorselSummary {
+	s := &MorselSummary{}
+	for _, b := range benchmarks {
+		name, _, _ := strings.Cut(b.Name, "-")
+		if !strings.HasPrefix(name, "BenchmarkMorselScaling/") {
+			continue
+		}
+		p := MorselPoint{
+			Workers:      b.Metrics["workers"],
+			Ns:           b.Metrics["ns/op"],
+			MorselsPerOp: b.Metrics["morsels/op"],
+			StealsPerOp:  b.Metrics["steals/op"],
+		}
+		if strings.HasSuffix(name, "/P1") {
+			s.SerialNs = p.Ns
+		}
+		s.Points = append(s.Points, p)
+	}
+	if s.SerialNs <= 0 || len(s.Points) == 0 {
+		return nil
+	}
+	for i := range s.Points {
+		if s.Points[i].Ns > 0 {
+			s.Points[i].Speedup = s.SerialNs / s.Points[i].Ns
+		}
+	}
+	return s
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -329,6 +386,7 @@ func parse(r io.Reader) (*Doc, error) {
 	doc.Freshness = freshnessSummary(doc.Benchmarks)
 	doc.Watchdog = watchdogSummary(doc.Benchmarks)
 	doc.Fleet = fleetSummary(doc.Benchmarks)
+	doc.Morsel = morselSummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

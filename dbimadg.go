@@ -88,6 +88,13 @@ type Config struct {
 	// LagSampleInterval, when > 0, samples the standby lag gauges into time
 	// series (see standby.Instance.LagSeries).
 	LagSampleInterval time.Duration
+	// ScanMorselRows is the scan executor's work-stealing granule in rows
+	// (default 4096). Smaller morsels balance skew better at higher
+	// scheduling overhead.
+	ScanMorselRows int
+	// ScanParallel is the default worker count for standby scans that leave
+	// Query.Parallel unset (default GOMAXPROCS; negative forces serial).
+	ScanParallel int
 	// SlowQueryThreshold is the wall time at or above which a standby query
 	// lands in the slow-query log (default 100ms; negative disables).
 	SlowQueryThreshold time.Duration
@@ -218,6 +225,8 @@ func Open(cfg Config) (*Cluster, error) {
 		MemLimitBytes:         cfg.MemLimitBytes,
 		MetricsAddr:           cfg.MetricsAddr,
 		LagSampleInterval:     cfg.LagSampleInterval,
+		ScanMorselRows:        cfg.ScanMorselRows,
+		ScanParallel:          cfg.ScanParallel,
 		SlowQueryThreshold:    cfg.SlowQueryThreshold,
 		QueryLogSize:          cfg.QueryLogSize,
 		FreshnessSampleEvery:  cfg.FreshnessSampleEvery,

@@ -41,6 +41,7 @@ import (
 	"dbimadg/internal/rac"
 	"dbimadg/internal/redo"
 	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
 	"dbimadg/internal/standby"
 	"dbimadg/internal/transport"
@@ -83,6 +84,14 @@ type Options struct {
 	// n invalidation records are dropped) before a targeted single-row
 	// update. The harness self-test uses this to prove the oracle has teeth.
 	MutateSkipJournal int64
+	// ScanMorselRows pins the oracle executors' morsel granule; 0 draws a
+	// seed-derived size from a boundary-adjacent sweep (1, unit-1, unit,
+	// unit+1, multi-unit), so every equivalence check also exercises the
+	// work-stealing scan scheduler at awkward morsel boundaries.
+	ScanMorselRows int
+	// ScanParallel pins the oracle executors' worker count; 0 draws a
+	// seed-derived parallelism in [1, 8]; negative forces serial.
+	ScanParallel int
 	// FleetChurn attaches a reader fleet to the standby and adds/removes
 	// readers as schedule steps while writers and faults run. Every quiesce
 	// point then also checks each caught-up fleet reader's scan at its own
@@ -121,6 +130,11 @@ type Result struct {
 	FleetMidAddsReady int
 	FleetChecks       int
 	FleetReaders      int // final membership
+	// Scan tuning the oracle executors ran with (seed-derived unless pinned
+	// in Options): the morsel granule and worker count every equivalence
+	// check exercised.
+	ScanMorselRows int
+	ScanParallel   int
 }
 
 // rowsPerBlock / base workload shape: small blocks and IMCUs so a modest row
@@ -175,7 +189,46 @@ type Runner struct {
 	nextID  int64   // fresh-id allocator for inserts
 	liveIDs []int64 // committed inserted ids eligible for deletion
 
+	// scan tuning applied to every oracle executor (see Options and newExec).
+	scanMorselRows int
+	scanParallel   int
+
 	res Result
+}
+
+// resolveScanTuning fixes the run's scan-executor knobs from the options or,
+// when unset, from the seed. The morsel sweep brackets the unit size
+// (rowsPerBlock*blocksPerIMCU rows) so boundary arithmetic — clipping a
+// batch-aligned window, single-row morsels, morsels spanning units — is under
+// the same randomized schedule as the pipeline faults.
+func (r *Runner) resolveScanTuning() {
+	const unitRows = rowsPerBlock * blocksPerIMCU
+	sweep := []int{1, unitRows - 1, unitRows, unitRows + 1, 3 * unitRows, scanengine.DefaultMorselRows}
+	switch {
+	case r.opts.ScanMorselRows != 0:
+		r.scanMorselRows = r.opts.ScanMorselRows
+	default:
+		r.scanMorselRows = sweep[r.rng.Intn(len(sweep))]
+	}
+	switch {
+	case r.opts.ScanParallel > 0:
+		r.scanParallel = r.opts.ScanParallel
+	case r.opts.ScanParallel < 0:
+		r.scanParallel = 1
+	default:
+		r.scanParallel = 1 + r.rng.Intn(8)
+	}
+	r.res.ScanMorselRows = r.scanMorselRows
+	r.res.ScanParallel = r.scanParallel
+}
+
+// newExec builds an oracle executor carrying the run's scan tuning, so every
+// equivalence check doubles as a differential test of the morsel scheduler.
+func (r *Runner) newExec(view rowstore.TxnView, stores ...*imcs.Store) *scanengine.Executor {
+	ex := scanengine.NewExecutor(view, stores...)
+	ex.MorselRows = r.scanMorselRows
+	ex.DefaultParallel = r.scanParallel
+	return ex
 }
 
 // Run executes one seeded chaos run and returns its summary, or an error
@@ -190,6 +243,7 @@ func Run(opts Options) (*Result, error) {
 		nextID: 1_000_000, // far above the base rows; never collides
 		res:    Result{Seed: opts.Seed, Steps: opts.Steps},
 	}
+	r.resolveScanTuning()
 	if err := r.setup(); err != nil {
 		r.teardown()
 		return nil, r.fail("setup: %v", err)

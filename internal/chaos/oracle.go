@@ -132,9 +132,9 @@ func (o *oracle) liveProbe() error {
 	}
 	r.res.Checks++
 
-	hybrid := scanengine.NewExecutor(r.sby.Txns(), r.sby.Store())
-	pure := scanengine.NewExecutor(r.sby.Txns())
-	pri := scanengine.NewExecutor(r.pri.Txns())
+	hybrid := r.newExec(r.sby.Txns(), r.sby.Store())
+	pure := r.newExec(r.sby.Txns())
+	pri := r.newExec(r.pri.Txns())
 
 	h, _, err := canonScan(hybrid, tbl, q)
 	if err != nil {
@@ -189,9 +189,9 @@ func (o *oracle) quiesceCheck() error {
 	// (1) Equivalence at the published QuerySCN, full scan: standby hybrid
 	// (IMCS + SMU + journal + row store), standby pure row store, primary CR.
 	q := r.sby.QuerySCN()
-	hybrid := scanengine.NewExecutor(r.sby.Txns(), r.sby.Store())
-	pure := scanengine.NewExecutor(r.sby.Txns())
-	pri := scanengine.NewExecutor(r.pri.Txns())
+	hybrid := r.newExec(r.sby.Txns(), r.sby.Store())
+	pure := r.newExec(r.sby.Txns())
+	pri := r.newExec(r.pri.Txns())
 
 	res, prof, err := hybrid.RunProfiled(&scanengine.Query{Table: tbl, OrderByRowID: true}, q)
 	if err != nil {
@@ -354,8 +354,8 @@ func (o *oracle) fleetCheck() error {
 		return r.fail("fleet did not settle at quiesce: %+v", r.flt.Stats())
 	}
 	target := r.sby.QuerySCN()
-	pure := scanengine.NewExecutor(r.sby.Txns())
-	pri := scanengine.NewExecutor(r.pri.Txns())
+	pure := r.newExec(r.sby.Txns())
+	pri := r.newExec(r.pri.Txns())
 	for _, rd := range r.flt.Readers() {
 		rd := rd
 		if !testutil.WaitFor(20*time.Second, 0, func() bool { return rd.QuerySCN() >= target }) {
@@ -367,7 +367,7 @@ func (o *oracle) fleetCheck() error {
 			return r.fail("fleet reader %d population did not settle", rd.ID())
 		}
 		q := rd.QuerySCN()
-		hybrid := scanengine.NewExecutor(r.sby.Txns(), rd.Store())
+		hybrid := r.newExec(r.sby.Txns(), rd.Store())
 		h, _, err := canonScan(hybrid, tbl, q)
 		if err != nil {
 			return r.fail("fleet reader %d hybrid scan at %d: %v", rd.ID(), q, err)
@@ -417,8 +417,8 @@ func (o *oracle) postPromotion(newPri *primary.Cluster, promoted scn.SCN, newSb 
 	}
 	r.res.Checks++
 
-	hybrid := scanengine.NewExecutor(newPri.Txns(), master.Store())
-	pure := scanengine.NewExecutor(newPri.Txns())
+	hybrid := r.newExec(newPri.Txns(), master.Store())
+	pure := r.newExec(newPri.Txns())
 	check := func(when string) error {
 		snap := newPri.Snapshot()
 		h, _, err := canonScan(hybrid, pTbl, snap)
@@ -485,7 +485,7 @@ func (o *oracle) postPromotion(newPri *primary.Cluster, promoted scn.SCN, newSb 
 			return r.fail("rebuilt standby table missing: %v", err)
 		}
 		q2 := newSb.Master.QuerySCN()
-		sbEx := scanengine.NewExecutor(newSb.Master.Txns(), newSb.Stores()...)
+		sbEx := r.newExec(newSb.Master.Txns(), newSb.Stores()...)
 		a, _, err := canonScan(sbEx, oldTbl, q2)
 		if err != nil {
 			return r.fail("rebuilt standby scan: %v", err)

@@ -17,6 +17,14 @@ type IMCU struct {
 	StartBlk rowstore.BlockNo
 	EndBlk   rowstore.BlockNo
 
+	// PopulatedBy is the index of the population worker that built this IMCU
+	// (0 when built outside the engine). The scan executor uses it as a
+	// NUMA-style affinity hint: morsels of this IMCU are initially placed on
+	// the scan worker congruent to the populating worker, so repeatedly
+	// scanned partitions tend to stay on the core that built them. It is set
+	// before the IMCU is attached and never changes afterwards.
+	PopulatedBy int
+
 	// blockRows[i] is the number of row slots captured from block
 	// StartBlk+i at population time; rows appended to the block later are
 	// "tail" rows served from the row store until repopulation.

@@ -60,6 +60,38 @@ func PopcountRange(match []uint64, lo, hi int) int64 {
 	return n + int64(bits.OnesCount64(m))
 }
 
+// MaskOutsideRange clears the bits of match at positions outside [lo, hi),
+// over a bitmap of n positions, and returns the OR of the surviving words
+// (zero means no position is left). It clips a batch-aligned match bitmap to
+// a morsel's row window, so arbitrary morsel boundaries ride on the existing
+// word-aligned batch kernels.
+func MaskOutsideRange(match []uint64, lo, hi, n int) uint64 {
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		clear(match[:(n+63)/64])
+		return 0
+	}
+	words := (n + 63) / 64
+	loW, hiW := lo/64, (hi-1)/64
+	for w := 0; w < loW; w++ {
+		match[w] = 0
+	}
+	match[loW] &= ^uint64(0) << (lo % 64)
+	if hi%64 != 0 {
+		match[hiW] &= (1 << (hi % 64)) - 1
+	}
+	for w := hiW + 1; w < words; w++ {
+		match[w] = 0
+	}
+	var live uint64
+	for w := loW; w <= hiW; w++ {
+		live |= match[w]
+	}
+	return live
+}
+
 // AggMasked folds the column values at positions base+i for every set bit i
 // of match with lo <= i < hi into a MaskedAgg. match is a batch-local bitmap
 // (bit i addresses column position base+i). scratch must hold at least hi

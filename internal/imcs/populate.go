@@ -123,7 +123,7 @@ func NewEngine(store *Store, view rowstore.TxnView, snap Snapshotter, targets fu
 func (e *Engine) Start() {
 	for i := 0; i < e.cfg.Workers; i++ {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(i)
 	}
 	e.wg.Add(1)
 	go e.scheduler()
@@ -272,22 +272,25 @@ func (e *Engine) enqueue(t popTask) bool {
 	}
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	for {
 		select {
 		case <-e.stop:
 			return
 		case t := <-e.tasks:
-			e.runTask(t)
+			e.runTask(t, id)
 			e.pending.Add(-1)
 		}
 	}
 }
 
-func (e *Engine) runTask(t popTask) {
+func (e *Engine) runTask(t popTask, worker int) {
 	start := time.Now()
 	imcu := e.BuildIMCU(t.target, t.unit)
+	// Stamp the population→scan affinity hint before publication; the IMCU
+	// is immutable once attached.
+	imcu.PopulatedBy = worker
 	t.unit.Attach(imcu)
 	e.cfg.Trace.Observe(obs.StagePopulate, uint64(imcu.SnapSCN), time.Since(start))
 	if t.repop {

@@ -144,3 +144,51 @@ func TestStoreCoverageProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: a slot captured without a visible row at the population
+// snapshot (an insert whose transaction was still in flight when the builder
+// read the block, or a deleted row) must come back invalid from ScanView —
+// its commit may never flush an invalidation, and present=0 means the IMCU
+// has no data for it, so only the row-store re-read path can serve it at
+// later snapshots. The overlay is view-level only: InvalidRows keeps counting
+// explicit invalidations (gap slots included), preserving the repopulation
+// pressure that eventually rebuilds a gap-ridden IMCU at a covering snapshot.
+func TestScanViewMarksPresenceGapsInvalid(t *testing.T) {
+	schema := rowstore.MustSchema([]rowstore.Column{{Name: "v", Kind: rowstore.KindNumber}})
+	const perBlock = 70 // spans a bitmap word boundary
+	unit := &Unit{Obj: 1, Tenant: 1, StartBlk: 0, EndBlk: 1}
+	b := NewBuilder(1, 1, schema, 10, 0, 1)
+	b.BeginBlock(perBlock)
+	gaps := map[int]bool{0: true, 33: true, 63: true, 64: true, perBlock - 1: true}
+	for s := 0; s < perBlock; s++ {
+		b.AddRow(rowstore.NewRow(schema), !gaps[s])
+	}
+	unit.Attach(b.Build())
+
+	_, invalid, usable := unit.ScanView()
+	if !usable {
+		t.Fatal("unit not usable after attach")
+	}
+	for s := 0; s < perBlock; s++ {
+		got := invalid[s/64]&(1<<(s%64)) != 0
+		if got != gaps[s] {
+			t.Errorf("slot %d: invalid=%v, want %v", s, got, gaps[s])
+		}
+	}
+	if n := unit.Stats().InvalidRows; n != 0 {
+		t.Errorf("presence gaps counted in InvalidRows (%d): gaps are a scan-view overlay, not stored invalidations", n)
+	}
+	// Explicit invalidations still count toward repopulation pressure — on
+	// gap slots too (a commit filling a gap flushes one on pipelines that do
+	// invalidate inserts).
+	unit.InvalidateRows(0, []uint16{33, 5})
+	if n := unit.Stats().InvalidRows; n != 2 {
+		t.Errorf("InvalidRows = %d after invalidating a gap and a live slot, want 2", n)
+	}
+	_, invalid, _ = unit.ScanView()
+	for _, s := range []int{0, 5, 33, 63, 64, perBlock - 1} {
+		if invalid[s/64]&(1<<(s%64)) == 0 {
+			t.Errorf("slot %d: not invalid in scan view after explicit invalidation", s)
+		}
+	}
+}

@@ -199,6 +199,16 @@ func (u *Unit) Dropped() bool {
 // of the row-validity bitmap. usable is false when the unit cannot serve
 // scans (populating, coarse-invalidated or dropped) — the caller then reads
 // the unit's block range from the row store.
+//
+// The returned bitmap additionally marks every captured slot with no visible
+// row at the population snapshot (presence gap: an insert whose transaction
+// was still in flight at capture time, or a deleted row). Such slots carry no
+// column data and a commit that later fills one is not guaranteed to flush an
+// invalidation here, so scans must resolve them through the row-store re-read
+// path like invalidated rows. Gaps are a view-level overlay only — the stored
+// bitmap and InvalidRows keep counting explicit invalidations (including ones
+// landing on gap slots), so the repopulation pressure that heals a stale or
+// gap-ridden IMCU is unchanged.
 func (u *Unit) ScanView() (imcu *IMCU, invalid []uint64, usable bool) {
 	s := &u.smu
 	s.mu.Lock()
@@ -207,7 +217,15 @@ func (u *Unit) ScanView() (imcu *IMCU, invalid []uint64, usable bool) {
 		return nil, nil, false
 	}
 	cp := make([]uint64, len(s.invalid))
-	copy(cp, s.invalid)
+	present := s.imcu.PresentWords()
+	rows := s.imcu.Rows()
+	for w := range cp {
+		gap := ^present[w]
+		if rem := rows - w*64; rem < 64 {
+			gap &= (1 << uint(rem)) - 1
+		}
+		cp[w] = s.invalid[w] | gap
+	}
 	return s.imcu, cp, true
 }
 

@@ -3,10 +3,8 @@ package scanengine
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"sort"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,8 +49,9 @@ type Query struct {
 	// OrderByRowID returns AggNone rows in deterministic RowID order
 	// (partition, block, slot) instead of unspecified order.
 	OrderByRowID bool
-	// Parallel is the scan parallelism (concurrent unit/range tasks);
-	// <= 1 runs serially.
+	// Parallel is the scan parallelism (morsel worker count). 1 runs
+	// serially; <= 0 uses the executor's DefaultParallel (itself serial when
+	// unset). Parallel row-materializing scans always return RowID order.
 	Parallel int
 }
 
@@ -97,6 +96,11 @@ type Result struct {
 	// decode values first. Row-store serving paths count under neither.
 	RowsEncoded int64
 	RowsDecoded int64
+	// Morsels is the number of scheduling granules the scan split into, and
+	// Steals how many of them ran on a worker other than their initial
+	// (affinity-placed) one.
+	Morsels int64
+	Steals  int64
 }
 
 // PathStats accumulates scan-path counters across every query run by the
@@ -112,6 +116,8 @@ type PathStats struct {
 	rowsEncoded   atomic.Int64
 	rowsDecoded   atomic.Int64
 	groups        atomic.Int64
+	morsels       atomic.Int64
+	steals        atomic.Int64
 }
 
 // Queries returns the number of scans accumulated.
@@ -144,6 +150,13 @@ func (p *PathStats) RowsDecoded() int64 { return p.rowsDecoded.Load() }
 // Groups returns the cumulative group cardinality emitted by GROUP BY scans.
 func (p *PathStats) Groups() int64 { return p.groups.Load() }
 
+// Morsels returns the cumulative count of scan scheduling granules executed.
+func (p *PathStats) Morsels() int64 { return p.morsels.Load() }
+
+// Steals returns the cumulative count of morsels executed by a worker other
+// than the one their affinity hint placed them on.
+func (p *PathStats) Steals() int64 { return p.steals.Load() }
+
 func (p *PathStats) add(r *Result) {
 	if p == nil {
 		return
@@ -157,6 +170,8 @@ func (p *PathStats) add(r *Result) {
 	p.rowsEncoded.Add(r.RowsEncoded)
 	p.rowsDecoded.Add(r.RowsDecoded)
 	p.groups.Add(r.GroupCount)
+	p.morsels.Add(r.Morsels)
+	p.steals.Add(r.Steals)
 }
 
 // Executor runs scans at a snapshot against the row store and any number of
@@ -174,6 +189,16 @@ type Executor struct {
 	// EXPLAIN ANALYZE actuals collected inline. RunProfiled returns the
 	// profile to its caller instead of delivering it here.
 	Profiles func(*Profile)
+
+	// MorselRows is the scheduling granule in rows (DefaultMorselRows when
+	// <= 0): every scan task splits into row windows of this size, which are
+	// what the workers steal from each other.
+	MorselRows int
+	// DefaultParallel is the worker count for queries that leave
+	// Query.Parallel unset (<= 0). Instance-owned executors set it to the
+	// configured scan parallelism (GOMAXPROCS by default); a bare NewExecutor
+	// stays serial.
+	DefaultParallel int
 }
 
 // NewExecutor builds an executor. stores may be empty.
@@ -223,75 +248,73 @@ func (ex *Executor) RunProfiled(q *Query, snap scn.SCN) (*Result, *Profile, erro
 	return ex.exec(q, snap, true)
 }
 
+// morselRows resolves the executor's scheduling granule.
+func (ex *Executor) morselRows() int {
+	if ex.MorselRows > 0 {
+		return ex.MorselRows
+	}
+	return DefaultMorselRows
+}
+
+// effectiveParallel resolves a query's worker count before the morsel-count
+// clamp: the query's explicit Parallel, else the executor default, else 1.
+func (ex *Executor) effectiveParallel(q *Query) int {
+	par := q.Parallel
+	if par <= 0 {
+		par = ex.DefaultParallel
+	}
+	return max(par, 1)
+}
+
 func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profile, error) {
 	schema, plan, err := ex.validate(q)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	decs := ex.partitionDecisions(q)
-	var tasks []scanTask
-	for pi, d := range decs {
-		if !d.keep {
-			continue
-		}
-		for _, t := range ex.planSegment(q, d.part.Seg) {
-			t.part = pi
-			tasks = append(tasks, t)
-		}
-	}
-
 	var start time.Time
 	if profile {
 		start = time.Now()
 	}
-	merged := newTaskResult(q, plan, schema)
-	merged.profiling = profile
-	if q.Parallel <= 1 || len(tasks) <= 1 {
-		for _, t := range tasks {
-			ex.runTask(q, schema, t, snap, merged)
-		}
-	} else {
-		workers := q.Parallel
-		if workers > len(tasks) {
-			workers = len(tasks)
-		}
-		var (
-			mu   sync.Mutex
-			wg   sync.WaitGroup
-			next int
-		)
-		results := make([]*taskResult, workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			results[w] = newTaskResult(q, plan, schema)
-			results[w].profiling = profile
-			go func(w int) {
-				defer wg.Done()
-				for {
-					mu.Lock()
-					if next >= len(tasks) {
-						mu.Unlock()
-						return
-					}
-					t := tasks[next]
-					next++
-					mu.Unlock()
-					ex.runTask(q, schema, t, snap, results[w])
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, r := range results {
-			merged.merge(r)
+	decs, tasks := ex.planTasks(q, schema, snap)
+	morselRows := ex.morselRows()
+	morsels := planMorsels(tasks, morselRows)
+	// Clamp against morsels, not tasks: a small-unit table still splits into
+	// enough morsels to feed every requested worker.
+	workers := min(ex.effectiveParallel(q), len(morsels))
+	workers = max(workers, 1)
+	// Parallel materializing scans sort their merged rows by RowID so the
+	// result does not depend on morsel scheduling.
+	ordered := q.OrderByRowID || (workers > 1 && len(plan.aggs) == 0 && len(plan.groupBy) == 0)
+	merged, wstats := ex.runMorsels(q, plan, schema, morsels, workers, snap, profile, ordered)
+	res := merged.finish()
+	for _, ts := range tasks {
+		switch ts.decision {
+		case DecisionScan:
+			res.UnitsScanned++
+		case DecisionPrunedMinMax, DecisionPrunedDict:
+			res.UnitsPruned++
+		case DecisionFallbackUnusable, DecisionFallbackSnapshot, DecisionFallbackSchema:
+			res.UnitsFallback++
 		}
 	}
-	res := merged.finish()
+	res.Morsels = int64(len(morsels))
+	for i := range wstats {
+		res.Steals += wstats[i].Steals
+	}
 	ex.Obs.add(res)
 	if !profile {
 		return res, nil, nil
 	}
-	prof := buildProfile(q, schema, snap, decs, merged.profs, true)
+	profs := make([]taskProf, 0, len(tasks))
+	for _, ts := range tasks {
+		profs = append(profs, taskProf{part: ts.part, tp: ts.taskProfile(schema)})
+	}
+	prof := buildProfile(q, schema, snap, decs, profs, true)
+	prof.Parallel = workers
+	prof.MorselRows = morselRows
+	prof.Morsels = res.Morsels
+	prof.Steals = res.Steals
+	prof.Workers = wstats
 	prof.WallNanos = time.Since(start).Nanoseconds()
 	prof.ResultRows = res.Count
 	prof.RowsIMCS = res.FromIMCS
@@ -310,49 +333,23 @@ func (ex *Executor) exec(q *Query, snap scn.SCN, profile bool) (*Result, *Profil
 
 // Explain plans a query without executing it: partition pruning decisions
 // plus, per planned task, the IMCU pruning verdict the scan would reach at
-// snapshot snap. No rows are read.
+// snapshot snap, and the morsel split the scheduler would use. No rows are
+// read. Planning is shared with exec, so the prediction matches what a run at
+// the same snapshot records.
 func (ex *Executor) Explain(q *Query, snap scn.SCN) (*Profile, error) {
 	schema, _, err := ex.validate(q)
 	if err != nil {
 		return nil, err
 	}
-	decs := ex.partitionDecisions(q)
-	var profs []taskProf
-	for pi, d := range decs {
-		if !d.keep {
-			continue
-		}
-		for _, t := range ex.planSegment(q, d.part.Seg) {
-			tp := TaskProfile{From: t.from, To: t.to}
-			if t.unit == nil {
-				tp.Kind = "rowstore"
-				tp.Decision = DecisionRowStore
-			} else {
-				tp.Kind = "imcu"
-				imcu, _, usable := t.unit.ScanView()
-				switch {
-				case !usable:
-					tp.Decision = DecisionFallbackUnusable
-				case imcu.SnapSCN > snap:
-					tp.Decision = DecisionFallbackSnapshot
-				case imcu.Schema() != schema:
-					tp.Decision = DecisionFallbackSchema
-				case imcu.Rows() == 0:
-					tp.Rows = 0
-					tp.Decision = DecisionEmpty
-				default:
-					tp.Rows = imcu.Rows()
-					if pr := pruneIMCU(schema, imcu, q.Filters); pr != nil {
-						pr.fill(&tp, schema)
-					} else {
-						tp.Decision = DecisionScan
-					}
-				}
-			}
-			profs = append(profs, taskProf{part: pi, tp: tp})
-		}
+	decs, tasks := ex.planTasks(q, schema, snap)
+	profs := make([]taskProf, 0, len(tasks))
+	for _, ts := range tasks {
+		profs = append(profs, taskProf{part: ts.part, tp: ts.taskProfile(schema)})
 	}
-	return buildProfile(q, schema, snap, decs, profs, false), nil
+	prof := buildProfile(q, schema, snap, decs, profs, false)
+	prof.MorselRows = ex.morselRows()
+	prof.Morsels = int64(len(planMorsels(tasks, prof.MorselRows)))
+	return prof, nil
 }
 
 // partDecision records one partition's pruning verdict.
@@ -431,14 +428,14 @@ func buildProfile(q *Query, schema *rowstore.Schema, snap scn.SCN, decs []partDe
 	return prof
 }
 
-// scanTask is one unit of scan work: either a populated column-store unit or
-// a raw block range.
+// scanTask is one unit of planned scan coverage: either a populated
+// column-store unit or a raw block range. planTasks resolves it into a
+// taskState with its scan decision fixed.
 type scanTask struct {
 	seg  *rowstore.Segment
 	unit *imcs.Unit // nil for a row-store range task
 	from rowstore.BlockNo
 	to   rowstore.BlockNo
-	part int // index into the query's partition decisions
 }
 
 // planSegment builds tasks covering all blocks of a segment: column-store
@@ -481,25 +478,20 @@ func sortUnits(units []*imcs.Unit) {
 }
 
 // taskResult accumulates one worker's output: path counters plus the query's
-// operator, which folds every matching row regardless of serving path.
+// operator, which folds every matching row regardless of serving path. Unit
+// verdict counters live on the plan (taskState), not here — a unit is counted
+// once however many morsels it split into.
 type taskResult struct {
-	op            operator
-	ordered       bool
-	curPart       int // partition index of the task being scanned
-	fromIMCS      int64
-	fromRowStore  int64
-	fromInvalid   int64
-	fromTail      int64
-	unitsPruned   int64
-	unitsScanned  int64
-	unitsFallback int64
-	batches       int64
-	rowsEncoded   int64
-	rowsDecoded   int64
-
-	// profiling makes runTask record a TaskProfile per task into profs.
-	profiling bool
-	profs     []taskProf
+	op           operator
+	ordered      bool
+	curPart      int // partition index of the morsel being scanned
+	fromIMCS     int64
+	fromRowStore int64
+	fromInvalid  int64
+	fromTail     int64
+	batches      int64
+	rowsEncoded  int64
+	rowsDecoded  int64
 
 	numScratch []int64
 	auxScratch []int64
@@ -526,10 +518,10 @@ func (r *taskResult) counters() pathCounters {
 	}
 }
 
-func newTaskResult(q *Query, plan *queryPlan, schema *rowstore.Schema) *taskResult {
+func newTaskResult(q *Query, plan *queryPlan, schema *rowstore.Schema, ordered bool) *taskResult {
 	return &taskResult{
-		op:         newOperator(q, plan, schema),
-		ordered:    q.OrderByRowID,
+		op:         newOperator(q, plan, schema, ordered),
+		ordered:    ordered,
 		numScratch: make([]int64, batchSize),
 		auxScratch: make([]int64, batchSize),
 		match:      make([]uint64, batchSize/64),
@@ -542,13 +534,9 @@ func (r *taskResult) merge(o *taskResult) {
 	r.fromRowStore += o.fromRowStore
 	r.fromInvalid += o.fromInvalid
 	r.fromTail += o.fromTail
-	r.unitsPruned += o.unitsPruned
-	r.unitsScanned += o.unitsScanned
-	r.unitsFallback += o.unitsFallback
 	r.batches += o.batches
 	r.rowsEncoded += o.rowsEncoded
 	r.rowsDecoded += o.rowsDecoded
-	r.profs = append(r.profs, o.profs...)
 }
 
 func (r *taskResult) finish() *Result {
@@ -556,8 +544,7 @@ func (r *taskResult) finish() *Result {
 		Min: math.MaxInt64, Max: math.MinInt64,
 		FromIMCS: r.fromIMCS, FromRowStore: r.fromRowStore,
 		FromInvalid: r.fromInvalid, FromTail: r.fromTail,
-		UnitsPruned: r.unitsPruned, UnitsScanned: r.unitsScanned,
-		UnitsFallback: r.unitsFallback, Batches: r.batches,
+		Batches:     r.batches,
 		RowsEncoded: r.rowsEncoded, RowsDecoded: r.rowsDecoded,
 	}
 	r.op.finish(res)
@@ -590,66 +577,6 @@ func projectRow(q *Query, schema *rowstore.Schema, row rowstore.Row) rowstore.Ro
 		}
 	}
 	return out
-}
-
-func (ex *Executor) runTask(q *Query, schema *rowstore.Schema, t scanTask, snap scn.SCN, res *taskResult) {
-	res.curPart = t.part
-	if !res.profiling {
-		ex.runTaskInner(q, schema, t, snap, res, nil)
-		return
-	}
-	tp := TaskProfile{From: t.from, To: t.to}
-	before := res.counters()
-	start := time.Now()
-	ex.runTaskInner(q, schema, t, snap, res, &tp)
-	tp.WallNanos = time.Since(start).Nanoseconds()
-	after := res.counters()
-	tp.RowsIMCS = after.imcs - before.imcs
-	tp.RowsInvalid = after.invalid - before.invalid
-	tp.RowsTail = after.tail - before.tail
-	tp.RowsRowStore = (after.rowstore - before.rowstore) - tp.RowsInvalid - tp.RowsTail
-	tp.Batches = after.batches - before.batches
-	tp.RowsEncoded = after.encoded - before.encoded
-	tp.RowsDecoded = after.decoded - before.decoded
-	res.profs = append(res.profs, taskProf{part: t.part, tp: tp})
-}
-
-func (ex *Executor) runTaskInner(q *Query, schema *rowstore.Schema, t scanTask, snap scn.SCN, res *taskResult, tp *TaskProfile) {
-	if t.unit == nil {
-		if tp != nil {
-			tp.Kind = "rowstore"
-			tp.Decision = DecisionRowStore
-		}
-		ex.scanBlocks(q, schema, t.seg, t.from, t.to, snap, res)
-		return
-	}
-	if tp != nil {
-		tp.Kind = "imcu"
-	}
-	imcu, invalid, usable := t.unit.ScanView()
-	// An IMCU can only serve snapshots at or after its population snapshot,
-	// and only while the live schema matches the one it was built with.
-	if !usable || imcu.SnapSCN > snap || imcu.Schema() != schema {
-		if tp != nil {
-			switch {
-			case !usable:
-				tp.Decision = DecisionFallbackUnusable
-			case imcu.SnapSCN > snap:
-				tp.Decision = DecisionFallbackSnapshot
-			default:
-				tp.Decision = DecisionFallbackSchema
-			}
-		}
-		res.unitsFallback++
-		ex.scanBlocks(q, schema, t.seg, t.from, t.to, snap, res)
-		return
-	}
-	if tp != nil {
-		tp.Rows = imcu.Rows()
-	}
-	ex.scanIMCU(q, schema, imcu, invalid, res, tp)
-	ex.scanInvalidRows(q, schema, t.seg, imcu, invalid, snap, res)
-	ex.scanTails(q, schema, t.seg, imcu, snap, res)
 }
 
 // scanBlocks is the row-store path: a CR scan of blocks [from, to).
@@ -735,71 +662,6 @@ func pruneIMCU(schema *rowstore.Schema, imcu *imcs.IMCU, filters []Filter) *prun
 		}
 	}
 	return nil
-}
-
-// scanIMCU is the columnar path: storage-index pruning then batched
-// evaluation over the compressed columns, honoring the presence bitmap and
-// the SMU's invalidity bitmap.
-func (ex *Executor) scanIMCU(q *Query, schema *rowstore.Schema, imcu *imcs.IMCU, invalid []uint64, res *taskResult, tp *TaskProfile) {
-	rows := imcu.Rows()
-	if rows == 0 {
-		if tp != nil {
-			tp.Decision = DecisionEmpty
-		}
-		return
-	}
-	if pr := pruneIMCU(schema, imcu, q.Filters); pr != nil {
-		res.unitsPruned++
-		if tp != nil {
-			pr.fill(tp, schema)
-		}
-		return
-	}
-	res.unitsScanned++
-	if tp != nil {
-		tp.Decision = DecisionScan
-	}
-
-	present := imcu.PresentWords()
-	match := res.match
-	res.op.beginUnit(imcu)
-	for base := 0; base < rows; base += batchSize {
-		n := rows - base
-		if n > batchSize {
-			n = batchSize
-		}
-		words := (n + 63) / 64
-		w0 := base / 64
-		live := uint64(0)
-		for w := 0; w < words; w++ {
-			m := present[w0+w] &^ invalid[w0+w]
-			if w == words-1 && n%64 != 0 {
-				m &= (1 << (n % 64)) - 1
-			}
-			match[w] = m
-			live |= m
-		}
-		if live == 0 {
-			continue
-		}
-		res.batches++
-		for _, f := range q.Filters {
-			if !ex.evalFilterBatch(schema, imcu, f, base, n, match, res) {
-				live = 0
-				break
-			}
-		}
-		if live == 0 {
-			continue
-		}
-		matched := imcs.PopcountRange(match, 0, n)
-		if matched == 0 {
-			continue
-		}
-		res.fromIMCS += matched
-		res.op.foldBatch(res, imcu, base, n, match)
-	}
-	res.op.endUnit()
 }
 
 // evalFilterBatch narrows match to rows of [base, base+n) satisfying f.
@@ -906,34 +768,6 @@ func andCmpBitmap(match []uint64, vals []int64, op CmpOp, v int64) {
 			}
 		}
 		match[w] &= m
-	}
-}
-
-// scanInvalidRows reconciles with the SMU: rows marked invalid are read from
-// the row store at the scan snapshot (§II.B: "invalid or stale data is not
-// delivered from the IMCS, but delivered from the database buffer cache").
-func (ex *Executor) scanInvalidRows(q *Query, schema *rowstore.Schema, seg *rowstore.Segment, imcu *imcs.IMCU, invalid []uint64, snap scn.SCN, res *taskResult) {
-	for w, word := range invalid {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			i := w*64 + b
-			word &= word - 1
-			if i >= imcu.Rows() {
-				break
-			}
-			blk, slot := imcu.AddrOfRow(i)
-			block := seg.Block(blk)
-			if block == nil {
-				continue
-			}
-			row, ok := block.ReadRow(slot, snap, ex.view, scn.InvalidTxn)
-			if !ok || !rowMatches(schema, row, q.Filters) {
-				continue
-			}
-			res.fromRowStore++
-			res.fromInvalid++
-			res.acceptRow(row, blk, slot)
-		}
 	}
 }
 

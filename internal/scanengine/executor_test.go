@@ -10,6 +10,7 @@ import (
 	"dbimadg/internal/primary"
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scanengine/scantest"
 	"dbimadg/internal/scn"
 )
 
@@ -423,28 +424,12 @@ func TestPartitionPruning(t *testing.T) {
 
 func TestParallelScanMatchesSerial(t *testing.T) {
 	f := newFixture(t, 2000, true)
-	snap := f.c.Snapshot()
-	serial, err := f.exec().Run(&scanengine.Query{
-		Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")}, OrderByRowID: true,
-	}, snap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	parallel, err := f.exec().Run(&scanengine.Query{
-		Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")}, OrderByRowID: true, Parallel: 4,
-	}, snap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, b := ids(serial, f.tbl.Schema()), ids(parallel, f.tbl.Schema())
-	if len(a) != len(b) {
-		t.Fatalf("serial=%d parallel=%d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("parallel result differs from serial")
-		}
-	}
+	scantest.Diff(t, scantest.Options{NewExec: f.exec, Snap: f.c.Snapshot()},
+		scantest.Case{Name: "blue-ordered", Query: func() *scanengine.Query {
+			return &scanengine.Query{
+				Table: f.tbl, Filters: []scanengine.Filter{scanengine.EqStr(2, "blue")}, OrderByRowID: true,
+			}
+		}})
 }
 
 // TestHybridScanEquivalenceRandomized is the core §II.B invariant: after any

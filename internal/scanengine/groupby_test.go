@@ -8,6 +8,7 @@ import (
 
 	"dbimadg/internal/rowstore"
 	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scanengine/scantest"
 )
 
 // groupKey canonicalizes a GroupedResult for comparison. Groups arrive in
@@ -216,8 +217,11 @@ func TestGroupByHybridMatchesRowStore(t *testing.T) {
 
 func TestGroupByParallelDeterministic(t *testing.T) {
 	f := newFixture(t, 3000, true)
-	snap := f.c.Snapshot()
-	mk := func(par int) *scanengine.Query {
+	scantest.Diff(t, scantest.Options{
+		NewExec:  f.exec,
+		Snap:     f.c.Snapshot(),
+		Parallel: []int{1, 2, 4, 8},
+	}, scantest.Case{Name: "groupby-two-keys", Query: func() *scanengine.Query {
 		return &scanengine.Query{
 			Table: f.tbl,
 			Aggs: []scanengine.AggSpec{
@@ -226,23 +230,9 @@ func TestGroupByParallelDeterministic(t *testing.T) {
 				{Kind: scanengine.AggMin, Col: 0},
 				{Kind: scanengine.AggMax, Col: 0},
 			},
-			GroupBy:  []int{2, 1},
-			Parallel: par,
+			GroupBy: []int{2, 1},
 		}
-	}
-	serial, err := f.exec().Run(mk(1), snap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, par := range []int{2, 4, 8} {
-		parallel, err := f.exec().Run(mk(par), snap)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if a, b := groupKey(serial.Grouped), groupKey(parallel.Grouped); a != b {
-			t.Fatalf("parallel=%d grouped result differs from serial", par)
-		}
-	}
+	}})
 }
 
 func TestMultiAggregateSinglePass(t *testing.T) {

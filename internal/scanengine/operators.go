@@ -131,15 +131,18 @@ type operator interface {
 	finish(res *Result)
 }
 
-// newOperator picks the operator for a validated query plan.
-func newOperator(q *Query, plan *queryPlan, schema *rowstore.Schema) operator {
+// newOperator picks the operator for a validated query plan. ordered makes
+// the rows operator keep RowID sort keys: set for OrderByRowID queries and
+// for every parallel materializing scan (morsel completion order is not
+// deterministic, the sorted merge is).
+func newOperator(q *Query, plan *queryPlan, schema *rowstore.Schema, ordered bool) operator {
 	switch {
 	case len(plan.groupBy) > 0:
 		return newGroupOp(plan, schema)
 	case len(plan.aggs) > 0:
 		return newAggOp(plan, schema)
 	default:
-		return newRowsOp(q, schema)
+		return newRowsOp(q, schema, ordered)
 	}
 }
 
@@ -177,8 +180,8 @@ type rowsOp struct {
 	idx  []int32
 }
 
-func newRowsOp(q *Query, schema *rowstore.Schema) *rowsOp {
-	o := &rowsOp{q: q, schema: schema, ordered: q.OrderByRowID}
+func newRowsOp(q *Query, schema *rowstore.Schema, ordered bool) *rowsOp {
+	o := &rowsOp{q: q, schema: schema, ordered: ordered}
 	if q.Project == nil {
 		for s := 0; s < schema.NumberSlots(); s++ {
 			o.numSlots = append(o.numSlots, s)

@@ -81,8 +81,22 @@ type TaskProfile struct {
 	// IMCS-served rows into encoded-space (run-level) and decoded folds.
 	RowsEncoded int64 `json:"rows_encoded,omitempty"`
 	RowsDecoded int64 `json:"rows_decoded,omitempty"`
-	// WallNanos is the task's wall time (ANALYZE only).
+	// WallNanos is the task's busy time (ANALYZE only): the summed wall time
+	// of its morsels, which may run concurrently on several workers.
 	WallNanos int64 `json:"wall_ns,omitempty"`
+	// Morsels is the number of scheduling granules the task split into
+	// (ANALYZE only).
+	Morsels int64 `json:"morsels,omitempty"`
+}
+
+// WorkerProfile records one scan worker's share of a query (ANALYZE only):
+// morsels executed, morsels it stole from other workers' deques, and its
+// busy time.
+type WorkerProfile struct {
+	Worker    int   `json:"worker"`
+	Morsels   int64 `json:"morsels"`
+	Steals    int64 `json:"steals,omitempty"`
+	BusyNanos int64 `json:"busy_ns,omitempty"`
 }
 
 // PartitionProfile records one partition's pruning decision and, when kept,
@@ -117,8 +131,18 @@ type Profile struct {
 	// Analyze is true when the query executed (EXPLAIN ANALYZE); false for a
 	// plan-only EXPLAIN.
 	Analyze bool `json:"analyze"`
-	// Parallel is the query's scan parallelism.
+	// Parallel is the scan's worker count: the effective (default-resolved,
+	// morsel-clamped) parallelism for an executed query, the query's
+	// requested parallelism for a plan-only EXPLAIN.
 	Parallel int `json:"parallel"`
+	// MorselRows is the scheduling granule the scan split into, Morsels the
+	// resulting morsel count (planned for EXPLAIN, executed for ANALYZE), and
+	// Steals how many morsels ran off their affinity-placed worker.
+	MorselRows int   `json:"morsel_rows,omitempty"`
+	Morsels    int64 `json:"morsels,omitempty"`
+	Steals     int64 `json:"steals,omitempty"`
+	// Workers holds the per-worker scheduling actuals (ANALYZE only).
+	Workers []WorkerProfile `json:"workers,omitempty"`
 	// WallNanos is the whole query's wall time (ANALYZE only).
 	WallNanos int64 `json:"wall_ns,omitempty"`
 	// ResultRows is the result cardinality: matching rows for plain scans,
@@ -184,10 +208,19 @@ func (p *Profile) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "scan %s snap=%d parallel=%d", p.Table, p.SnapSCN, max(p.Parallel, 1))
+	if p.Morsels > 0 {
+		fmt.Fprintf(&b, " morsels=%d(x%d rows)", p.Morsels, p.MorselRows)
+	}
 	if p.Analyze {
 		fmt.Fprintf(&b, " wall=%v rows=%d", p.Wall().Round(time.Microsecond), p.ResultRows)
 	}
 	b.WriteByte('\n')
+	if p.Analyze && len(p.Workers) > 1 {
+		for _, w := range p.Workers {
+			fmt.Fprintf(&b, "  worker %d: morsels=%d steals=%d busy=%v\n",
+				w.Worker, w.Morsels, w.Steals, time.Duration(w.BusyNanos).Round(time.Microsecond))
+		}
+	}
 	for _, part := range p.Partitions {
 		name := part.Name
 		if name == "" {
@@ -228,6 +261,9 @@ func (p *Profile) String() string {
 	fmt.Fprintf(&b, "totals: rows=%d imcs=%d invalid=%d tail=%d rowstore=%d | units scan=%d pruned=%d fallback=%d batches=%d",
 		p.ResultRows, p.RowsIMCS, p.RowsInvalid, p.RowsTail, p.RowsRowStore,
 		p.UnitsScanned, p.UnitsPruned, p.UnitsFallback, p.Batches)
+	if p.Analyze && p.Steals > 0 {
+		fmt.Fprintf(&b, " steals=%d", p.Steals)
+	}
 	if p.RowsEncoded+p.RowsDecoded > 0 {
 		fmt.Fprintf(&b, " | agg encoded=%d decoded=%d", p.RowsEncoded, p.RowsDecoded)
 	}

@@ -1,0 +1,135 @@
+// Package scantest is a reusable differential harness for the scan executor.
+// The morsel scheduler's contract is that parallelism and granule size are
+// pure performance knobs: any query shape must produce byte-identical results
+// whether it runs serially or work-stolen across N workers at any morsel
+// size. Diff enforces exactly that — each case's canonicalized result at
+// every (morsel granule × parallelism) point must equal the serial baseline.
+//
+// Tests across the repo (executor differential suite, morsel boundary sweep,
+// chaos oracle self-checks) share this canonicalization instead of growing
+// ad-hoc result comparisons.
+package scantest
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dbimadg/internal/rowstore"
+	"dbimadg/internal/scanengine"
+	"dbimadg/internal/scn"
+)
+
+// Case is one named query shape under differential test. Query must return a
+// fresh value each call: the harness mutates Parallel on it.
+type Case struct {
+	Name  string
+	Query func() *scanengine.Query
+}
+
+// Options configures a Diff sweep.
+type Options struct {
+	// NewExec builds a fresh executor bound to the store/view under test.
+	NewExec func() *scanengine.Executor
+	// Snap is the snapshot every run executes at.
+	Snap scn.SCN
+	// Parallel lists the worker counts to sweep
+	// (default 1, 2, 8, GOMAXPROCS).
+	Parallel []int
+	// MorselRows lists the granules to sweep; 0 means the executor's
+	// configured default (default just {0}).
+	MorselRows []int
+}
+
+// Canonical renders a scan result into a byte-comparable string: materialized
+// rows (all schema columns, in result order), scalar aggregates, and grouped
+// output. Two results are equivalent iff their canonical strings are equal.
+func Canonical(res *scanengine.Result, s *rowstore.Schema) string {
+	var b strings.Builder
+	if len(res.Rows) > 0 {
+		b.WriteString("rows:")
+		for _, r := range res.Rows {
+			for c := 0; c < s.NumCols(); c++ {
+				if s.Col(c).Kind == rowstore.KindVarchar {
+					b.WriteString(r.Str(s, c))
+				} else {
+					fmt.Fprintf(&b, "%d", r.Num(s, c))
+				}
+				b.WriteByte(',')
+			}
+			b.WriteByte(';')
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "count=%d sum=%d min=%d max=%d aggs=%v nrows=%d\n",
+		res.Count, res.Sum, res.Min, res.Max, res.AggVals, len(res.Rows))
+	if res.Grouped != nil {
+		fmt.Fprintf(&b, "groups(%v|%v):", res.Grouped.KeyCols, res.Grouped.AggCols)
+		for _, g := range res.Grouped.Groups {
+			for _, k := range g.Keys {
+				b.WriteString(k.String())
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "=%d:%v;", g.Count, g.Vals)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diff runs every case serially, then across the full morsel-granule ×
+// parallelism sweep, and fails the test on the first divergence from the
+// serial baseline. It returns the number of (case, granule, parallel) points
+// checked.
+func Diff(t testing.TB, opts Options, cases ...Case) int {
+	t.Helper()
+	if opts.NewExec == nil {
+		t.Fatal("scantest: Options.NewExec is required")
+	}
+	par := opts.Parallel
+	if len(par) == 0 {
+		par = []int{1, 2, 8, runtime.GOMAXPROCS(0)}
+	}
+	granules := opts.MorselRows
+	if len(granules) == 0 {
+		granules = []int{0}
+	}
+	checked := 0
+	for _, c := range cases {
+		schema := c.Query().Table.Schema()
+		base, baseRes := "", (*scanengine.Result)(nil)
+		for gi, g := range granules {
+			for _, p := range par {
+				ex := opts.NewExec()
+				ex.MorselRows = g
+				q := c.Query()
+				q.Parallel = p
+				res, err := ex.Run(q, opts.Snap)
+				if err != nil {
+					t.Fatalf("scantest %s (morsel=%d parallel=%d): %v", c.Name, g, p, err)
+				}
+				got := Canonical(res, schema)
+				if gi == 0 && p == par[0] {
+					// The sweep's first point (serial at the first granule)
+					// is the baseline every other point must match.
+					base, baseRes = got, res
+					checked++
+					continue
+				}
+				if got != base {
+					t.Fatalf("scantest %s diverges at morsel=%d parallel=%d:\nbaseline (morsel=%d parallel=%d):\n%s\ngot:\n%s",
+						c.Name, g, p, granules[0], par[0], base, got)
+				}
+				// Parallelism must not change which rows matched, only who
+				// scanned them: the path split may shift, the total may not.
+				if tot, bt := res.FromIMCS+res.FromRowStore, baseRes.FromIMCS+baseRes.FromRowStore; tot != bt {
+					t.Fatalf("scantest %s: matching-row total changed at morsel=%d parallel=%d: %d vs baseline %d",
+						c.Name, g, p, tot, bt)
+				}
+				checked++
+			}
+		}
+	}
+	return checked
+}

@@ -7,6 +7,7 @@
 package standby
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,13 @@ type Config struct {
 	// metrics.Series (see LagSeries) at this period — the data behind the
 	// paper's Fig.-11-style lag-over-time plots.
 	LagSampleInterval time.Duration
+
+	// ScanMorselRows is the scan executor's work-stealing granule in rows
+	// (default scanengine.DefaultMorselRows).
+	ScanMorselRows int
+	// ScanParallel is the default worker count for scans that leave
+	// Query.Parallel unset (default GOMAXPROCS; negative forces serial).
+	ScanParallel int
 
 	// SlowQueryThreshold is the wall time at or above which a profiled query
 	// is also recorded in the slow-query log (default 100ms; negative
@@ -134,6 +142,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HomeInstances <= 0 {
 		c.HomeInstances = 1
+	}
+	if c.ScanMorselRows <= 0 {
+		c.ScanMorselRows = scanengine.DefaultMorselRows
+	}
+	if c.ScanParallel == 0 {
+		c.ScanParallel = runtime.GOMAXPROCS(0)
+	} else if c.ScanParallel < 0 {
+		c.ScanParallel = 1
 	}
 	if c.SlowQueryThreshold == 0 {
 		c.SlowQueryThreshold = 100 * time.Millisecond
@@ -218,15 +234,16 @@ type Instance struct {
 	applyBeat obs.Progress // apply-stage heartbeat, ticked per CV on the hot path
 	// shipUpstream, when set, reports the primary's redo frontier; the ship
 	// stage's backlog is upstream minus the receiver's delivery frontier.
-	shipUpstream atomic.Pointer[func() scn.SCN]
-	scanStats    *scanengine.PathStats
-	queryLog     *obs.QueryLog
-	scanHist     map[string]*obs.Histogram // per scan path, keyed by Profile.Path()
-	lagSeries    map[string]*metrics.Series
-	sampler      *obs.Sampler
-	obsSrv       *obs.Server
-	obsHandler   *obs.Handler
-	debugStats   map[string]func() any // extra /debug/stats blocks, survive Restart
+	shipUpstream   atomic.Pointer[func() scn.SCN]
+	scanStats      *scanengine.PathStats
+	queryLog       *obs.QueryLog
+	scanHist       map[string]*obs.Histogram // per scan path, keyed by Profile.Path()
+	workerBusyHist *obs.Histogram            // per-worker busy time within parallel scans
+	lagSeries      map[string]*metrics.Series
+	sampler        *obs.Sampler
+	obsSrv         *obs.Server
+	obsHandler     *obs.Handler
+	debugStats     map[string]func() any // extra /debug/stats blocks, survive Restart
 }
 
 // New builds a standby instance with an empty replica database. The catalog
@@ -548,6 +565,10 @@ func (inst *Instance) registerMetrics() {
 		func() float64 { return float64(inst.scanStats.RowsDecoded()) })
 	r.CounterFunc("scan_groups_total", "groups emitted by GROUP BY queries",
 		func() float64 { return float64(inst.scanStats.Groups()) })
+	r.CounterFunc("scan_morsels_total", "scan scheduling granules executed",
+		func() float64 { return float64(inst.scanStats.Morsels()) })
+	r.CounterFunc("scan_steals_total", "morsels stolen off their affinity-placed worker",
+		func() float64 { return float64(inst.scanStats.Steals()) })
 	r.CounterFunc("scan_queries_recorded_total", "profiled queries recorded in the query log",
 		func() float64 { t, _ := inst.queryLog.Totals(); return float64(t) })
 	r.CounterFunc("scan_slow_queries_total", "recorded queries at or above the slow-query threshold",
@@ -562,6 +583,16 @@ func (inst *Instance) registerMetrics() {
 		scanengine.PathMixed: r.Histogram("scan_latency_mixed_seconds",
 			"wall time of queries served from both stores", buckets),
 	}
+	inst.workerBusyHist = r.Histogram("scan_worker_busy_seconds",
+		"per-worker busy time within one parallel scan", buckets)
+}
+
+// ScanTuning returns the instance's configured scan executor knobs: the
+// morsel granule in rows and the default worker count for queries that leave
+// Query.Parallel unset. Session builders apply them to every executor bound
+// to this instance.
+func (inst *Instance) ScanTuning() (morselRows, parallel int) {
+	return inst.cfg.ScanMorselRows, inst.cfg.ScanParallel
 }
 
 // RecordQuery feeds one finished query's profile into the instance's query
@@ -577,6 +608,9 @@ func (inst *Instance) RecordQuery(p *scanengine.Profile) {
 	path := p.Path()
 	if h := inst.scanHist[path]; h != nil {
 		h.ObserveDuration(p.Wall())
+	}
+	for _, w := range p.Workers {
+		inst.workerBusyHist.ObserveDuration(time.Duration(w.BusyNanos))
 	}
 	inst.queryLog.Record(obs.QueryRecord{
 		SQL:       p.SQL,

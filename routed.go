@@ -108,7 +108,7 @@ func (s *RoutedSession) Query(q *Query) (*Result, error) {
 	// placement was checked against.
 	snap := p.Reader.QuerySCN()
 	s.lastSnap.Store(uint64(snap))
-	ex := scanengine.NewExecutor(master.Txns(), p.Reader.Store())
+	ex := s.c.tuneExec(scanengine.NewExecutor(master.Txns(), p.Reader.Store()), master)
 	ex.Obs = master.ScanStats()
 	return ex.Run(q, snap)
 }

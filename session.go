@@ -2,13 +2,37 @@ package dbimadg
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/scanengine"
 	"dbimadg/internal/scn"
 	"dbimadg/internal/sqlmini"
+	"dbimadg/internal/standby"
 )
+
+// tuneExec applies the deployment's scan-executor knobs (morsel granule and
+// default parallelism) to a freshly built executor. Executors bound to a
+// standby instance inherit that instance's resolved tuning; primary-side
+// executors resolve the root Config directly (GOMAXPROCS default, negative
+// ScanParallel forces serial).
+func (c *Cluster) tuneExec(ex *scanengine.Executor, inst *standby.Instance) *scanengine.Executor {
+	if inst != nil {
+		ex.MorselRows, ex.DefaultParallel = inst.ScanTuning()
+		return ex
+	}
+	ex.MorselRows = c.cfg.ScanMorselRows
+	switch {
+	case c.cfg.ScanParallel > 0:
+		ex.DefaultParallel = c.cfg.ScanParallel
+	case c.cfg.ScanParallel < 0:
+		ex.DefaultParallel = 1
+	default:
+		ex.DefaultParallel = runtime.GOMAXPROCS(0)
+	}
+	return ex
+}
 
 // Session executes transactions and queries against one side of the
 // deployment. Primary sessions are read-write; standby sessions are
@@ -34,7 +58,7 @@ func (c *Cluster) PrimarySession(i int) *Session {
 	pri, promoted := c.pri, c.promoted
 	c.mu.Unlock()
 	if promoted != nil {
-		ex := scanengine.NewExecutor(pri.Txns(), promoted.Store())
+		ex := c.tuneExec(scanengine.NewExecutor(pri.Txns(), promoted.Store()), promoted)
 		ex.Obs = promoted.ScanStats()
 		return &Session{
 			c: c, primary: true, instance: i,
@@ -45,7 +69,7 @@ func (c *Cluster) PrimarySession(i int) *Session {
 	}
 	return &Session{
 		c: c, primary: true, instance: i,
-		exec: scanengine.NewExecutor(pri.Txns(), c.priStore),
+		exec: c.tuneExec(scanengine.NewExecutor(pri.Txns(), c.priStore), nil),
 		snap: pri.Snapshot,
 	}
 }
@@ -60,7 +84,7 @@ func (c *Cluster) StandbySession() *Session {
 	sc, pri, promoted := c.sc, c.pri, c.promoted
 	c.mu.Unlock()
 	if promoted != nil && sc.Master == promoted {
-		ex := scanengine.NewExecutor(promoted.Txns(), sc.Stores()...)
+		ex := c.tuneExec(scanengine.NewExecutor(promoted.Txns(), sc.Stores()...), promoted)
 		ex.Obs = promoted.ScanStats()
 		return &Session{
 			c:      c,
@@ -69,7 +93,7 @@ func (c *Cluster) StandbySession() *Session {
 			record: promoted.RecordQuery,
 		}
 	}
-	ex := scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...)
+	ex := c.tuneExec(scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...), sc.Master)
 	ex.Obs = sc.Master.ScanStats()
 	return &Session{
 		c:      c,
@@ -91,7 +115,7 @@ func (c *Cluster) StandbyReaderSession(i int) (*Session, error) {
 		return nil, fmt.Errorf("dbimadg: standby reader %d: %w", i, ErrNoReader)
 	}
 	r := readers[i]
-	ex := scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...)
+	ex := c.tuneExec(scanengine.NewExecutor(sc.Master.Txns(), sc.Stores()...), sc.Master)
 	ex.Obs = sc.Master.ScanStats()
 	return &Session{
 		c:      c,
