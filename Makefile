@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt staticcheck test race chaos leakcheck verify bench bench-json
+.PHONY: all build vet fmt staticcheck test race chaos leakcheck verify bench bench-json checkpoint-bench
 
 # Seed count for the chaos harness; override as `make chaos CHAOS_SEEDS=100`.
 CHAOS_SEEDS ?= 10
@@ -43,7 +43,7 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/standby/... ./internal/core/... \
 		./internal/imcs/... ./internal/scanengine/... ./internal/sqlmini/... \
 		./internal/service/... ./internal/fleet/... ./internal/router/... \
-		./internal/broker/... ./internal/transport/... .
+		./internal/broker/... ./internal/transport/... ./internal/checkpoint/... .
 
 # Deterministic chaos harness: seeded fault injection against the full
 # primary→transport→standby pipeline with a cross-node equivalence oracle
@@ -51,6 +51,9 @@ race:
 # covers the liveness watchdog: scripted permanent-outage stall detection and
 # idle false-positive suppression. The high-pressure regression set always
 # includes seed 4000 (the receiver livelock fixed in the transport layer).
+# TestChaosCheckpoints* adds the snapshot hazards: crashes racing in-flight
+# checkpoints, corrupted snapshot files, and a forced snapshot-restore +
+# redo-catch-up restart before the final equivalence check on every seed.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestWatchdog' -timeout 20m ./internal/chaos/ \
 		-chaos.seeds $(CHAOS_SEEDS) -chaos.seedbase $(CHAOS_SEEDBASE)
@@ -70,3 +73,10 @@ bench:
 # the -bench output into BENCH_<date>.json via cmd/benchjson.
 bench-json:
 	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+
+# Cold-restart benchmark only: checkpoint-restore + redo catch-up vs the full
+# row-store rebuild at 300k rows (BenchmarkCheckpointRestart), plus snapshot
+# size and the apply-interference ratio of one checkpoint racing paced DML.
+# The benchjson `checkpoint` block records the same numbers.
+checkpoint-bench:
+	$(GO) test -bench BenchmarkCheckpointRestart -benchtime 1x -run '^$$' .

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3] [-health] [-fleet]
+//	adgtop -addr 127.0.0.1:9187 [-interval 1s] [-n 0] [-queries 5] [-slow] [-freshness 3] [-health] [-fleet] [-checkpoint]
 //
 // Run cmd/adgdemo with -metrics 127.0.0.1:9187 -hold 2m in one terminal and
 // adgtop in another to watch the pipeline drain. With -queries N, each sample
@@ -22,6 +22,10 @@
 // /debug/stats "fleet" and "router" blocks: per-reader state, QuerySCN lag
 // against the fleet watermark, in-flight/queued/shed counts, and the router's
 // cumulative placement totals with per-interval rates.
+// With -checkpoint, each sample is followed by the IMCS checkpointer pane from
+// the /debug/stats "checkpoint" block: snapshot cadence, size and age, plus
+// the restore-vs-rebuild counters of the snapshot-then-redo-catch-up restart
+// path.
 package main
 
 import (
@@ -61,6 +65,7 @@ type fleetReaderStats struct {
 	Admitted int64  `json:"admitted"`
 	Shed     int64  `json:"shed"`
 	PopUnits int64  `json:"populated_units"`
+	Restored int64  `json:"restored_units"`
 }
 
 // fleetStats mirrors the /debug/stats "fleet" block (fleet.Stats).
@@ -82,10 +87,11 @@ type routerTotals struct {
 // snapshot is the subset of the /debug/stats document adgtop consumes. Fleet
 // and Router stay nil on nodes that run no reader fleet.
 type snapshot struct {
-	Standby standbyStats       `json:"standby"`
-	Gauges  map[string]float64 `json:"gauges"`
-	Fleet   *fleetStats        `json:"fleet"`
-	Router  *routerTotals      `json:"router"`
+	Standby    standbyStats       `json:"standby"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Fleet      *fleetStats        `json:"fleet"`
+	Router     *routerTotals      `json:"router"`
+	Checkpoint *checkpointStats   `json:"checkpoint"`
 }
 
 // queryEntry is the subset of a /debug/queries record adgtop renders.
@@ -276,9 +282,52 @@ func printFleet(cur, prev snapshot, dt float64) {
 	}
 	fmt.Println(line)
 	for _, r := range f.Readers {
-		fmt.Printf("  reader %-3d %-12s scn=%-10d lag=%-8d inflight=%-3d queued=%-3d admitted=%-10d shed=%-10d pop=%d\n",
-			r.ID, r.State, r.QuerySCN, r.LagSCN, r.InFlight, r.Queued, r.Admitted, r.Shed, r.PopUnits)
+		fmt.Printf("  reader %-3d %-12s scn=%-10d lag=%-8d inflight=%-3d queued=%-3d admitted=%-10d shed=%-10d pop=%-6d restored=%d\n",
+			r.ID, r.State, r.QuerySCN, r.LagSCN, r.InFlight, r.Queued, r.Admitted, r.Shed, r.PopUnits, r.Restored)
 	}
+}
+
+// checkpointStats mirrors the /debug/stats "checkpoint" block
+// (standby.CheckpointStats); the block is absent when snapshotting is off.
+type checkpointStats struct {
+	Cycles           int64
+	Written          int64
+	Failures         int64
+	LastSCN          uint64
+	LastUnits        int
+	LastBytes        int64
+	LastTook         int64 // nanoseconds (time.Duration)
+	LastUnix         int64
+	LastErr          string
+	TotalBytes       int64
+	Restores         int64
+	RestoreFallbacks int64
+	LastRestoreSCN   uint64
+	LastRestoreUnits int64
+	UnitsRestored    int64
+}
+
+// printCheckpoint renders the checkpointer pane: write cadence and health plus
+// the restore counters of the snapshot-then-redo-catch-up restart path.
+func printCheckpoint(cp *checkpointStats) {
+	if cp == nil {
+		fmt.Println("  checkpoint: snapshotting not configured on this node")
+		return
+	}
+	age := "-"
+	if cp.LastUnix > 0 {
+		age = time.Since(time.Unix(0, cp.LastUnix)).Round(time.Millisecond).String()
+	}
+	line := fmt.Sprintf("  checkpoint: %d written / %d failed, last scn=%d units=%d %.1fKB in %v (age %s), total %.1fMB",
+		cp.Written, cp.Failures, cp.LastSCN, cp.LastUnits,
+		float64(cp.LastBytes)/1024, time.Duration(cp.LastTook).Round(time.Microsecond), age,
+		float64(cp.TotalBytes)/(1<<20))
+	if cp.LastErr != "" {
+		line += " ERR=" + cp.LastErr
+	}
+	fmt.Println(line)
+	fmt.Printf("  restore: %d from snapshot, %d full rebuilds; last restore scn=%d units=%d; %d restored units live\n",
+		cp.Restores, cp.RestoreFallbacks, cp.LastRestoreSCN, cp.LastRestoreUnits, cp.UnitsRestored)
 }
 
 const headerEvery = 20
@@ -319,6 +368,7 @@ func main() {
 		fresh    = flag.Int("freshness", 0, "show the commit-to-visible summary and N span waterfalls under each sample (0 = off)")
 		health   = flag.Bool("health", false, "show the watchdog verdict and per-stage liveness table under each sample")
 		fleetP   = flag.Bool("fleet", false, "show the reader-fleet table and router totals under each sample")
+		ckptP    = flag.Bool("checkpoint", false, "show the IMCS checkpointer and restore counters under each sample")
 	)
 	flag.Parse()
 
@@ -376,6 +426,9 @@ func main() {
 		}
 		if *fleetP {
 			printFleet(cur, prev, dt)
+		}
+		if *ckptP {
+			printCheckpoint(cur.Checkpoint)
 		}
 		prev, prevAt = cur, now
 	}

@@ -66,6 +66,11 @@ type Doc struct {
 	// scan scheduler's speedup over the serial baseline at each worker count,
 	// with per-query morsel and steal counts.
 	Morsel *MorselSummary `json:"morsel,omitempty"`
+	// Checkpoint summarizes BenchmarkCheckpointRestart when present: cold
+	// restart via snapshot-restore-plus-redo-catch-up vs the full row-store
+	// rebuild it replaces, the snapshot size, and the apply-interference ratio
+	// while a checkpoint is in flight (budget: within a few percent of 100).
+	Checkpoint *CheckpointSummary `json:"checkpoint,omitempty"`
 }
 
 // FailoverSummary is derived from BenchmarkFailover's reported metrics.
@@ -326,6 +331,44 @@ func morselSummary(benchmarks []Benchmark) *MorselSummary {
 	return s
 }
 
+// CheckpointSummary is derived from BenchmarkCheckpointRestart's metrics.
+type CheckpointSummary struct {
+	// RestoreMs is restart-to-serving restoring the newest snapshot and
+	// replaying only redo past its checkpoint SCN; ColdRebuildMs is the same
+	// restart forced onto the full row-store rebuild path (budget: >= 10x).
+	RestoreMs     float64 `json:"restore_ms"`
+	ColdRebuildMs float64 `json:"cold_rebuild_ms"`
+	Speedup       float64 `json:"speedup"`
+	// SnapshotBytes is the on-disk checkpoint file size.
+	SnapshotBytes float64 `json:"snapshot_bytes"`
+	// ApplyRatioPct is paced churn-and-sync wall time with one checkpoint in
+	// flight as a percentage of the undisturbed baseline.
+	ApplyRatioPct float64 `json:"apply_ratio_pct"`
+}
+
+// checkpointSummary extracts the summary from a parsed benchmark set; nil when
+// the run did not include BenchmarkCheckpointRestart (or it is incomplete).
+func checkpointSummary(benchmarks []Benchmark) *CheckpointSummary {
+	for _, b := range benchmarks {
+		if name, _, _ := strings.Cut(b.Name, "-"); name != "BenchmarkCheckpointRestart" {
+			continue
+		}
+		restore, okR := b.Metrics["restore-ms"]
+		cold, okC := b.Metrics["coldrebuild-ms"]
+		if !okR || !okC || restore <= 0 {
+			return nil
+		}
+		return &CheckpointSummary{
+			RestoreMs:     restore,
+			ColdRebuildMs: cold,
+			Speedup:       cold / restore,
+			SnapshotBytes: b.Metrics["snapshot-bytes"],
+			ApplyRatioPct: b.Metrics["apply-ckpt-ratio-pct"],
+		}
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -387,6 +430,7 @@ func parse(r io.Reader) (*Doc, error) {
 	doc.Watchdog = watchdogSummary(doc.Benchmarks)
 	doc.Fleet = fleetSummary(doc.Benchmarks)
 	doc.Morsel = morselSummary(doc.Benchmarks)
+	doc.Checkpoint = checkpointSummary(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dbimadg/internal/broker"
+	"dbimadg/internal/checkpoint"
 	"dbimadg/internal/fleet"
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/obs"
@@ -63,6 +64,18 @@ type Config struct {
 	ApplyWorkers int
 	// CheckpointInterval is the QuerySCN advancement period (default 2ms).
 	CheckpointInterval time.Duration
+	// SnapshotDir, when non-empty, enables IMCS checkpointing on the standby:
+	// a background checkpointer periodically persists the column store (every
+	// serving IMCU with its validity bitmap, plus a consistent checkpoint SCN)
+	// to versioned, CRC-guarded files in this directory. A standby restart
+	// then restores the newest valid snapshot and replays only redo past its
+	// SCN instead of rebuilding the column store from the row store.
+	SnapshotDir string
+	// SnapshotInterval is the background checkpoint period (default 1s when
+	// SnapshotDir is set).
+	SnapshotInterval time.Duration
+	// SnapshotRetain keeps the newest N checkpoint files (default 2).
+	SnapshotRetain int
 	// PopulationWorkers / PopulationInterval tune background population.
 	PopulationWorkers  int
 	PopulationInterval time.Duration
@@ -215,6 +228,9 @@ func Open(cfg Config) (*Cluster, error) {
 	sbyCfg := standby.Config{
 		ApplyWorkers:          cfg.ApplyWorkers,
 		CheckpointInterval:    cfg.CheckpointInterval,
+		SnapshotDir:           cfg.SnapshotDir,
+		SnapshotInterval:      cfg.SnapshotInterval,
+		SnapshotRetain:        cfg.SnapshotRetain,
 		CommitTableParts:      cfg.CommitTableParts,
 		DisableCoopFlush:      cfg.DisableCoopFlush,
 		RowsPerBlock:          cfg.RowsPerBlock,
@@ -546,6 +562,21 @@ func (c *Cluster) FlightRecorder() *obs.FlightRecorder {
 
 // PrimaryPopulation exposes the primary-side population engine.
 func (c *Cluster) PrimaryPopulation() *imcs.Engine { return c.priEng }
+
+// CheckpointMeta describes one on-disk IMCS checkpoint.
+type CheckpointMeta = checkpoint.Meta
+
+// CheckpointNow forces one synchronous IMCS checkpoint on the standby master
+// and returns its metadata. Errors when Config.SnapshotDir is unset.
+func (c *Cluster) CheckpointNow() (CheckpointMeta, error) {
+	return c.standbyCluster().Master.CheckpointNow()
+}
+
+// CheckpointStats returns the standby master's checkpointer counters:
+// written/failed cycles, last snapshot size and duration, restore counts.
+func (c *Cluster) CheckpointStats() standby.CheckpointStats {
+	return c.standbyCluster().Master.CheckpointStats()
+}
 
 // --- DDL --------------------------------------------------------------------
 

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"dbimadg/internal/broker"
+	"dbimadg/internal/checkpoint"
 	"dbimadg/internal/fleet"
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/obs"
@@ -99,6 +100,14 @@ type Options struct {
 	// three-way equivalence the master gets), and the run fails unless every
 	// reader provisioned mid-storm reaches Ready by the final quiesce.
 	FleetChurn bool
+	// Checkpoints enables IMCS snapshots (a per-run temp SnapshotDir with a
+	// fast background checkpointer) and deals checkpoint schedule steps:
+	// explicit checkpoints, crashes racing an in-flight checkpoint, and
+	// seeded corruption of the newest snapshot file (the next restart must
+	// detect it and fall back to the full rebuild). The run always ends with
+	// a forced checkpoint → churn → crash-restart sequence so every seed
+	// exercises the restore path before the final quiesce oracle.
+	Checkpoints bool
 }
 
 // Result summarizes a successful run.
@@ -135,6 +144,14 @@ type Result struct {
 	// check exercised.
 	ScanMorselRows int
 	ScanParallel   int
+	// Checkpoint accounting (Checkpoints runs only): snapshots written
+	// (background + explicit), restarts that restored from one, restarts
+	// that fell back to a full rebuild, and snapshot files the schedule
+	// deliberately corrupted.
+	Checkpoints         int64
+	CheckpointRestores  int64
+	CheckpointFallbacks int64
+	SnapshotsCorrupted  int
 }
 
 // rowsPerBlock / base workload shape: small blocks and IMCUs so a modest row
@@ -185,6 +202,10 @@ type Runner struct {
 	flt       *fleet.Manager
 	midAdded  map[int]bool
 	fleetSize int
+
+	// ckptDir is the run's snapshot directory (Options.Checkpoints only),
+	// removed at teardown.
+	ckptDir string
 
 	nextID  int64   // fresh-id allocator for inserts
 	liveIDs []int64 // committed inserted ids eligible for deletion
@@ -306,6 +327,18 @@ func (r *Runner) setup() error {
 		// backoff stretches (capped at 1s per reconnect) never false-positive.
 		WatchdogInterval:      50 * time.Millisecond,
 		WatchdogStallDeadline: 8 * time.Second,
+	}
+	if r.opts.Checkpoints {
+		dir, err := os.MkdirTemp("", "chaos-ckpt-")
+		if err != nil {
+			return err
+		}
+		r.ckptDir = dir
+		cfg.SnapshotDir = dir
+		// Fast enough that background checkpoints overlap writer bursts and
+		// crash-restarts; the schedule adds explicit and racing ones on top.
+		cfg.SnapshotInterval = 5 * time.Millisecond
+		cfg.SnapshotRetain = 3
 	}
 	r.sc = rac.NewStandbyCluster(cfg, 0)
 	r.sby = r.sc.Master
@@ -495,6 +528,10 @@ func (r *Runner) run() error {
 			}
 		case p < 0.80 && r.flt != nil:
 			r.fleetChurnStep()
+		case p < 0.90 && r.ckptDir != "":
+			if err := r.checkpointStep(); err != nil {
+				return err
+			}
 		default:
 			if err := r.quiescePoint(); err != nil {
 				return err
@@ -509,6 +546,27 @@ func (r *Runner) run() error {
 	// churn removed them all again), force one before the final quiesce.
 	if r.flt != nil && !r.midAddedPresent() {
 		r.reconcileFleet(r.fleetSize + 1)
+	}
+	// A checkpoint run must always exercise snapshot-then-redo-catch-up, not
+	// just write snapshots: force checkpoint → churn → crash-restart, then
+	// require that at least one restart across the run actually restored.
+	// (Scheduled corruption steps may have forced earlier restarts into the
+	// fallback; this final checkpoint is newest and valid, so this restart
+	// restores.) The final quiesce point below then runs the full three-way
+	// equivalence oracle over the restored-and-caught-up store.
+	if r.ckptDir != "" {
+		if _, err := r.sby.CheckpointNow(); err != nil {
+			return r.fail("forced checkpoint: %v", err)
+		}
+		if err := r.writerBurst(); err != nil {
+			return err
+		}
+		if err := r.crashRestart(); err != nil {
+			return err
+		}
+		if cs := r.sby.CheckpointStats(); cs.Restores == 0 {
+			return r.fail("no restart restored from a checkpoint (stats %+v)", cs)
+		}
 	}
 	// Always end on a full quiesce point: the run's final state is checked no
 	// matter how the schedule dealt the steps.
@@ -760,27 +818,88 @@ func (r *Runner) quiescePoint() error {
 
 // crashRestart kills and restarts the standby instance mid-pipeline: volatile
 // IM-ADG state (journal, commit table, IMCS) is lost; apply resumes from the
-// checkpoint. Over TCP the old receiver is torn down and a new one dials in
-// at checkpoint+1 (re-attaching to the archived logs).
+// resume point. Over TCP the old receiver is torn down and a new one dials in
+// at ResumePoint()+1 — with snapshots enabled that is the newest checkpoint's
+// SCN, so the redial keeps the archived-log window the restore needs.
 func (r *Runner) crashRestart() error {
 	r.res.Restarts++
+	// The incarnation ends here: with a checkpoint configured the restore
+	// rolls QuerySCN back to the snapshot's SCN, which the monitor must treat
+	// as a fresh baseline, not a monotonicity violation.
+	r.monitor.beginRestart()
+	defer r.monitor.endRestart()
 	if r.rcv == nil {
 		src := transport.NewInProc(r.priStreams()...)
 		r.curSource = src
-		r.sby.Restart(src)
+		if err := r.sby.Restart(src); err != nil {
+			return r.fail("restart: %v", err)
+		}
 		return nil
 	}
-	cp := r.sby.Stop()
+	r.sby.Stop()
 	_ = r.rcv.Close()
-	rcv, err := transport.ConnectOpts(r.srv.Addr(), r.threads, cp+1,
+	rcv, err := transport.ConnectOpts(r.srv.Addr(), r.threads, r.sby.ResumePoint()+1,
 		transport.Options{ReorderWindow: r.opts.ReorderWindow})
 	if err != nil {
 		return r.fail("restart redial: %v", err)
 	}
 	r.rcv = rcv
 	r.curSource = rcv
-	r.sby.Restart(rcv)
+	if err := r.sby.Restart(rcv); err != nil {
+		return r.fail("restart: %v", err)
+	}
 	return nil
+}
+
+// checkpointStep deals one checkpoint hazard (Options.Checkpoints): a plain
+// explicit checkpoint, a crash-restart racing an in-flight checkpoint (the
+// temp-file + atomic-rename protocol must leave either the previous or the
+// new snapshot valid — never a torn one), or seeded corruption of the newest
+// snapshot file (the next restore must reject it and either use an older
+// valid file or fall back to the full rebuild). Every variant is followed by
+// the regular quiesce oracles, so any wrong restored byte fails equivalence.
+func (r *Runner) checkpointStep() error {
+	switch r.rng.Intn(3) {
+	case 0:
+		if _, err := r.sby.CheckpointNow(); err != nil {
+			return r.fail("checkpoint: %v", err)
+		}
+	case 1:
+		done := make(chan struct{})
+		sby := r.sby
+		go func() {
+			defer close(done)
+			_, _ = sby.CheckpointNow() // racing the restart; failure is legitimate
+		}()
+		err := r.crashRestart()
+		<-done
+		if err != nil {
+			return err
+		}
+	case 2:
+		r.corruptNewestSnapshot()
+	}
+	return nil
+}
+
+// corruptNewestSnapshot flips one seeded byte in the newest snapshot file,
+// past the header so the file still lists (List filters header-invalid files
+// before they count as corrupt candidates) and the damage is caught by the
+// payload/trailer CRCs on the next restore attempt.
+func (r *Runner) corruptNewestSnapshot() {
+	m, ok := checkpoint.Newest(r.ckptDir)
+	if !ok {
+		return
+	}
+	raw, err := os.ReadFile(m.Path)
+	if err != nil || len(raw) < 64 {
+		return
+	}
+	off := 52 + r.rng.Intn(len(raw)-52)
+	raw[off] ^= byte(1 << r.rng.Intn(8))
+	if os.WriteFile(m.Path, raw, 0o644) == nil {
+		r.res.SnapshotsCorrupted++
+	}
 }
 
 // transition runs the optional end-of-run role transition under load: a last
@@ -845,6 +964,12 @@ func (r *Runner) collectCounters() {
 	}
 	if r.sby != nil {
 		r.res.Stalls = r.sby.Watchdog().Stalls()
+		if r.ckptDir != "" {
+			cs := r.sby.CheckpointStats()
+			r.res.Checkpoints = cs.Written
+			r.res.CheckpointRestores = cs.Restores
+			r.res.CheckpointFallbacks = cs.RestoreFallbacks
+		}
 	}
 	if r.rcv != nil {
 		r.res.Reconnects = r.rcv.Reconnects()
@@ -858,6 +983,9 @@ func (r *Runner) collectCounters() {
 // (engines, promoted clusters) are stopped by the oracle's post-promotion
 // path, so only the steady-state resources are handled here.
 func (r *Runner) teardown() {
+	if r.ckptDir != "" {
+		defer os.RemoveAll(r.ckptDir)
+	}
 	if r.monitor != nil {
 		r.monitor.stop()
 	}

@@ -160,6 +160,48 @@ func TestChaosFleetChurnTCPRestarts(t *testing.T) {
 		seed, res.FleetChecks, res.Restarts, res.Reconnects, res.FleetChurns)
 }
 
+// TestChaosCheckpoints storms the pipeline with IMCS snapshots on: a fast
+// background checkpointer plus scheduled explicit checkpoints, crashes racing
+// an in-flight checkpoint, and seeded snapshot corruption. Every seed ends
+// with a forced checkpoint → churn → crash-restart, so the final quiesce
+// point always runs the three-way equivalence oracle over a store that came
+// back via snapshot-restore + redo catch-up.
+func TestChaosCheckpoints(t *testing.T) {
+	for _, seed := range seeds() {
+		res := runSeed(t, Options{Seed: seed, Steps: 12, CrashRestarts: true, Checkpoints: true})
+		if res.CheckpointRestores == 0 {
+			t.Fatalf("seed %d: no restart restored from a checkpoint (%d written, %d fallbacks)",
+				seed, res.Checkpoints, res.CheckpointFallbacks)
+		}
+		t.Logf("seed %d: %d checks, %d restarts, %d checkpoints, %d restores, %d fallbacks, %d corrupted",
+			seed, res.Checks, res.Restarts, res.Checkpoints,
+			res.CheckpointRestores, res.CheckpointFallbacks, res.SnapshotsCorrupted)
+	}
+}
+
+// TestChaosCheckpointsTCP layers the snapshot hazards over the faulted TCP
+// transport: restart redials land at the checkpoint SCN + 1 (ResumePoint), so
+// the archived-log window the restore needs survives the reconnect storm.
+func TestChaosCheckpointsTCP(t *testing.T) {
+	for _, seed := range seeds() {
+		res := runSeed(t, Options{
+			Seed:          seed,
+			Steps:         10,
+			UseTCP:        true,
+			ReorderWindow: 4,
+			CrashRestarts: true,
+			Checkpoints:   true,
+		})
+		if res.CheckpointRestores == 0 {
+			t.Fatalf("seed %d: no restart restored from a checkpoint (%d written, %d fallbacks)",
+				seed, res.Checkpoints, res.CheckpointFallbacks)
+		}
+		t.Logf("seed %d: %d checks, %d restarts, %d reconnects, %d checkpoints, %d restores, %d fallbacks, %d corrupted",
+			seed, res.Checks, res.Restarts, res.Reconnects, res.Checkpoints,
+			res.CheckpointRestores, res.CheckpointFallbacks, res.SnapshotsCorrupted)
+	}
+}
+
 // TestChaosFailover runs the storm over TCP and then fails over under load:
 // the standby is promoted while redo is still in flight and its retained
 // store must agree with the row store, before and after new DML.

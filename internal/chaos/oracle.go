@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbimadg/internal/primary"
@@ -519,9 +520,25 @@ type monitor struct {
 	done  chan struct{}
 	once  sync.Once
 
+	// Restart bracketing: QuerySCN monotonicity is a per-incarnation
+	// guarantee (every session dies with the instance), and a checkpoint
+	// restore legitimately rolls the published QuerySCN back to the
+	// checkpoint SCN while redo catch-up reapplies the gap. crashRestart
+	// pauses sampling for the whole teardown-restore-restart window and the
+	// epoch bump on resume resets the baseline; a sample that straddles the
+	// window sees the epoch change and is discarded as unordered.
+	epoch  atomic.Int64
+	paused atomic.Bool
+
 	mu        sync.Mutex
 	violation error
 }
+
+// beginRestart suspends sampling for a planned crash-restart.
+func (m *monitor) beginRestart() { m.paused.Store(true) }
+
+// endRestart resumes sampling with a fresh monotonicity baseline.
+func (m *monitor) endRestart() { m.epoch.Add(1); m.paused.Store(false) }
 
 func startMonitor(r *Runner) *monitor {
 	m := &monitor{r: r, stopC: make(chan struct{}), done: make(chan struct{})}
@@ -532,13 +549,25 @@ func startMonitor(r *Runner) *monitor {
 func (m *monitor) loop() {
 	defer close(m.done)
 	var lastQ scn.SCN
+	var lastE int64
 	for {
 		select {
 		case <-m.stopC:
 			return
 		default:
 		}
+		if m.paused.Load() {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		e := m.epoch.Load()
 		q := m.r.sby.QuerySCN()
+		if m.epoch.Load() != e {
+			continue // a restart raced this sample; its value is unordered
+		}
+		if e != lastE {
+			lastQ, lastE = 0, e // new incarnation: fresh monotonicity baseline
+		}
 		if q < lastQ {
 			m.set(fmt.Errorf("QuerySCN moved backwards: %d -> %d", lastQ, q))
 			return

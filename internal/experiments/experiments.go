@@ -129,7 +129,9 @@ const (
 
 // openDeployment builds primary (nPri instances) + standby RAC (readers) and
 // the wide table; inmemService routes INMEMORY population ("" = no DBIM).
-func openDeployment(p Params, nPri, readers int, inmemService string) (*deployment, error) {
+// tune callbacks, if any, adjust the standby config before the cluster is
+// built (e.g. the checkpoint experiment pointing SnapshotDir at a temp dir).
+func openDeployment(p Params, nPri, readers int, inmemService string, tune ...func(*standby.Config)) (*deployment, error) {
 	d := &deployment{}
 	d.pri = primary.NewCluster(nPri, rowsPerBlock)
 	d.priStore = imcs.NewStore()
@@ -148,14 +150,18 @@ func openDeployment(p Params, nPri, readers int, inmemService string) (*deployme
 	d.pri.SetDBIMHook(priHook{d.priStore})
 	d.priEng.Start()
 
-	d.sc = rac.NewStandbyCluster(standby.Config{
+	sbyCfg := standby.Config{
 		ApplyWorkers:       p.ApplyWorkers,
 		CheckpointInterval: time.Millisecond,
 		RowsPerBlock:       rowsPerBlock,
 		BlocksPerIMCU:      blocksPerIMCU,
 		PopulationWorkers:  2,
 		PopulationInterval: 2 * time.Millisecond,
-	}, readers)
+	}
+	for _, fn := range tune {
+		fn(&sbyCfg)
+	}
+	d.sc = rac.NewStandbyCluster(sbyCfg, readers)
 	var streams []*redo.Stream
 	for _, inst := range d.pri.Instances() {
 		streams = append(streams, inst.Stream())

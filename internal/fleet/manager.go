@@ -99,6 +99,14 @@ func (m *Manager) registerObs(master *standby.Instance) {
 			}
 			return float64(n)
 		})
+	r.CounterFunc("fleet_units_restored_total", "IMCUs cloned from checkpoint images across all fleet readers",
+		func() float64 {
+			var n int64
+			for _, rd := range m.Readers() {
+				n += rd.store.UnitsRestored()
+			}
+			return float64(n)
+		})
 	r.CounterFunc("fleet_scans_shed_total", "scans shed (ErrOverloaded) across all fleet readers",
 		func() float64 {
 			n := m.retiredShed.Load()
@@ -207,6 +215,16 @@ func (m *Manager) reconcile() {
 // before their publication. This also covers the idle-master case — the
 // coordinator only publishes when the watermark moves, so a reader enlisted
 // on a quiet system would otherwise wait forever for its first publication.
+//
+// Inside the same window the reader clones the master's column store from
+// checkpoint unit images instead of repopulating from the row store: every
+// serving unit's bitmap is consistent at exactly the enlistment QuerySCN (no
+// flush is in flight under the shared lock), and the fanout feed delivers
+// everything past it — so there is no gap to replay. IMCUs are immutable and
+// shared by pointer; the clone costs one validity-bitmap copy per unit. Only
+// tail blocks and ranges the master itself has not populated go through the
+// reader's engine, which keeps UnitsPopulated an honest repopulation-pressure
+// signal (restored units count under the store's UnitsRestored instead).
 func (m *Manager) addReader() {
 	m.mu.Lock()
 	if m.closed {
@@ -241,6 +259,9 @@ func (m *Manager) addReader() {
 	master.WithQuiesceShared(func() {
 		q0 := master.QuerySCN()
 		r.readyTarget = q0
+		for _, img := range master.Store().CaptureImages() {
+			_ = r.store.RestoreUnit(img) // overlap/validation failures just repopulate
+		}
 		r.q.push(msg{publish: &publication{q: q0}})
 		m.mu.Lock()
 		m.readers = append(m.readers, r)
@@ -386,6 +407,10 @@ type ReaderStats struct {
 	Admitted int64  `json:"admitted"`
 	Shed     int64  `json:"shed"`
 	PopUnits int64  `json:"populated_units"`
+	// RestoredUnits counts units cloned from checkpoint images at provision
+	// time — kept apart from the engine's population counters so repopulation
+	// pressure reads true across fleet churn.
+	RestoredUnits int64 `json:"restored_units"`
 }
 
 // Stats is the fleet-wide snapshot.
@@ -407,15 +432,16 @@ func (m *Manager) Stats() Stats {
 		}
 		a, s := r.SchedStats()
 		st.Readers = append(st.Readers, ReaderStats{
-			ID:       r.ID(),
-			State:    r.State().String(),
-			QuerySCN: uint64(q),
-			LagSCN:   uint64(lag),
-			InFlight: r.InFlight(),
-			Queued:   r.Queued(),
-			Admitted: a,
-			Shed:     s,
-			PopUnits: int64(r.store.Stats().PopulatedUnits),
+			ID:            r.ID(),
+			State:         r.State().String(),
+			QuerySCN:      uint64(q),
+			LagSCN:        uint64(lag),
+			InFlight:      r.InFlight(),
+			Queued:        r.Queued(),
+			Admitted:      a,
+			Shed:          s,
+			PopUnits:      int64(r.store.Stats().PopulatedUnits),
+			RestoredUnits: r.store.UnitsRestored(),
 		})
 	}
 	return st

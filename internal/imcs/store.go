@@ -18,6 +18,7 @@ type Store struct {
 
 	rowInvals    atomic.Int64 // row-level invalidations applied (slots)
 	coarseInvals atomic.Int64 // units coarse-invalidated (object/tenant-wide)
+	restored     atomic.Int64 // units installed from checkpoint images
 }
 
 type objectUnits struct {

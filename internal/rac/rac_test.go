@@ -247,7 +247,9 @@ func TestCoarseInvalidationReachesReaders(t *testing.T) {
 	for _, inst := range p.pri.Instances() {
 		streams = append(streams, inst.Stream())
 	}
-	p.sc.Master.Restart(transport.NewInProc(streams...))
+	if err := p.sc.Master.Restart(transport.NewInProc(streams...)); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
 	p.sc.Master.Engine().WaitIdle(10 * time.Second)
 	p.sc.Readers()[0].Engine().WaitIdle(10 * time.Second)
 	if _, err := longTx.Commit(); err != nil {

@@ -7,11 +7,13 @@
 package standby
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dbimadg/internal/checkpoint"
 	"dbimadg/internal/core"
 	"dbimadg/internal/imcs"
 	"dbimadg/internal/metrics"
@@ -104,6 +106,21 @@ type Config struct {
 	// FlightRecorderBundles is the stall-bundle ring capacity
 	// (default obs.DefaultBundleRing).
 	FlightRecorderBundles int
+
+	// SnapshotDir, when non-empty, enables IMCS checkpointing
+	// (internal/checkpoint): the background checkpointer persists the column
+	// store there, Restart restores from the newest valid snapshot and
+	// replays only archived redo past the checkpoint SCN, and StartFrom does
+	// the same when rebuilding a standby after a switchover. Distinct from
+	// CheckpointInterval above, which is the (unfortunately named, paper
+	// §III.A) QuerySCN advancement period.
+	SnapshotDir string
+	// SnapshotInterval is the background checkpointer's period (default 1s
+	// when SnapshotDir is set; negative = on-demand checkpoints only, via
+	// CheckpointNow).
+	SnapshotInterval time.Duration
+	// SnapshotRetain keeps the newest N checkpoint files (default 2).
+	SnapshotRetain int
 }
 
 // Gauge names for the derived lag metrics registered on every instance's
@@ -155,6 +172,12 @@ func (c Config) withDefaults() Config {
 		c.SlowQueryThreshold = 100 * time.Millisecond
 	} else if c.SlowQueryThreshold < 0 {
 		c.SlowQueryThreshold = 0
+	}
+	if c.SnapshotDir != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = time.Second
+	}
+	if c.SnapshotRetain <= 0 {
+		c.SnapshotRetain = 2
 	}
 	return c
 }
@@ -225,6 +248,16 @@ type Instance struct {
 	recordsApplied atomic.Int64
 	cvsApplied     atomic.Int64
 	advances       atomic.Int64
+
+	// ckpt is the background IMCS checkpointer (nil unless Config.SnapshotDir
+	// is set). Like the watchdog it persists across Restart: its capture
+	// closure resolves the current volatile components, and Start/Stop
+	// bracket its goroutine so restarts never leak it.
+	ckpt            *checkpoint.Runner
+	restores        atomic.Int64 // successful checkpoint restores
+	restoreFallback atomic.Int64 // restarts that fell back to a full rebuild
+	lastRestore     atomic.Uint64
+	lastRestoreUnit atomic.Int64
 
 	reg       *obs.Registry
 	trace     *obs.PipelineTrace
@@ -306,10 +339,144 @@ func build(cfg Config, db *rowstore.Database, txns *txn.Table, services *service
 		StallDeadline: cfg.WatchdogStallDeadline,
 	})
 	inst.recorder.AddState("standby", func() any { return inst.Stats() })
+	if cfg.SnapshotDir != "" {
+		inst.ckpt = checkpoint.NewRunner(checkpoint.RunnerConfig{
+			Dir:      cfg.SnapshotDir,
+			Interval: cfg.SnapshotInterval,
+			Retain:   cfg.SnapshotRetain,
+			Capture:  inst.captureCheckpoint,
+		})
+	}
 	inst.initVolatile()
 	inst.registerMetrics()
 	inst.registerStages()
 	return inst
+}
+
+// captureCheckpoint is the checkpointer's Capture: under the shared quiesce
+// lock the published QuerySCN is stable and no invalidation flush is in
+// flight (flushes only run inside an advancement, which holds the lock
+// exclusively), so the per-SMU bitmap copies are all consistent at that SCN.
+// IMCU payloads are immutable and shared, not copied — population and
+// repopulation keep attaching replacement IMCUs while the checkpointer
+// encodes the captured generation outside the lock (the copy-on-write
+// protocol; see DESIGN.md "Checkpointing & instant provisioning").
+func (inst *Instance) captureCheckpoint() (checkpoint.Snapshot, error) {
+	var snap checkpoint.Snapshot
+	inst.quiesce.RLock()
+	q := inst.QuerySCN()
+	store, _, _, _, _, _ := inst.components()
+	snap.Images = store.CaptureImages()
+	w := scn.SCN(inst.watermark.Load())
+	inst.quiesce.RUnlock()
+	snap.Meta = checkpoint.Meta{
+		SCN:       q,
+		Watermark: w,
+		// The journal holds only transactions with redo above the checkpoint
+		// SCN after a restore (everything at or below is baked into the
+		// bitmaps), so the journal watermark is the checkpoint SCN itself.
+		JournalSCN:  q,
+		CreatedUnix: time.Now().UnixNano(),
+	}
+	return snap, nil
+}
+
+// CheckpointNow forces one synchronous checkpoint cycle (capture → encode →
+// atomic install → prune). Errors when checkpointing is not configured.
+func (inst *Instance) CheckpointNow() (checkpoint.Meta, error) {
+	if inst.ckpt == nil {
+		return checkpoint.Meta{}, fmt.Errorf("standby: checkpointing disabled (no SnapshotDir)")
+	}
+	return inst.ckpt.Checkpoint()
+}
+
+// Checkpointer returns the background checkpointer (nil when disabled).
+func (inst *Instance) Checkpointer() *checkpoint.Runner { return inst.ckpt }
+
+// CheckpointStats combines the checkpointer's write-side counters with the
+// instance's restore history; it backs the /debug/stats "checkpoint" block.
+type CheckpointStats struct {
+	checkpoint.RunnerStats
+	Restores         int64  // restarts that restored from a checkpoint
+	RestoreFallbacks int64  // restarts that fell back to a full rebuild
+	LastRestoreSCN   uint64 // checkpoint SCN of the most recent restore
+	LastRestoreUnits int64  // units installed by the most recent restore
+	UnitsRestored    int64  // restored units live in the current store
+}
+
+// CheckpointStats returns the instance's checkpoint/restore statistics
+// (zero-valued when checkpointing is disabled).
+func (inst *Instance) CheckpointStats() CheckpointStats {
+	st := CheckpointStats{
+		Restores:         inst.restores.Load(),
+		RestoreFallbacks: inst.restoreFallback.Load(),
+		LastRestoreSCN:   inst.lastRestore.Load(),
+		LastRestoreUnits: inst.lastRestoreUnit.Load(),
+	}
+	if inst.ckpt != nil {
+		st.RunnerStats = inst.ckpt.Stats()
+	}
+	s, _, _, _, _, _ := inst.components()
+	st.UnitsRestored = s.UnitsRestored()
+	return st
+}
+
+// schemaOf resolves an object id to its live schema for checkpoint decoding;
+// nil when the object no longer exists (its units are skipped on restore).
+func (inst *Instance) schemaOf(obj rowstore.ObjID) *rowstore.Schema {
+	if tbl, ok := inst.db.TableForObj(obj); ok {
+		return tbl.Schema()
+	}
+	return nil
+}
+
+// restoreFromCheckpoint loads the newest fully-valid checkpoint into the
+// (freshly reset) store. On success it returns the checkpoint SCN — the point
+// redo replay must resume after — and true. Any failure (no directory, no
+// valid file, corrupt payloads) returns false and the caller proceeds with
+// the full rebuild; corrupt files are skipped in favour of older valid ones.
+// The checkpoint SCN must land in [floor, limit]: below floor the source
+// cannot serve the redo needed to catch the restored store up (a TCP receiver
+// dialed above the checkpoint), above limit the snapshot describes a store
+// state ahead of the resume watermark.
+func (inst *Instance) restoreFromCheckpoint(floor, limit scn.SCN) (scn.SCN, bool) {
+	if inst.cfg.SnapshotDir == "" {
+		return 0, false
+	}
+	snap, _, err := checkpoint.LoadNewest(inst.cfg.SnapshotDir, inst.schemaOf)
+	if err != nil || snap.Meta.SCN < floor || snap.Meta.SCN > limit {
+		inst.restoreFallback.Add(1)
+		return 0, false
+	}
+	store, _, _, _, _, _ := inst.components()
+	restored := 0
+	for _, img := range snap.Images {
+		if err := store.RestoreUnit(img); err == nil {
+			restored++
+		}
+	}
+	inst.restores.Add(1)
+	inst.lastRestore.Store(uint64(snap.Meta.SCN))
+	inst.lastRestoreUnit.Store(int64(restored))
+	return snap.Meta.SCN, true
+}
+
+// ResumePoint returns the SCN from which archived redo must be available for
+// the next Restart: the newest checkpoint's SCN when one exists below the
+// stopped watermark (restore rolls the IMCS back to it), else the watermark.
+// Callers dialing a TCP source ahead of Restart should request records from
+// ResumePoint()+1 — dialing higher forfeits the checkpoint (Restart then
+// falls back to the full rebuild, or errors when even the watermark is
+// unreachable).
+func (inst *Instance) ResumePoint() scn.SCN {
+	w := scn.SCN(inst.watermark.Load())
+	if inst.cfg.SnapshotDir == "" {
+		return w
+	}
+	if m, ok := checkpoint.Newest(inst.cfg.SnapshotDir); ok && m.SCN < w {
+		return m.SCN
+	}
+	return w
 }
 
 // registerStages describes the standby pipeline to the liveness watchdog.
@@ -423,6 +590,26 @@ func (inst *Instance) registerStages() {
 		},
 		Backlog: func() int64 { _, e, _, _, _, _ := inst.components(); return e.Pending() },
 	})
+	// checkpoint: the background IMCS checkpointer. Backlog reports 1 when a
+	// checkpoint is overdue by more than two intervals, so a wedged capture
+	// (e.g. a quiesce deadlock) is declared stalled instead of silently
+	// leaving restarts on the slow path.
+	if inst.ckpt != nil && inst.cfg.SnapshotInterval > 0 {
+		w.Register(obs.StageConfig{
+			Name:  "checkpoint",
+			Count: func() int64 { return inst.ckpt.Cycles() },
+			Backlog: func() int64 {
+				st := inst.ckpt.Stats()
+				if st.LastUnix == 0 {
+					return 0 // never checkpointed yet: grace until the first cycle
+				}
+				if time.Since(time.Unix(0, st.LastUnix)) > 2*inst.cfg.SnapshotInterval {
+					return 1
+				}
+				return 0
+			},
+		})
+	}
 }
 
 // Role returns the roles this instance currently serves (RoleStandby until a
@@ -540,12 +727,39 @@ func (inst *Instance) registerMetrics() {
 		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.RowsInvalidated()) })
 	r.CounterFunc("imcs_units_coarse_invalidated_total", "units coarse-invalidated (object drop or tenant fallback)",
 		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.UnitsInvalidated()) })
+	r.CounterFunc("imcs_units_restored_total", "IMCUs installed from checkpoint images (not engine-populated)",
+		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.UnitsRestored()) })
 	r.GaugeFunc("imcs_populated_units", "IMCUs currently populated",
 		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.Stats().PopulatedUnits) })
 	r.GaugeFunc("imcs_invalid_rows", "rows currently marked invalid across SMUs",
 		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.Stats().InvalidRows) })
 	r.GaugeFunc("imcs_mem_bytes", "column store memory footprint",
 		func() float64 { s, _, _, _, _, _ := inst.components(); return float64(s.Stats().MemBytes) })
+
+	if inst.ckpt != nil {
+		r.CounterFunc("checkpoint_written_total", "checkpoint snapshots installed on disk",
+			func() float64 { return float64(inst.ckpt.Stats().Written) })
+		r.CounterFunc("checkpoint_failures_total", "checkpoint cycles that failed",
+			func() float64 { return float64(inst.ckpt.Stats().Failures) })
+		r.CounterFunc("checkpoint_bytes_total", "cumulative snapshot bytes written",
+			func() float64 { return float64(inst.ckpt.Stats().TotalBytes) })
+		r.GaugeFunc("checkpoint_last_bytes", "size of the newest checkpoint snapshot",
+			func() float64 { return float64(inst.ckpt.Stats().LastBytes) })
+		r.GaugeFunc("checkpoint_last_duration_seconds", "wall time of the newest checkpoint cycle",
+			func() float64 { return inst.ckpt.Stats().LastTook.Seconds() })
+		r.GaugeFunc("checkpoint_age_seconds", "time since the newest checkpoint completed (-1 before the first)",
+			func() float64 {
+				st := inst.ckpt.Stats()
+				if st.LastUnix == 0 {
+					return -1
+				}
+				return time.Since(time.Unix(0, st.LastUnix)).Seconds()
+			})
+		r.CounterFunc("checkpoint_restores_total", "restarts that restored the IMCS from a checkpoint",
+			func() float64 { return float64(inst.restores.Load()) })
+		r.CounterFunc("checkpoint_restore_fallbacks_total", "restarts that fell back to a full rebuild",
+			func() float64 { return float64(inst.restoreFallback.Load()) })
+	}
 
 	r.CounterFunc("scan_queries_total", "scans executed on this instance",
 		func() float64 { return float64(inst.scanStats.Queries()) })
@@ -777,6 +991,11 @@ func (inst *Instance) SetShipFrontier(fn func() scn.SCN) {
 // Watchdog returns the instance's pipeline liveness watchdog.
 func (inst *Instance) Watchdog() *obs.Watchdog { return inst.watchdog }
 
+// SnapshotDir returns the checkpoint directory ("" when checkpointing is
+// off). The broker uses it to default the rebuilt standby's snapshot
+// configuration across a switchover.
+func (inst *Instance) SnapshotDir() string { return inst.cfg.SnapshotDir }
+
 // FlightRecorder returns the stall-bundle recorder backing
 // /debug/flightrecorder.
 func (inst *Instance) FlightRecorder() *obs.FlightRecorder { return inst.recorder }
@@ -805,6 +1024,9 @@ func (inst *Instance) Start() {
 	go inst.mergerLoop()
 	go inst.coordinatorLoop()
 	inst.engine.Start()
+	if inst.ckpt != nil {
+		inst.ckpt.Start()
+	}
 	if inst.cfg.WatchdogInterval >= 0 {
 		inst.watchdog.Start()
 	}
@@ -833,6 +1055,9 @@ func (inst *Instance) startObservability() {
 	h.AddStats("standby", func() any { return inst.Stats() })
 	h.AddStats("imcs", func() any { s, _, _, _, _, _ := inst.components(); return s.Stats() })
 	h.AddStats("population", func() any { _, e, _, _, _, _ := inst.components(); return e.Stats() })
+	if inst.ckpt != nil {
+		h.AddStats("checkpoint", func() any { return inst.CheckpointStats() })
+	}
 	inst.stateMu.Lock()
 	for name, fn := range inst.debugStats {
 		h.AddStats(name, fn)
@@ -874,6 +1099,9 @@ func (inst *Instance) Stop() scn.SCN {
 	inst.started = false
 	// Stop the watchdog first: a pipeline being torn down must not be judged.
 	inst.watchdog.Stop()
+	if inst.ckpt != nil {
+		inst.ckpt.Stop()
+	}
 	close(inst.stop)
 	inst.wg.Wait()
 	inst.engine.Stop()
@@ -894,31 +1122,67 @@ func (inst *Instance) Stop() scn.SCN {
 
 // Restart simulates a standby instance restart (§III.E): apply stops, all
 // volatile DBIM-on-ADG state (IMCS, journal, commit table, DDL table) is
-// lost, and recovery resumes from the checkpoint against the surviving
-// physical replica (the applied blocks and transaction table, which are
-// durable in the real system). src supplies the redo threads again (the
-// archived logs); records at or below the checkpoint are skipped.
-func (inst *Instance) Restart(src transport.Source) {
+// reset, and recovery resumes against the surviving physical replica (the
+// applied blocks and transaction table, which are durable in the real
+// system). With checkpointing configured, the column store is first restored
+// from the newest valid on-disk snapshot and only archived redo past the
+// checkpoint SCN is replayed; without one (or when every snapshot is corrupt)
+// the IMCS starts empty and repopulates from the row store as before.
+//
+// src supplies the redo threads again (the archived logs). Restart errors —
+// instead of silently serving a stale store — when no source is attached or
+// when the source provably cannot supply the required catch-up window: a TCP
+// receiver dialed above the resume point is missing redo the standby needs.
+// A receiver dialed above the checkpoint SCN but within the watermark merely
+// forfeits the restore (full rebuild, same as before checkpointing existed).
+func (inst *Instance) Restart(src transport.Source) error {
+	if src == nil {
+		return fmt.Errorf("standby: restart without a redo source")
+	}
 	// A restart is a planned disruption: suppress stall detection until the
 	// pipeline is back up, then give every stage a fresh deadline.
 	inst.watchdog.Pause("restart")
 	defer inst.watchdog.Resume("restart")
-	checkpoint := inst.Stop()
+	watermark := inst.Stop()
+	// The source's resume position bounds what can be replayed. In-process
+	// sources expose the whole archived log; a TCP receiver only has records
+	// from the SCN it dialed at.
+	available := scn.SCN(0)
+	if p, ok := src.(interface{ ResumeSCN() scn.SCN }); ok {
+		available = p.ResumeSCN()
+	}
+	if available > watermark+1 {
+		// Redo in (watermark, available) is unobtainable from this source:
+		// catch-up would silently skip it and serve a stale store forever.
+		return fmt.Errorf("standby: source resumes at SCN %d but apply must resume at %d: archived-log window unavailable",
+			available, watermark+1)
+	}
 	// Crash semantics for in-flight freshness spans: whatever the pipeline
-	// still held is explicitly truncated. Replayed records (above the
-	// checkpoint) open fresh spans and complete normally; records at or below
-	// it became visible through the checkpoint itself and keep their
-	// truncation marker.
+	// still held is explicitly truncated. Replayed records open fresh spans
+	// and complete normally; records at or below the resume point became
+	// visible through the checkpoint itself and keep their truncation marker.
 	inst.freshness.TruncateOpen("restart")
 	inst.initVolatile()
-	inst.querySCN.Store(uint64(checkpoint))
-	inst.watermark.Store(uint64(checkpoint))
-	inst.lastDispatched.Store(uint64(checkpoint))
-	inst.startSCN = checkpoint
+	start := watermark
+	// A checkpoint is only usable when the source can serve redo from just
+	// past its SCN: a receiver dialed at `available` has records with
+	// SCN >= available, so the checkpoint must sit at available-1 or higher.
+	floor := scn.SCN(0)
+	if available > 0 {
+		floor = available - 1
+	}
+	if ckptSCN, ok := inst.restoreFromCheckpoint(floor, watermark); ok {
+		start = ckptSCN
+	}
+	inst.querySCN.Store(uint64(start))
+	inst.watermark.Store(uint64(start))
+	inst.lastDispatched.Store(uint64(start))
+	inst.startSCN = start
 	// Full reattachment: the replacement source gets the trace and replaces
 	// the flight recorder's transport state provider.
 	inst.Attach(src)
 	inst.Start()
+	return nil
 }
 
 // scns returns a coherent (QuerySCN, watermark, dispatch frontier) triple

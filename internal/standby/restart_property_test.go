@@ -108,7 +108,9 @@ func runRestartInterleaving(t *testing.T, seed int64) {
 	for _, inst := range p.pri.Instances() {
 		streams = append(streams, inst.Stream())
 	}
-	p.sby.Restart(transport.NewInProc(streams...))
+	if err := p.sby.Restart(transport.NewInProc(streams...)); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
 
 	// Random post-restart phase: more mutations on the surviving transactions,
 	// then every transaction commits (flagged; mined without their "begin").

@@ -471,7 +471,9 @@ func TestRestartCoarseInvalidation(t *testing.T) {
 	for _, inst := range p.pri.Instances() {
 		streams = append(streams, inst.Stream())
 	}
-	p.sby.Restart(transport.NewInProc(streams...))
+	if err := p.sby.Restart(transport.NewInProc(streams...)); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
 
 	// Repopulate after restart, then commit the partial transaction.
 	if !p.sby.Engine().WaitIdle(10 * time.Second) {
@@ -512,7 +514,9 @@ func TestRestartWithoutPartialTxnNoCoarse(t *testing.T) {
 	for _, inst := range p.pri.Instances() {
 		streams = append(streams, inst.Stream())
 	}
-	p.sby.Restart(transport.NewInProc(streams...))
+	if err := p.sby.Restart(transport.NewInProc(streams...)); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
 	p.insert(t, 100, 150) // complete transactions after restart
 	p.catchUp(t)
 	if st := p.sby.Stats(); st.CoarseInvals != 0 {

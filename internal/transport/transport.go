@@ -264,6 +264,7 @@ const (
 type Receiver struct {
 	addr    string
 	opts    Options
+	from    scn.SCN
 	mirrors []*redo.Stream
 	wg      sync.WaitGroup
 	stop    chan struct{}
@@ -417,6 +418,7 @@ func ConnectOpts(addr string, threads []uint16, from scn.SCN, opts Options) (*Re
 	r := &Receiver{
 		addr:  addr,
 		opts:  opts,
+		from:  from,
 		stop:  make(chan struct{}),
 		conns: make(map[uint16]net.Conn, len(threads)),
 	}
@@ -573,6 +575,14 @@ func (r *Receiver) jitter(d time.Duration) time.Duration {
 		}
 	}
 }
+
+// ResumeSCN returns the SCN this receiver was dialed at: its mirror streams
+// begin there, so redo below it is NOT available from this source. A standby
+// restoring an IMCS checkpoint compares this against the checkpoint SCN to
+// decide whether the archived-log catch-up window is satisfiable (see
+// standby.Instance.Restart); in-process sources expose the whole archived log
+// and have no such limit.
+func (r *Receiver) ResumeSCN() scn.SCN { return r.from }
 
 // Streams implements Source.
 func (r *Receiver) Streams() []*redo.Stream { return r.mirrors }
